@@ -1,0 +1,38 @@
+/// \file experiment_common.hpp
+/// \brief Shared plumbing for the experiment harnesses in bench/.
+///
+/// Each harness regenerates one table or figure of the paper.  Output is a
+/// plain-text table (one row per series point) so the numbers can be diffed
+/// against EXPERIMENTS.md and re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace qtda::bench {
+
+/// Prints a horizontal rule sized to the header.
+inline void print_rule(std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Formats a boxplot row (Fig. 3 uses Tukey boxplots).
+inline void print_boxplot_row(const std::string& label,
+                              const FiveNumberSummary& s) {
+  std::printf(
+      "%-24s med=%7.3f  q1=%7.3f  q3=%7.3f  whisk=[%7.3f,%7.3f]  "
+      "outliers=%2zu  n=%zu\n",
+      label.c_str(), s.median, s.q1, s.q3, s.whisker_low, s.whisker_high,
+      s.outliers, s.count);
+}
+
+}  // namespace qtda::bench

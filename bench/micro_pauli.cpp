@@ -1,0 +1,69 @@
+/// \file micro_pauli.cpp
+/// \brief google-benchmark microbenches for Pauli algebra and decomposition.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "quantum/pauli.hpp"
+
+namespace {
+
+using namespace qtda;
+
+RealMatrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+void BM_PauliDecompose(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  const auto h = random_symmetric(std::size_t{1} << q, 31 + q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pauli_decompose(h).size());
+  }
+  state.counters["strings"] = std::pow(4.0, static_cast<double>(q));
+}
+BENCHMARK(BM_PauliDecompose)->DenseRange(1, 6, 1);
+
+void BM_PauliSumMatrix(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  const auto sum = pauli_decompose(random_symmetric(std::size_t{1} << q, 37));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sum.matrix().rows());
+  }
+  state.counters["terms"] = static_cast<double>(sum.size());
+}
+BENCHMARK(BM_PauliSumMatrix)->DenseRange(1, 5, 1);
+
+void BM_PauliPhaseSweep(benchmark::State& state) {
+  const PauliString p("XYZYXZXY");
+  std::uint64_t ket = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.phase_for(ket++ & 255));
+  }
+}
+BENCHMARK(BM_PauliPhaseSweep);
+
+void BM_PauliStringMatrix(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  std::string letters;
+  const char alphabet[4] = {'I', 'X', 'Y', 'Z'};
+  for (std::size_t i = 0; i < q; ++i) letters += alphabet[i % 4];
+  const PauliString p(letters);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.matrix().rows());
+  }
+}
+BENCHMARK(BM_PauliStringMatrix)->DenseRange(1, 8, 1);
+
+}  // namespace

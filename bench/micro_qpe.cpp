@@ -1,0 +1,99 @@
+/// \file micro_qpe.cpp
+/// \brief google-benchmark microbenches for QPE and the Betti estimator.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "core/betti_estimator.hpp"
+#include "core/analytic_qpe.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/random_complex.hpp"
+
+namespace {
+
+using namespace qtda;
+
+RealMatrix sample_laplacian(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    RandomComplexOptions options;
+    options.num_vertices = n;
+    options.edge_probability = 0.5;
+    options.max_dimension = 2;
+    const auto complex = random_flag_complex(options, rng);
+    if (complex.count(1) > 0) return combinatorial_laplacian(complex, 1);
+  }
+}
+
+void BM_AnalyticEstimator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto laplacian = sample_laplacian(n, 21);
+  EstimatorOptions options;
+  options.precision_qubits = 8;
+  options.shots = 1000000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(
+        estimate_betti_from_laplacian(laplacian, options).estimated_betti);
+  }
+}
+BENCHMARK(BM_AnalyticEstimator)->DenseRange(6, 14, 2);
+
+void BM_CircuitExactEstimator(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto laplacian = sample_laplacian(6, 23);
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitExact;
+  options.precision_qubits = t;
+  options.shots = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_betti_from_laplacian(laplacian, options).estimated_betti);
+  }
+}
+BENCHMARK(BM_CircuitExactEstimator)->DenseRange(1, 6, 1);
+
+void BM_TrotterEstimator(benchmark::State& state) {
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  const auto laplacian = sample_laplacian(6, 25);
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitTrotter;
+  options.precision_qubits = 3;
+  options.shots = 1000;
+  options.trotter = {steps, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_betti_from_laplacian(laplacian, options).estimated_betti);
+  }
+}
+BENCHMARK(BM_TrotterEstimator)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_FejerZeroProbability(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(27);
+  RealVector eigenvalues(dim);
+  for (double& v : eigenvalues) v = rng.uniform(0.0, 6.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analytic_zero_probability(eigenvalues, 10));
+  }
+}
+BENCHMARK(BM_FejerZeroProbability)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_SampledBasisVsPurification(benchmark::State& state) {
+  // state.range(0) == 0 → purification, 1 → sampled basis.
+  const auto laplacian = sample_laplacian(6, 29);
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitExact;
+  options.precision_qubits = 3;
+  options.shots = 500;
+  options.mixed_state = state.range(0) == 0 ? MixedStateMode::kPurification
+                                            : MixedStateMode::kSampledBasis;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_betti_from_laplacian(laplacian, options).estimated_betti);
+  }
+}
+BENCHMARK(BM_SampledBasisVsPurification)->Arg(0)->Arg(1);
+
+}  // namespace

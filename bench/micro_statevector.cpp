@@ -1,0 +1,88 @@
+/// \file micro_statevector.cpp
+/// \brief google-benchmark microbenches for the state-vector kernels.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/statevector.hpp"
+
+namespace {
+
+using namespace qtda;
+
+void BM_HadamardGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Statevector sv(n);
+  std::size_t target = 0;
+  for (auto _ : state) {
+    sv.apply_single_qubit(gates::H(), target);
+    target = (target + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_HadamardGate)->DenseRange(8, 22, 2);
+
+void BM_ControlledGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Statevector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_single_qubit(gates::H(), q);
+  for (auto _ : state) {
+    sv.apply_single_qubit(gates::X(), n - 1, {0});
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(1ULL << n));
+}
+BENCHMARK(BM_ControlledGate)->DenseRange(8, 20, 4);
+
+void BM_DenseThreeQubitUnitary(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Statevector sv(n);
+  const auto u = ComplexMatrix::identity(8);
+  for (auto _ : state) {
+    sv.apply_unitary(u, {0, 1, 2});
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_DenseThreeQubitUnitary)->DenseRange(8, 18, 2);
+
+void BM_MarginalProbabilities(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Statevector sv(n);
+  for (std::size_t q = 0; q < n; ++q) sv.apply_single_qubit(gates::H(), q);
+  const std::vector<std::size_t> measured{0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.marginal_probabilities(measured));
+  }
+}
+BENCHMARK(BM_MarginalProbabilities)->DenseRange(10, 20, 5);
+
+void BM_SampleShots(benchmark::State& state) {
+  const auto shots = static_cast<std::size_t>(state.range(0));
+  Statevector sv(10);
+  for (std::size_t q = 0; q < 10; ++q) sv.apply_single_qubit(gates::H(), q);
+  Rng rng(1);
+  const std::vector<std::size_t> measured{0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.sample_counts(measured, shots, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shots));
+}
+BENCHMARK(BM_SampleShots)->RangeMultiplier(10)->Range(100, 1000000);
+
+void BM_BellCircuitEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Circuit circuit(n);
+  circuit.h(0);
+  for (std::size_t q = 1; q < n; ++q) circuit.cnot(q - 1, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_circuit(circuit).norm_squared());
+  }
+}
+BENCHMARK(BM_BellCircuitEndToEnd)->DenseRange(8, 20, 4);
+
+}  // namespace

@@ -1,0 +1,79 @@
+/// \file micro_topology.cpp
+/// \brief google-benchmark microbenches for the TDA substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "topology/betti.hpp"
+#include "topology/boundary.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/persistence.hpp"
+#include "topology/random_complex.hpp"
+#include "topology/rips.hpp"
+
+namespace {
+
+using namespace qtda;
+
+PointCloud random_cloud(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  return PointCloud(random_point_cloud(n, m, rng));
+}
+
+void BM_RipsExpansion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cloud = random_cloud(n, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rips_complex(cloud, 0.6, 2).total_count());
+  }
+}
+BENCHMARK(BM_RipsExpansion)->DenseRange(10, 60, 10);
+
+void BM_BoundaryOperator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto complex = rips_complex(random_cloud(n, 3, 11), 0.6, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boundary_operator(complex, 1).nonzeros());
+  }
+  state.counters["edges"] = static_cast<double>(complex.count(1));
+}
+BENCHMARK(BM_BoundaryOperator)->DenseRange(10, 40, 10);
+
+void BM_LaplacianAssembly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto complex = rips_complex(random_cloud(n, 3, 13), 0.6, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combinatorial_laplacian(complex, 1).rows());
+  }
+}
+BENCHMARK(BM_LaplacianAssembly)->DenseRange(10, 40, 10);
+
+void BM_ClassicalBettiRankRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto complex = rips_complex(random_cloud(n, 3, 17), 0.6, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(betti_number(complex, 1));
+  }
+}
+BENCHMARK(BM_ClassicalBettiRankRoute)->DenseRange(10, 40, 10);
+
+void BM_ClassicalBettiLaplacianRoute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto complex = rips_complex(random_cloud(n, 3, 17), 0.6, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(betti_number_via_laplacian(complex, 1));
+  }
+}
+BENCHMARK(BM_ClassicalBettiLaplacianRoute)->DenseRange(10, 30, 10);
+
+void BM_PersistenceReduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cloud = random_cloud(n, 2, 19);
+  const auto filtration = rips_filtration(cloud, 0.7, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_persistence(filtration).pairs().size());
+  }
+  state.counters["simplices"] = static_cast<double>(filtration.size());
+}
+BENCHMARK(BM_PersistenceReduction)->DenseRange(10, 40, 10);
+
+}  // namespace

@@ -1,0 +1,99 @@
+/// \file gearbox_features.cpp
+/// \brief The paper's §5 second experiment as a runnable example: six
+/// condition-monitoring features per gearbox window → four 3-D points →
+/// Rips complex → quantum Betti features → logistic regression.
+///
+/// Build & run:  ./build/examples/gearbox_features [--samples 120]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/betti_estimator.hpp"
+#include "data/features.hpp"
+#include "data/gearbox.hpp"
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "topology/betti.hpp"
+#include "topology/rips.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qtda;
+  const CliArgs args(argc, argv);
+  const auto total = static_cast<std::size_t>(args.get_int("samples", 120));
+  const auto healthy = total / 5;  // paper ratio: 51/255
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+  std::printf("Gearbox fault detection from quantum Betti features\n");
+  std::printf("===================================================\n\n");
+
+  // 1. Synthetic gearbox windows reduced to six features each.
+  GearboxSignalOptions signal_options;
+  Rng rng(seed);
+  const auto samples = generate_gearbox_feature_dataset(
+      total, healthy, 512, signal_options, rng);
+  std::printf("dataset: %zu samples (%zu healthy / %zu faulty), 6 features\n",
+              samples.size(), healthy, total - healthy);
+
+  // 2. Four 3-D points per sample; ε from the median cloud diameter.
+  std::vector<PointCloud> clouds;
+  std::vector<double> diameters;
+  for (const auto& sample : samples) {
+    clouds.push_back(feature_point_cloud(sample.features));
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = i + 1; j < 4; ++j)
+        dmax = std::max(dmax, clouds.back().distance(i, j));
+    diameters.push_back(dmax);
+  }
+  const double eps = 0.75 * median(diameters);
+  std::printf("grouping scale eps = %.4f\n\n", eps);
+
+  // 3. Quantum Betti features {estimated beta_0, beta_1} per sample.
+  Dataset data;
+  std::vector<double> exact_flat, estimated_flat;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    const auto complex = rips_complex(clouds[i], eps, 2);
+    EstimatorOptions options;
+    options.precision_qubits = 4;
+    options.shots = 100;
+    options.seed = seed * 17 + i;
+    const auto b0 = estimate_betti(complex, 0, options);
+    options.seed += 1;
+    const auto b1 = estimate_betti(complex, 1, options);
+    data.add({b0.estimated_betti, b1.estimated_betti}, samples[i].label);
+    estimated_flat.push_back(b0.estimated_betti);
+    estimated_flat.push_back(b1.estimated_betti);
+    exact_flat.push_back(static_cast<double>(betti_number(complex, 0)));
+    exact_flat.push_back(static_cast<double>(betti_number(complex, 1)));
+  }
+  std::printf("Betti-estimate MAE vs classical: %.3f\n",
+              mean_absolute_error(exact_flat, estimated_flat));
+
+  // 4. Classifier with the paper's 20%/80% train/validation split.
+  Rng split_rng(seed + 1);
+  const auto split = stratified_split(data, 0.2, split_rng);
+  StandardScaler scaler;
+  scaler.fit(split.train.features);
+  Dataset train{scaler.transform(split.train.features), split.train.labels};
+  Dataset val{scaler.transform(split.validation.features),
+              split.validation.labels};
+  LogisticRegression model;
+  model.fit(train);
+
+  const auto train_predictions = model.predict_all(train.features);
+  const auto val_predictions = model.predict_all(val.features);
+  std::printf("training accuracy:   %.3f (%zu samples)\n",
+              accuracy(train.labels, train_predictions), train.size());
+  std::printf("validation accuracy: %.3f (%zu samples)\n",
+              accuracy(val.labels, val_predictions), val.size());
+  const auto confusion = confusion_matrix(val.labels, val_predictions);
+  std::printf("validation confusion: TP=%zu TN=%zu FP=%zu FN=%zu "
+              "(precision %.3f, recall %.3f)\n",
+              confusion.true_positive, confusion.true_negative,
+              confusion.false_positive, confusion.false_negative,
+              confusion.precision(), confusion.recall());
+  return 0;
+}

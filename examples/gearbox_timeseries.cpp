@@ -1,0 +1,98 @@
+/// \file gearbox_timeseries.cpp
+/// \brief The paper's §5 first experiment as a runnable example: raw
+/// vibration windows (500 samples) → Takens delay embedding → Rips →
+/// quantum Betti features → fault classifier.
+///
+/// Build & run:  ./build/examples/gearbox_timeseries [--windows 16]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/pipeline.hpp"
+#include "data/gearbox.hpp"
+#include "data/windowing.hpp"
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "ml/takens.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qtda;
+  const CliArgs args(argc, argv);
+  const auto per_class = static_cast<std::size_t>(args.get_int("windows", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+
+  std::printf("Gearbox fault detection from raw time series (Takens + QTDA)\n");
+  std::printf("=============================================================\n\n");
+
+  GearboxSignalOptions signal_options;
+  Rng rng(seed);
+  const auto healthy_signal = generate_gearbox_signal(
+      GearboxCondition::kHealthy, 500 * per_class, signal_options, rng);
+  const auto faulty_signal = generate_gearbox_signal(
+      GearboxCondition::kSurfaceFault, 500 * per_class, signal_options, rng);
+  std::printf("recordings: 2 x %zu samples -> %zu windows of 500\n",
+              healthy_signal.size(), 2 * per_class);
+
+  TakensOptions takens_options;
+  takens_options.dimension = 3;
+  takens_options.delay = 4;
+  takens_options.stride = 10;
+
+  // Pass 1: embed every window; derive one global grouping scale from the
+  // population (per-window scales would normalize away the class signal).
+  std::vector<PointCloud> clouds;
+  std::vector<int> labels;
+  const auto embed_windows = [&](const std::vector<double>& signal,
+                                 int label) {
+    for (const auto& window : split_windows(signal, 500)) {
+      clouds.push_back(takens_embedding(window, takens_options));
+      labels.push_back(label);
+    }
+  };
+  embed_windows(healthy_signal, 0);
+  embed_windows(faulty_signal, 1);
+  std::vector<double> diameters;
+  for (const auto& cloud : clouds) {
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+      for (std::size_t j = i + 1; j < cloud.size(); ++j)
+        dmax = std::max(dmax, cloud.distance(i, j));
+    diameters.push_back(dmax);
+  }
+  const double eps = 0.15 * median(diameters);
+
+  // Pass 2: quantum Betti features at the shared scale.
+  Dataset data;
+  for (std::size_t w = 0; w < clouds.size(); ++w) {
+    PipelineOptions options;
+    options.epsilon = eps;
+    options.dimensions = {0, 1};
+    options.estimator.precision_qubits = 5;
+    options.estimator.shots = 1000;
+    options.estimator.seed = seed + w;
+    const auto features = extract_betti_features(clouds[w], options);
+    data.add({features.estimated[0], features.estimated[1]}, labels[w]);
+  }
+  std::printf("embedded each window to %zu-point 3-D cloud; extracted "
+              "{beta0, beta1} via QPE (5 precision qubits)\n\n",
+              takens_output_size(500, takens_options) / takens_options.stride);
+
+  Rng split_rng(seed + 1);
+  const auto split = stratified_split(data, 0.5, split_rng);
+  StandardScaler scaler;
+  scaler.fit(split.train.features);
+  Dataset train{scaler.transform(split.train.features), split.train.labels};
+  Dataset val{scaler.transform(split.validation.features),
+              split.validation.labels};
+  LogisticRegression model;
+  model.fit(train);
+  std::printf("training accuracy:   %.3f\n",
+              accuracy(train.labels, model.predict_all(train.features)));
+  std::printf("validation accuracy: %.3f  (paper reports 1.000 on the SEU "
+              "gearbox data)\n",
+              accuracy(val.labels, model.predict_all(val.features)));
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file persistence_diagram.cpp
+/// \brief The paper's named future-work item, implemented: persistent Betti
+/// numbers, which are invariant to the grouping-scale choice.  Computes the
+/// persistence diagram of a noisy circle and prints the barcode plus the
+/// β1(ε) curve, showing the scale-robust loop.
+///
+/// Build & run:  ./build/examples/persistence_diagram [--points 16]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "topology/persistence.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qtda;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("points", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
+
+  std::printf("Persistent homology of a noisy circle (%zu points)\n", n);
+  std::printf("==================================================\n\n");
+
+  // Noisy circle sample.
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+    const double radius = 1.0 + rng.normal(0.0, 0.05);
+    points.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  const PointCloud cloud(points);
+
+  const auto filtration = rips_filtration(cloud, 1.2, 2);
+  std::printf("Rips filtration: %zu simplices up to scale 1.2\n\n",
+              filtration.size());
+  const auto diagram = compute_persistence(filtration);
+
+  std::printf("H0 barcode (components; persistence > 0.01):\n");
+  for (const auto& pair : diagram.pairs_in_dimension(0)) {
+    if (!pair.essential && pair.persistence() < 0.01) continue;
+    if (pair.essential)
+      std::printf("  [%6.3f, inf)      <- the surviving component\n",
+                  pair.birth);
+    else
+      std::printf("  [%6.3f, %6.3f)\n", pair.birth, pair.death);
+  }
+
+  std::printf("\nH1 barcode (loops; persistence > 0.01):\n");
+  for (const auto& pair : diagram.pairs_in_dimension(1)) {
+    if (!pair.essential && pair.persistence() < 0.01) continue;
+    if (pair.essential)
+      std::printf("  [%6.3f, inf)      <- the circle's loop\n", pair.birth);
+    else
+      std::printf("  [%6.3f, %6.3f)\n", pair.birth, pair.death);
+  }
+
+  std::printf("\nbeta_1(eps) curve (a single scale-stable plateau at 1 marks "
+              "the loop):\n  eps : ");
+  for (double eps = 0.1; eps <= 1.15; eps += 0.1) std::printf("%5.2f ", eps);
+  std::printf("\n  b1  : ");
+  for (double eps = 0.1; eps <= 1.15; eps += 0.1)
+    std::printf("%5zu ", diagram.betti_at(1, eps));
+  std::printf("\n\nPersistent Betti numbers beta_1^{b,d} (b = 0.5):\n");
+  for (double d = 0.5; d <= 1.1; d += 0.2)
+    std::printf("  beta_1^{0.5, %.1f} = %zu\n", d,
+                diagram.persistent_betti(1, 0.5, d));
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file quantum_persistent_betti.cpp
+/// \brief The paper's future-work item realised: estimating *persistent*
+/// Betti numbers with the same QPE machinery, via the persistent
+/// combinatorial Laplacian Δ_k^{b,d} (whose kernel dimension is β_k^{b,d}).
+///
+/// Demonstrates the scale-invariance pitch: a noisy circle produces several
+/// short-lived loops; the ordinary β1(ε) fluctuates with ε while the
+/// persistent β1^{b,d} cleanly isolates the one real loop.
+///
+/// Build & run:  ./build/examples/quantum_persistent_betti
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "core/persistent_estimator.hpp"
+#include "topology/persistence.hpp"
+#include "topology/persistent_laplacian.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qtda;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("points", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  std::printf("Quantum persistent Betti numbers (paper future work)\n");
+  std::printf("====================================================\n\n");
+
+  // Noisy circle with one strongly perturbed point to create a spurious
+  // short-lived feature.
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+    const double radius = 1.0 + rng.normal(0.0, 0.08);
+    points.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  points.push_back({0.25, 0.1});  // interior noise point
+  const PointCloud cloud(points);
+  const auto filtration = rips_filtration(cloud, 1.4, 2);
+  std::printf("noisy circle, %zu points, filtration of %zu simplices\n\n",
+              cloud.size(), filtration.size());
+
+  EstimatorOptions options;
+  options.precision_qubits = 9;
+  options.shots = 200000;
+
+  // Ordinary quantum estimates β1(ε): scale-sensitive.
+  std::printf("ordinary beta_1(eps) — quantum estimate vs classical:\n");
+  std::printf("  %-8s %-14s %-10s\n", "eps", "quantum b1~", "classical");
+  for (double eps : {0.5, 0.65, 0.8, 0.95}) {
+    const auto complex = filtration.complex_at(eps);
+    const auto estimate = estimate_betti(complex, 1, options);
+    const auto diagram = compute_persistence(filtration);
+    std::printf("  %-8.2f %-14.3f %-10zu\n", eps, estimate.estimated_betti,
+                diagram.betti_at(1, eps));
+  }
+
+  // Persistent quantum estimates β1^{b,d}: only features alive across the
+  // whole [b, d] window count.
+  std::printf("\npersistent beta_1^{b,d} — quantum estimate vs classical "
+              "(reduction algorithm):\n");
+  std::printf("  %-14s %-14s %-10s\n", "(b, d)", "quantum", "classical");
+  const auto diagram = compute_persistence(filtration);
+  for (const auto& [b, d] : {std::pair{0.55, 0.7}, std::pair{0.55, 0.9},
+                            std::pair{0.7, 0.95}, std::pair{0.8, 1.1}}) {
+    const auto estimate =
+        estimate_persistent_betti(filtration, 1, b, d, options);
+    std::printf("  (%.2f, %.2f)   %-14.3f %-10zu\n", b, d,
+                estimate.estimated_betti, diagram.persistent_betti(1, b, d));
+  }
+  std::printf("\nThe persistent numbers stay pinned at the circle's one real "
+              "loop while the\nordinary numbers drift with eps — the "
+              "invariance the paper's conclusion asks for.\n");
+  return 0;
+}

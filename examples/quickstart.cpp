@@ -1,0 +1,101 @@
+/// \file quickstart.cpp
+/// \brief The paper's Appendix A, end to end, with every intermediate
+/// printed: the simplicial complex (Eq. 13), boundary operators (Eq. 14–15),
+/// combinatorial Laplacian (Eq. 17), padded operator (Eq. 18), Pauli
+/// decomposition (Eq. 19), and the QPE-based Betti estimate (3 precision
+/// qubits, 1000 shots → β̃1 = 1).
+///
+/// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/betti_estimator.hpp"
+#include "core/padding.hpp"
+#include "core/scaling.hpp"
+#include "quantum/pauli.hpp"
+#include "topology/betti.hpp"
+#include "topology/boundary.hpp"
+#include "topology/laplacian.hpp"
+
+namespace {
+
+using namespace qtda;
+
+void print_matrix(const char* title, const RealMatrix& m) {
+  std::printf("%s (%zux%zu):\n", title, m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::printf("  [");
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      std::printf(" %5.1f", m(i, j));
+    std::printf(" ]\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QTDA quickstart — the paper's worked example (Appendix A)\n");
+  std::printf("==========================================================\n\n");
+
+  // Step 1: the simplicial complex K of Eq. (13).  We insert the maximal
+  // simplices; the library adds all faces.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{1, 2, 3}, Simplex{3, 4}, Simplex{3, 5}, Simplex{4, 5}},
+      /*close_downward=*/true);
+  std::printf("Complex K: %zu vertices, %zu edges, %zu triangles\n",
+              complex.count(0), complex.count(1), complex.count(2));
+  std::printf("Edges (column order of Eq. 14):");
+  for (const auto& e : complex.simplices(1))
+    std::printf(" %s", e.to_string().c_str());
+  std::printf("\n\n");
+
+  // Step 2: boundary operators and the combinatorial Laplacian.
+  print_matrix("boundary operator d1 (standard orientation; Eq. 14 is its "
+               "global negation)",
+               boundary_operator(complex, 1).to_dense());
+  print_matrix("boundary operator d2 (Eq. 15)",
+               boundary_operator(complex, 2).to_dense());
+  const auto laplacian = combinatorial_laplacian(complex, 1);
+  print_matrix("combinatorial Laplacian Delta_1 (Eq. 17)", laplacian);
+
+  std::printf("\nClassical Betti numbers: beta_0 = %zu, beta_1 = %zu\n\n",
+              betti_number(complex, 0), betti_number(complex, 1));
+
+  // Step 3: pad to 8x8 with (lambda_max/2)*I (Eq. 18) and rescale with
+  // delta = lambda_max = 6 so H equals the padded Laplacian.
+  const auto padded = pad_laplacian(laplacian);
+  std::printf("Gershgorin bound lambda_max = %.1f; padding 6 -> 8 "
+              "(q = %zu system qubits)\n",
+              padded.lambda_max, padded.num_qubits);
+  print_matrix("padded Laplacian (Eq. 18)", padded.matrix);
+  const auto scaled = rescale_laplacian(padded, /*delta=*/6.0);
+
+  // Step 4: Pauli decomposition (Eq. 19) — 24 terms.
+  const auto hamiltonian = pauli_decompose(scaled.matrix).sorted();
+  std::printf("\nPauli decomposition of H (Eq. 19), %zu terms:\n",
+              hamiltonian.size());
+  for (const auto& term : hamiltonian.terms())
+    std::printf("  %+7.3f * %s\n", term.coefficient,
+                term.string.to_string().c_str());
+
+  // Step 5: the quantum estimate.  Full circuit (Fig. 6): 3 precision
+  // qubits + 3 system qubits + 3 purification ancillas, 1000 shots.
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitExact;
+  options.precision_qubits = 3;
+  options.shots = 1000;
+  options.delta = 6.0;
+  options.seed = 2023;
+  const auto estimate = estimate_betti(complex, 1, options);
+  std::printf("\nQPE run: %zu total qubits, %zu gates, depth %zu\n",
+              estimate.total_qubits, estimate.circuit_gates,
+              estimate.circuit_depth);
+  std::printf("p(0) measured = %.3f (exact %.3f; paper measured 0.149)\n",
+              estimate.zero_probability, estimate.exact_zero_probability);
+  std::printf("Betti estimate: 2^q * p(0) = %.3f  ->  rounds to %zu "
+              "(paper: 1.192 -> 1)\n",
+              estimate.estimated_betti, estimate.rounded_betti);
+  std::printf("\nDone: the quantum estimate matches the classical "
+              "beta_1 = %zu.\n",
+              betti_number(complex, 1));
+  return 0;
+}

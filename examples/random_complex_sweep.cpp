@@ -1,0 +1,65 @@
+/// \file random_complex_sweep.cpp
+/// \brief Miniature of the paper's §4 study: how shots and precision qubits
+/// drive the Betti-estimate error on random simplicial complexes.
+///
+/// Build & run:  ./build/examples/random_complex_sweep [--n 8]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/betti_estimator.hpp"
+#include "topology/betti.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/random_complex.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qtda;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 8));
+  const auto reps = static_cast<std::size_t>(args.get_int("complexes", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
+
+  std::printf("Betti-estimate error vs resources on %zu random flag "
+              "complexes (n = %zu, k = 1)\n\n",
+              reps, n);
+
+  // Draw the instances once.
+  Rng rng(seed);
+  std::vector<RealMatrix> laplacians;
+  std::vector<double> classical;
+  while (laplacians.size() < reps) {
+    RandomComplexOptions options;
+    options.num_vertices = n;
+    options.max_dimension = 2;
+    const auto complex = random_flag_complex(options, rng);
+    if (complex.count(1) == 0) continue;
+    laplacians.push_back(combinatorial_laplacian(complex, 1));
+    classical.push_back(static_cast<double>(betti_number(complex, 1)));
+  }
+
+  std::printf("%-10s %-10s %-14s %-14s\n", "precision", "shots",
+              "mean |error|", "max |error|");
+  for (const std::size_t t : {1u, 3u, 5u, 8u}) {
+    for (const std::size_t shots : {100u, 10000u, 1000000u}) {
+      std::vector<double> errors;
+      for (std::size_t i = 0; i < laplacians.size(); ++i) {
+        EstimatorOptions options;
+        options.precision_qubits = t;
+        options.shots = shots;
+        options.seed = seed + i * 31 + t * 7 + shots;
+        const auto estimate =
+            estimate_betti_from_laplacian(laplacians[i], options);
+        errors.push_back(
+            std::abs(estimate.estimated_betti - classical[i]));
+      }
+      const auto summary = five_number_summary(errors);
+      std::printf("%-10zu %-10zu %-14.3f %-14.3f\n", t, shots, mean(errors),
+                  summary.max);
+    }
+  }
+  std::printf("\nError falls along both axes and reaches ~0 at high "
+              "precision + shots (paper Fig. 3's message).\n");
+  return 0;
+}

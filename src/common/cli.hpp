@@ -1,0 +1,47 @@
+/// \file cli.hpp
+/// \brief Tiny command-line flag parser for examples and benches.
+///
+/// Supports `--name value`, `--name=value` and boolean `--flag` forms, with
+/// typed getters and defaults.  Unknown flags are collected so harnesses can
+/// pass leftovers to google-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qtda {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parses argv; flags must start with "--".  A flag followed by another
+  /// flag (or end of argv) is treated as boolean true.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated list of integers, e.g. "--shots=100,1000,10000".
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Name of the program (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qtda

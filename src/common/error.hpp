@@ -1,0 +1,49 @@
+/// \file error.hpp
+/// \brief Error handling primitives shared by every qtda module.
+///
+/// Contract violations (bad arguments, broken invariants) throw
+/// qtda::Error via the QTDA_REQUIRE macro.  Internal consistency checks
+/// that should be impossible to trigger use QTDA_ASSERT, which is compiled
+/// out in release builds unless QTDA_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qtda {
+
+/// Exception thrown on contract violations across the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* condition, const char* file,
+                                     int line, const std::string& message) {
+  std::ostringstream os;
+  os << "qtda error at " << file << ':' << line << " — requirement ("
+     << condition << ") failed";
+  if (!message.empty()) os << ": " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace qtda
+
+/// Throws qtda::Error when \p cond is false.  \p msg is streamed, so
+/// `QTDA_REQUIRE(k < n, "k=" << k << " out of range")` works.
+#define QTDA_REQUIRE(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream qtda_require_os_;                                 \
+      qtda_require_os_ << msg;                                             \
+      ::qtda::detail::throw_error(#cond, __FILE__, __LINE__,               \
+                                  qtda_require_os_.str());                 \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check; active in all builds (cheap checks only).
+#define QTDA_ASSERT(cond, msg) QTDA_REQUIRE(cond, msg)

@@ -1,0 +1,47 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logging for the harnesses and examples.
+///
+/// The library itself never logs from hot paths; logging exists for the
+/// experiment drivers, where progress visibility matters for multi-minute
+/// sweeps.  Thread-safe: each message is formatted locally and written under
+/// a single mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qtda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.  Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace qtda
+
+#define QTDA_LOG(level) ::qtda::detail::LogLine(level)
+#define QTDA_INFO QTDA_LOG(::qtda::LogLevel::kInfo)
+#define QTDA_WARN QTDA_LOG(::qtda::LogLevel::kWarn)
+#define QTDA_DEBUG QTDA_LOG(::qtda::LogLevel::kDebug)

@@ -1,0 +1,145 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::size_t hardware_concurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  QTDA_REQUIRE(num_threads > 0, "ThreadPool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QTDA_REQUIRE(!shutting_down_, "submit() on a shutting-down pool");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool* pool = new ThreadPool();  // intentionally leaked
+  return *pool;
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_parallel_size) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t workers = pool.size();
+  if (n < min_parallel_size || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, n);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  const std::size_t launched = (n + chunk - 1) / chunk;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t c = 0; c < launched; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    pool.submit([&, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == launched) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done.load() == launched; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_parallel_size) {
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      min_parallel_size);
+}
+
+double parallel_reduce_sum(std::size_t begin, std::size_t end,
+                           const std::function<double(std::size_t)>& body,
+                           std::size_t min_parallel_size) {
+  if (begin >= end) return 0.0;
+  std::mutex sum_mutex;
+  double total = 0.0;
+  parallel_for_chunked(
+      begin, end,
+      [&](std::size_t lo, std::size_t hi) {
+        double local = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) local += body(i);
+        std::lock_guard<std::mutex> lock(sum_mutex);
+        total += local;
+      },
+      min_parallel_size);
+  return total;
+}
+
+}  // namespace qtda

@@ -1,0 +1,79 @@
+/// \file parallel.hpp
+/// \brief Shared-memory parallel primitives used by the hot kernels.
+///
+/// The state-vector simulator and the experiment sweeps are embarrassingly
+/// parallel; this header provides a cached thread pool with a blocking
+/// parallel_for and a parallel reduction.  When OpenMP is available the
+/// simulator kernels additionally use `#pragma omp` directly; the pool is the
+/// portable fallback and the mechanism for task-level parallelism (e.g. one
+/// random complex per worker in the Fig. 3 sweep).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qtda {
+
+/// Number of hardware threads, with a safe floor of 1.
+std::size_t hardware_concurrency();
+
+/// A fixed-size pool of worker threads executing submitted closures.
+/// Workers are joined on destruction (RAII; no detached threads).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed, never torn down before
+  /// main exits).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the shared pool, blocking until
+/// completion.  Work is split into contiguous chunks, one per worker, which
+/// is the right grain for the memory-bound kernels in this library.  Runs
+/// serially when the range is small or the pool has one thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_parallel_size = 1024);
+
+/// Chunked variant: body(chunk_begin, chunk_end) per worker.  Lower
+/// per-element overhead for tight loops.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_parallel_size = 1024);
+
+/// Parallel sum-reduction of body(i) over [begin, end).
+double parallel_reduce_sum(std::size_t begin, std::size_t end,
+                           const std::function<double(std::size_t)>& body,
+                           std::size_t min_parallel_size = 1024);
+
+}  // namespace qtda

@@ -1,0 +1,151 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // xoshiro state must not be all-zero; SplitMix64 cannot produce four
+  // consecutive zeros, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  QTDA_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  QTDA_REQUIRE(n > 0, "uniform_index(0) is undefined");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  QTDA_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  QTDA_REQUIRE(stddev >= 0.0, "normal() requires stddev >= 0");
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  // Exact simulation by counting Bernoulli successes is O(n); acceptable up
+  // to a modest bound.  Beyond it the normal approximation with continuity
+  // correction is accurate (var is large there by construction).
+  if (n <= 4096) {
+    std::uint64_t successes = 0;
+    for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1u : 0u;
+    return successes;
+  }
+  if (var < 64.0) {
+    // Large n, tiny variance: sample the minority side exactly via a
+    // Poisson-style inversion on the smaller tail probability.
+    const bool flip = p > 0.5;
+    const double q = flip ? 1.0 - p : p;
+    // Inversion by sequential search on Binomial(n, q); the mean n·q is
+    // small because var = n·q·(1−q) < 64 and q ≤ 1/2 → n·q < 128.
+    const double log1mq = std::log1p(-q);
+    double pmf = std::exp(static_cast<double>(n) * log1mq);
+    double cdf = pmf;
+    const double u = uniform();
+    std::uint64_t k = 0;
+    while (u > cdf && k < n) {
+      ++k;
+      pmf *= (static_cast<double>(n - k + 1) / static_cast<double>(k)) *
+             (q / (1.0 - q));
+      cdf += pmf;
+      if (pmf < 1e-300) break;  // numerical tail exhaustion
+    }
+    return flip ? n - k : k;
+  }
+  const double draw = normal(mean, std::sqrt(var));
+  const double rounded = std::floor(draw + 0.5);
+  if (rounded < 0.0) return 0;
+  if (rounded > static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(rounded);
+}
+
+Rng Rng::split(std::uint64_t child_index) const {
+  SplitMix64 sm(seed_ ^ (0x5851f42d4c957f2dULL * (child_index + 1)));
+  return Rng(sm.next());
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+}  // namespace qtda

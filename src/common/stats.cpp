@@ -1,0 +1,132 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) {
+  QTDA_REQUIRE(!xs.empty(), "quantile of an empty sample");
+  QTDA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1], got " << q);
+  std::sort(xs.begin(), xs.end());
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+FiveNumberSummary five_number_summary(std::vector<double> xs) {
+  QTDA_REQUIRE(!xs.empty(), "five_number_summary of an empty sample");
+  std::sort(xs.begin(), xs.end());
+  FiveNumberSummary s;
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.back();
+  s.q1 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q3 = quantile(xs, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_low = s.max;
+  s.whisker_high = s.min;
+  for (double x : xs) {
+    if (x >= lo_fence) {
+      s.whisker_low = std::min(s.whisker_low, x);
+      break;  // xs sorted: first in-fence point is the low whisker
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      s.whisker_high = *it;
+      break;
+    }
+  }
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) ++s.outliers;
+  }
+  return s;
+}
+
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  QTDA_REQUIRE(xs.size() == ys.size(), "correlation needs equal sizes");
+  QTDA_REQUIRE(xs.size() >= 2, "correlation needs n >= 2");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double skewness(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  const auto dn = static_cast<double>(n);
+  return g1 * std::sqrt(dn * (dn - 1.0)) / (dn - 2.0);
+}
+
+double kurtosis(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double m2 = 0.0, m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2);
+}
+
+double rms(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x * x;
+  return std::sqrt(total / static_cast<double>(xs.size()));
+}
+
+}  // namespace qtda

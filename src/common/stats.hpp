@@ -1,0 +1,62 @@
+/// \file stats.hpp
+/// \brief Descriptive statistics used by the experiment harnesses.
+///
+/// Fig. 3 of the paper reports boxplots; FiveNumberSummary reproduces the
+/// standard Tukey boxplot statistics (median, quartiles, whiskers at
+/// 1.5·IQR, outlier count).  The classification experiments use the metric
+/// helpers in ml/metrics.hpp; here we keep the generic numeric summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qtda {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n−1 denominator); 0 when n < 2.
+double variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile (type-7, the numpy default), q in [0, 1].
+/// Requires a non-empty sample.
+double quantile(std::vector<double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::vector<double> xs);
+
+/// Tukey boxplot statistics for one group of observations.
+struct FiveNumberSummary {
+  double min = 0.0;            ///< sample minimum
+  double q1 = 0.0;             ///< first quartile
+  double median = 0.0;         ///< second quartile
+  double q3 = 0.0;             ///< third quartile
+  double max = 0.0;            ///< sample maximum
+  double whisker_low = 0.0;    ///< smallest point ≥ q1 − 1.5·IQR
+  double whisker_high = 0.0;   ///< largest point ≤ q3 + 1.5·IQR
+  std::size_t outliers = 0;    ///< points outside the whiskers
+  std::size_t count = 0;       ///< sample size
+};
+
+/// Computes boxplot statistics; requires a non-empty sample.
+FiveNumberSummary five_number_summary(std::vector<double> xs);
+
+/// Pearson correlation coefficient; requires equal sizes and n ≥ 2.
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Skewness (bias-corrected, as used in vibration features).  0 when the
+/// sample is degenerate.
+double skewness(const std::vector<double>& xs);
+
+/// Excess-free kurtosis (the raw fourth standardized moment, i.e. a normal
+/// distribution scores ≈ 3).  0 when the sample is degenerate.
+double kurtosis(const std::vector<double>& xs);
+
+/// Root mean square.
+double rms(const std::vector<double>& xs);
+
+}  // namespace qtda

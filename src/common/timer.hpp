@@ -1,0 +1,30 @@
+/// \file timer.hpp
+/// \brief Monotonic wall-clock timer for harness instrumentation.
+#pragma once
+
+#include <chrono>
+
+namespace qtda {
+
+/// Simple stopwatch over the steady clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qtda

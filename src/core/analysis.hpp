@@ -1,0 +1,49 @@
+/// \file analysis.hpp
+/// \brief A-priori error analysis of the QPE Betti estimator.
+///
+/// The estimator's bias has exactly one source (before shot noise): nonzero
+/// eigenphases leaking into the zero bin through the Fejér kernel
+/// A_t(θ) ≤ 1/(2^t·sin(πθ))² ≤ 1/(2^{t+1}θ)².  The leakage therefore drops
+/// by ~4× per extra precision qubit and is controlled by the *spectral gap*
+/// — the smallest nonzero eigenphase of the padded, rescaled Laplacian.
+/// These helpers expose that decomposition: how much of p(0) is signal
+/// (β/2^q) versus leakage, and how many precision qubits a target bias
+/// needs.  This answers the question the paper's §4 explores empirically
+/// ("very high precision might not be required").
+#pragma once
+
+#include <cstddef>
+
+#include "core/padding.hpp"
+#include "core/scaling.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// Decomposition of the estimator's exact statistics for one Laplacian.
+struct EstimatorErrorAnalysis {
+  std::size_t kernel_dimension = 0;   ///< exact β (zero-eigenvalue count)
+  std::size_t system_qubits = 0;      ///< q after padding
+  double ideal_zero_probability = 0;  ///< β / 2^q
+  double exact_zero_probability = 0;  ///< Fejér average (what QPE measures)
+  double leakage = 0;                 ///< exact − ideal ≥ 0
+  double betti_bias = 0;              ///< 2^q · leakage (bias of β̃)
+  double spectral_gap_phase = 0;      ///< smallest nonzero eigenphase ∈ (0, 1)
+};
+
+/// Analyzes the exact estimator statistics for \p precision_qubits.
+/// \p delta == 0 selects default_delta().
+EstimatorErrorAnalysis analyze_estimator_error(
+    const RealMatrix& laplacian, std::size_t precision_qubits,
+    double delta = 0.0,
+    PaddingScheme padding = PaddingScheme::kIdentityHalfLambdaMax,
+    double kernel_tolerance = 1e-8);
+
+/// Smallest precision-qubit count whose Betti-estimate bias 2^q·leakage is
+/// at most \p max_bias (searched up to \p max_precision; throws when even
+/// max_precision cannot reach the target).
+std::size_t recommended_precision_qubits(const RealMatrix& laplacian,
+                                         double max_bias, double delta = 0.0,
+                                         std::size_t max_precision = 20);
+
+}  // namespace qtda

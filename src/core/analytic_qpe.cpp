@@ -1,0 +1,45 @@
+#include "core/analytic_qpe.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "quantum/qpe.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+double analytic_zero_probability(const RealVector& hamiltonian_eigenvalues,
+                                 std::size_t precision_qubits) {
+  QTDA_REQUIRE(!hamiltonian_eigenvalues.empty(), "no eigenvalues given");
+  double total = 0.0;
+  for (double lambda : hamiltonian_eigenvalues) {
+    const double theta = lambda / kTwoPi;
+    total += qpe_zero_probability(theta, precision_qubits);
+  }
+  return total / static_cast<double>(hamiltonian_eigenvalues.size());
+}
+
+std::vector<double> analytic_outcome_distribution(
+    const RealVector& hamiltonian_eigenvalues, std::size_t precision_qubits) {
+  QTDA_REQUIRE(!hamiltonian_eigenvalues.empty(), "no eigenvalues given");
+  const std::uint64_t outcomes = std::uint64_t{1} << precision_qubits;
+  std::vector<double> distribution(outcomes, 0.0);
+  const double weight =
+      1.0 / static_cast<double>(hamiltonian_eigenvalues.size());
+  for (double lambda : hamiltonian_eigenvalues) {
+    const double theta = lambda / kTwoPi;
+    for (std::uint64_t m = 0; m < outcomes; ++m) {
+      distribution[m] +=
+          weight * qpe_outcome_probability(theta, m, precision_qubits);
+    }
+  }
+  return distribution;
+}
+
+std::uint64_t sample_zero_counts(double p0, std::size_t shots, Rng& rng) {
+  QTDA_REQUIRE(p0 >= -1e-12 && p0 <= 1.0 + 1e-12,
+               "probability out of range: " << p0);
+  return rng.binomial(shots, std::clamp(p0, 0.0, 1.0));
+}
+
+}  // namespace qtda

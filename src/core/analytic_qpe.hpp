@@ -1,0 +1,34 @@
+/// \file analytic_qpe.hpp
+/// \brief Closed-form QPE statistics for the Betti estimator's fast path.
+///
+/// QPE on an eigenstate with phase θ measures 0 with probability
+/// A_t(θ) = |2^{−t} Σ_x e^{2πiθx}|² (the Fejér kernel; see qpe.hpp).  Over
+/// the maximally mixed input I/2^q the zero-outcome probability is the
+/// uniform average  p(0) = 2^{−q} Σ_j A_t(θ_j)  over all 2^q eigenphases of
+/// the padded Hamiltonian.  This is *exactly* the distribution the full
+/// circuit samples (tests verify the agreement), so large shot counts can
+/// be simulated as a single Binomial(α, p(0)) draw — the paper's 10^6-shot
+/// sweeps run in microseconds.
+#pragma once
+
+#include "common/random.hpp"
+#include "core/scaling.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// Exact p(0): average Fejér kernel over the eigenphases of H.
+/// \p eigenvalues are the eigenvalues of the scaled Hamiltonian H
+/// (phases θ_j = λ_j/2π).
+double analytic_zero_probability(const RealVector& hamiltonian_eigenvalues,
+                                 std::size_t precision_qubits);
+
+/// Full analytic outcome distribution over the 2^t phase-register values for
+/// the maximally mixed input (used to cross-check the circuit backends).
+std::vector<double> analytic_outcome_distribution(
+    const RealVector& hamiltonian_eigenvalues, std::size_t precision_qubits);
+
+/// Simulates α shots of the zero-outcome counter: Binomial(α, p0).
+std::uint64_t sample_zero_counts(double p0, std::size_t shots, Rng& rng);
+
+}  // namespace qtda

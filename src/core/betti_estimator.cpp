@@ -1,0 +1,212 @@
+#include "core/betti_estimator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/matrix_exp.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/mixed_state.hpp"
+#include "quantum/pauli.hpp"
+#include "quantum/qpe.hpp"
+#include "topology/laplacian.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Builds the full QPE circuit (state prep + network) for the given scaled
+/// Hamiltonian.  For the purification mode the register is t + q + q wide;
+/// for sampled-basis it is t + q and the system register is initialized by
+/// the caller per shot.
+Circuit build_estimator_circuit(const ScaledHamiltonian& scaled,
+                                const EstimatorOptions& options,
+                                bool with_purification) {
+  QpeLayout layout;
+  layout.precision_qubits = options.precision_qubits;
+  layout.system_qubits = scaled.num_qubits;
+  layout.ancilla_qubits = with_purification ? scaled.num_qubits : 0;
+  QTDA_REQUIRE(layout.total() <= 26,
+               "register of " << layout.total()
+                              << " qubits exceeds the simulator budget");
+
+  Circuit circuit(layout.total());
+  if (with_purification) {
+    append_mixed_state_preparation(circuit, layout.ancilla_wires(),
+                                   layout.system_wires());
+  }
+
+  Circuit qpe = [&] {
+    if (options.backend == EstimatorBackend::kCircuitTrotter) {
+      const PauliSum hamiltonian = pauli_decompose(scaled.matrix);
+      const std::size_t offset = layout.precision_qubits;
+      return build_qpe_circuit(
+          layout,
+          [&](Circuit& c, std::uint64_t power, std::size_t control) {
+            // options.trotter.steps is per unit of simulated time; U^{2^j}
+            // simulates 2^j time units, so the step count scales with the
+            // power — otherwise the large controlled powers dominate the
+            // splitting error.
+            TrotterOptions scaled_trotter = options.trotter;
+            scaled_trotter.steps = options.trotter.steps *
+                                   static_cast<std::size_t>(power);
+            const Circuit fragment =
+                trotter_circuit(hamiltonian, static_cast<double>(power),
+                                scaled_trotter, layout.total(), offset);
+            c.append_circuit(fragment.controlled_on(control));
+          });
+    }
+    // kCircuitExact: dense controlled powers from the eigendecomposition.
+    const HamiltonianExponential exponential(scaled.matrix);
+    return build_qpe_circuit_dense(layout, [&](std::uint64_t power) {
+      return exponential.unitary(static_cast<double>(power));
+    });
+  }();
+  circuit.append_circuit(qpe);
+  return circuit;
+}
+
+}  // namespace
+
+Circuit build_qtda_circuit(const RealMatrix& laplacian,
+                           const EstimatorOptions& options) {
+  QTDA_REQUIRE(options.backend != EstimatorBackend::kAnalytic,
+               "the analytic backend has no circuit; pick a circuit backend");
+  const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
+  const double delta = options.delta > 0.0 ? options.delta : default_delta();
+  const ScaledHamiltonian scaled = rescale_laplacian(padded, delta);
+  const bool purify = options.mixed_state == MixedStateMode::kPurification;
+  return build_estimator_circuit(scaled, options, purify);
+}
+
+BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
+                                            const EstimatorOptions& options) {
+  QTDA_REQUIRE(options.shots > 0, "estimator needs at least one shot");
+  QTDA_REQUIRE(options.precision_qubits >= 1,
+               "estimator needs at least one precision qubit");
+
+  const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
+  const double delta = options.delta > 0.0 ? options.delta : default_delta();
+  const ScaledHamiltonian scaled = rescale_laplacian(padded, delta);
+
+  BettiEstimate estimate;
+  estimate.shots = options.shots;
+  estimate.system_qubits = scaled.num_qubits;
+  estimate.precision_qubits = options.precision_qubits;
+  estimate.lambda_max = scaled.lambda_max;
+  estimate.delta = delta;
+
+  // Analytic reference p(0) of the exact H (used by every backend as the
+  // ground-truth probability; the Trotter backend will deviate from it by
+  // its splitting error).
+  const RealVector eigenvalues = symmetric_eigenvalues(scaled.matrix);
+  estimate.exact_zero_probability =
+      analytic_zero_probability(eigenvalues, options.precision_qubits);
+
+  Rng rng(options.seed);
+  const std::uint64_t dim = std::uint64_t{1} << scaled.num_qubits;
+
+  switch (options.backend) {
+    case EstimatorBackend::kAnalytic: {
+      estimate.zero_counts = sample_zero_counts(
+          estimate.exact_zero_probability, options.shots, rng);
+      estimate.total_qubits =
+          options.precision_qubits + scaled.num_qubits +
+          (options.mixed_state == MixedStateMode::kPurification
+               ? scaled.num_qubits
+               : 0);
+      break;
+    }
+    case EstimatorBackend::kCircuitExact:
+    case EstimatorBackend::kCircuitTrotter: {
+      const bool purify =
+          options.mixed_state == MixedStateMode::kPurification;
+      const Circuit circuit =
+          build_estimator_circuit(scaled, options, purify);
+      estimate.total_qubits = circuit.num_qubits();
+      estimate.circuit_gates = circuit.gate_count();
+      estimate.circuit_depth = circuit.depth();
+
+      QpeLayout layout;
+      layout.precision_qubits = options.precision_qubits;
+      layout.system_qubits = scaled.num_qubits;
+      layout.ancilla_qubits = purify ? scaled.num_qubits : 0;
+      const std::vector<std::size_t> measured = layout.precision_wires();
+
+      if (purify) {
+        const auto counts =
+            options.noise.is_noiseless()
+                ? sample_circuit(circuit, measured, options.shots, rng)
+                : sample_circuit_noisy(circuit, measured, options.shots,
+                                       options.noise, rng);
+        estimate.zero_counts = counts[0];
+      } else {
+        // Sampled-basis mixture: distribute shots uniformly over the 2^q
+        // basis states, then run one evolution per occupied state.
+        const std::vector<double> uniform(dim, 1.0);
+        const auto shots_per_state =
+            multinomial_sample(uniform, options.shots, rng);
+        std::uint64_t zeros = 0;
+        for (std::uint64_t basis = 0; basis < dim; ++basis) {
+          const std::uint64_t s = shots_per_state[basis];
+          if (s == 0) continue;
+          // System register holds |basis⟩: it occupies wires
+          // [t, t+q) which are the top bits below the precision block.
+          const std::uint64_t initial =
+              basis << (circuit.num_qubits() - options.precision_qubits -
+                        scaled.num_qubits);
+          if (options.noise.is_noiseless()) {
+            Statevector state(circuit.num_qubits());
+            state.set_basis_state(initial);
+            state.apply_circuit(circuit);
+            const auto counts = state.sample_counts(measured, s, rng);
+            zeros += counts[0];
+          } else {
+            for (std::uint64_t shot = 0; shot < s; ++shot) {
+              Statevector noisy(circuit.num_qubits());
+              noisy.set_basis_state(initial);
+              Rng traj_rng = rng.split(shot * dim + basis);
+              for (const Gate& gate : circuit.gates()) {
+                noisy.apply_gate(gate);
+                const bool multi =
+                    gate.targets.size() + gate.controls.size() >= 2;
+                const double p = multi ? options.noise.two_qubit_error
+                                       : options.noise.single_qubit_error;
+                if (p <= 0.0) continue;
+                for (std::size_t q : gate.targets)
+                  maybe_apply_depolarizing(noisy, q, p, traj_rng);
+                for (std::size_t q : gate.controls)
+                  maybe_apply_depolarizing(noisy, q, p, traj_rng);
+              }
+              const auto counts = noisy.sample_counts(measured, 1, rng);
+              zeros += counts[0];
+            }
+          }
+        }
+        estimate.zero_counts = zeros;
+      }
+      break;
+    }
+  }
+
+  estimate.zero_probability = static_cast<double>(estimate.zero_counts) /
+                              static_cast<double>(options.shots);
+  estimate.estimated_betti =
+      static_cast<double>(dim) * estimate.zero_probability;
+  estimate.rounded_betti = static_cast<std::size_t>(
+      std::llround(std::max(estimate.estimated_betti, 0.0)));
+  return estimate;
+}
+
+BettiEstimate estimate_betti(const SimplicialComplex& complex, int k,
+                             const EstimatorOptions& options) {
+  if (complex.count(k) == 0) {
+    BettiEstimate empty;
+    empty.shots = options.shots;
+    empty.precision_qubits = options.precision_qubits;
+    return empty;
+  }
+  return estimate_betti_from_laplacian(combinatorial_laplacian(complex, k),
+                                       options);
+}
+
+}  // namespace qtda

@@ -1,0 +1,43 @@
+#include "core/padding.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/gershgorin.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+
+PaddedLaplacian pad_laplacian(const RealMatrix& laplacian,
+                              PaddingScheme scheme) {
+  QTDA_REQUIRE(laplacian.is_square() && laplacian.rows() > 0,
+               "padding needs a non-empty square matrix");
+  QTDA_REQUIRE(is_symmetric(laplacian, 1e-9),
+               "combinatorial Laplacian must be symmetric");
+
+  PaddedLaplacian out;
+  out.original_dim = laplacian.rows();
+  out.scheme = scheme;
+
+  std::size_t q = 0;
+  while ((std::size_t{1} << q) < out.original_dim) ++q;
+  q = std::max<std::size_t>(q, 1);  // at least one system qubit
+  out.num_qubits = q;
+  const std::size_t dim = std::size_t{1} << q;
+
+  // λ̃max via Gershgorin; floored so a zero Laplacian still separates the
+  // padding block from the kernel.
+  out.lambda_max = std::max(gershgorin_max(laplacian), 1.0);
+
+  out.matrix = RealMatrix(dim, dim);
+  for (std::size_t i = 0; i < out.original_dim; ++i)
+    for (std::size_t j = 0; j < out.original_dim; ++j)
+      out.matrix(i, j) = laplacian(i, j);
+  if (scheme == PaddingScheme::kIdentityHalfLambdaMax) {
+    for (std::size_t i = out.original_dim; i < dim; ++i)
+      out.matrix(i, i) = out.lambda_max / 2.0;
+  }
+  return out;
+}
+
+}  // namespace qtda

@@ -1,0 +1,29 @@
+/// \file persistent_estimator.hpp
+/// \brief Quantum estimation of *persistent* Betti numbers.
+///
+/// The paper's conclusion singles out persistent Betti numbers — invariant
+/// to the grouping-scale choice — as the natural next step.  The persistent
+/// Laplacian Δ_k^{b,d} (topology/persistent_laplacian.hpp) is symmetric
+/// positive semidefinite with kernel dimension β_k^{b,d}, so the *entire*
+/// QPE pipeline of the paper applies unchanged: pad, rescale, phase-estimate
+/// on the maximally mixed state, count zero outcomes.
+#pragma once
+
+#include "core/betti_estimator.hpp"
+#include "topology/filtration.hpp"
+
+namespace qtda {
+
+/// Estimates β_k^{K,L} for a subcomplex pair K ⊆ L.
+BettiEstimate estimate_persistent_betti(const SimplicialComplex& sub,
+                                        const SimplicialComplex& super,
+                                        int k,
+                                        const EstimatorOptions& options);
+
+/// Estimates β_k^{b,d} from a filtration at scales b ≤ d.
+BettiEstimate estimate_persistent_betti(const Filtration& filtration, int k,
+                                        double birth_scale,
+                                        double death_scale,
+                                        const EstimatorOptions& options);
+
+}  // namespace qtda

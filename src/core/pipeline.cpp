@@ -1,0 +1,52 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "topology/betti.hpp"
+#include "topology/rips.hpp"
+
+namespace qtda {
+
+namespace {
+
+int required_expansion_dimension(const std::vector<int>& dims) {
+  QTDA_REQUIRE(!dims.empty(), "no homology dimensions requested");
+  int max_k = 0;
+  for (int k : dims) {
+    QTDA_REQUIRE(k >= 0, "negative homology dimension");
+    max_k = std::max(max_k, k);
+  }
+  // Δ_k needs the (k+1)-simplices.
+  return max_k + 1;
+}
+
+}  // namespace
+
+PipelineFeatures extract_betti_features(const PointCloud& cloud,
+                                        const PipelineOptions& options) {
+  const SimplicialComplex complex = rips_complex(
+      cloud, options.epsilon, required_expansion_dimension(options.dimensions));
+  PipelineFeatures features;
+  features.estimated.reserve(options.dimensions.size());
+  features.exact.reserve(options.dimensions.size());
+  for (int k : options.dimensions) {
+    const BettiEstimate estimate = estimate_betti(complex, k, options.estimator);
+    features.estimated.push_back(estimate.estimated_betti);
+    features.exact.push_back(betti_number(complex, k));
+  }
+  return features;
+}
+
+std::vector<std::size_t> extract_exact_betti(const PointCloud& cloud,
+                                             double epsilon,
+                                             const std::vector<int>& dims) {
+  const SimplicialComplex complex =
+      rips_complex(cloud, epsilon, required_expansion_dimension(dims));
+  std::vector<std::size_t> out;
+  out.reserve(dims.size());
+  for (int k : dims) out.push_back(betti_number(complex, k));
+  return out;
+}
+
+}  // namespace qtda

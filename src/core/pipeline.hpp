@@ -1,0 +1,40 @@
+/// \file pipeline.hpp
+/// \brief End-to-end QTDA feature extraction (paper §5).
+///
+/// point cloud → ε-graph → flag complex → Δ_k → quantum Betti estimate,
+/// for a list of homology dimensions.  This is the feature extractor the
+/// classification experiments feed into logistic regression; a classical
+/// variant (exact Betti numbers) provides the baseline the paper compares
+/// against (Table 1's "actual Betti numbers" row, Fig. 4).
+#pragma once
+
+#include <vector>
+
+#include "core/betti_estimator.hpp"
+#include "topology/point_cloud.hpp"
+
+namespace qtda {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  double epsilon = 1.0;           ///< grouping scale ε
+  std::vector<int> dimensions{0, 1};  ///< which β_k to extract
+  EstimatorOptions estimator;     ///< QPE settings
+};
+
+/// Result per homology dimension.
+struct PipelineFeatures {
+  std::vector<double> estimated;   ///< β̃_k (rational, Eq. 11)
+  std::vector<std::size_t> exact;  ///< classical β_k of the same complex
+};
+
+/// Quantum features plus the classical baseline for one point cloud.
+PipelineFeatures extract_betti_features(const PointCloud& cloud,
+                                        const PipelineOptions& options);
+
+/// Classical-only variant (no quantum stage) — the Fig. 4 baseline.
+std::vector<std::size_t> extract_exact_betti(const PointCloud& cloud,
+                                             double epsilon,
+                                             const std::vector<int>& dims);
+
+}  // namespace qtda

@@ -1,0 +1,29 @@
+#include "core/scaling.hpp"
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+double default_delta() { return 0.95 * kTwoPi; }
+
+double ScaledHamiltonian::eigenvalue_to_phase(double lambda) const {
+  return lambda * scale / kTwoPi;
+}
+
+ScaledHamiltonian rescale_laplacian(const PaddedLaplacian& padded,
+                                    double delta) {
+  QTDA_REQUIRE(delta > 0.0 && delta <= kTwoPi,
+               "delta must lie in (0, 2π], got " << delta);
+  ScaledHamiltonian out;
+  out.delta = delta;
+  out.lambda_max = padded.lambda_max;
+  out.scale = delta / padded.lambda_max;
+  out.num_qubits = padded.num_qubits;
+  out.original_dim = padded.original_dim;
+  out.matrix = scale(padded.matrix, out.scale);
+  return out;
+}
+
+}  // namespace qtda

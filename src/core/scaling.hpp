@@ -1,0 +1,37 @@
+/// \file scaling.hpp
+/// \brief Spectral rescaling of the padded Laplacian (paper Eq. 8–9).
+///
+/// QPE phases live on the unit circle, so eigenvalues must fit [0, 2π).
+/// The padded Laplacian is multiplied by δ/λ̃max with δ slightly below 2π;
+/// the paper's worked example uses δ = λ̃max (= 6 < 2π) so that H = Δ̃
+/// exactly — both choices are expressible here.
+#pragma once
+
+#include "core/padding.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// The rescaled Hamiltonian H = (δ/λ̃max)·Δ̃ plus bookkeeping.
+struct ScaledHamiltonian {
+  RealMatrix matrix;        ///< H, acting on num_qubits qubits
+  double delta = 0.0;       ///< δ used
+  double scale = 0.0;       ///< δ/λ̃max
+  std::size_t num_qubits = 0;
+  std::size_t original_dim = 0;
+  double lambda_max = 0.0;
+
+  /// Maps an eigenvalue λ of the *original* Laplacian to the QPE phase
+  /// θ = λ·scale/2π ∈ [0, 1).
+  double eigenvalue_to_phase(double lambda) const;
+};
+
+/// Default δ: 95% of 2π keeps the top of the spectrum clear of wraparound
+/// even when Gershgorin is tight.
+double default_delta();
+
+/// Rescales a padded Laplacian.  \p delta must lie in (0, 2π].
+ScaledHamiltonian rescale_laplacian(const PaddedLaplacian& padded,
+                                    double delta = default_delta());
+
+}  // namespace qtda

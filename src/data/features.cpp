@@ -1,0 +1,41 @@
+#include "data/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace qtda {
+
+std::vector<double> condition_monitoring_features(
+    const std::vector<double>& signal) {
+  QTDA_REQUIRE(signal.size() >= 4, "signal too short for features");
+  double mean_abs = 0.0;
+  double peak = 0.0;
+  for (double v : signal) {
+    mean_abs += std::abs(v);
+    peak = std::max(peak, std::abs(v));
+  }
+  mean_abs /= static_cast<double>(signal.size());
+  const double root_mean_square = rms(signal);
+  const double crest =
+      root_mean_square > 1e-15 ? peak / root_mean_square : 0.0;
+  return {mean_abs,          root_mean_square, stddev(signal),
+          skewness(signal),  kurtosis(signal), crest};
+}
+
+PointCloud feature_point_cloud(const std::vector<double>& six_features) {
+  QTDA_REQUIRE(six_features.size() == 6,
+               "feature point cloud needs exactly six features, got "
+                   << six_features.size());
+  std::vector<std::vector<double>> points;
+  points.reserve(4);
+  for (std::size_t start = 0; start + 3 <= 6; ++start) {
+    points.push_back({six_features[start], six_features[start + 1],
+                      six_features[start + 2]});
+  }
+  return PointCloud(std::move(points));
+}
+
+}  // namespace qtda

@@ -1,0 +1,25 @@
+/// \file features.hpp
+/// \brief Six condition-monitoring features + the feature point cloud.
+///
+/// The paper's second §5 experiment (AutoFuse preprocessing) reduces each
+/// window to six statistical features and then forms "four points in a 3D
+/// space … by taking three features at a time".  We use the standard
+/// vibration set {mean |x|, RMS, standard deviation, skewness, kurtosis,
+/// crest factor} and the four consecutive feature triples
+/// (f0f1f2, f1f2f3, f2f3f4, f3f4f5) as the 3-D points.
+#pragma once
+
+#include <vector>
+
+#include "topology/point_cloud.hpp"
+
+namespace qtda {
+
+/// The six features, in the order documented above.
+std::vector<double> condition_monitoring_features(
+    const std::vector<double>& signal);
+
+/// Four 3-D points from a six-feature vector (consecutive triples).
+PointCloud feature_point_cloud(const std::vector<double>& six_features);
+
+}  // namespace qtda

@@ -1,0 +1,79 @@
+#include "data/gearbox.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/features.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+std::vector<double> generate_gearbox_signal(GearboxCondition condition,
+                                            std::size_t length,
+                                            const GearboxSignalOptions& options,
+                                            Rng& rng) {
+  QTDA_REQUIRE(length > 0, "signal length must be positive");
+  QTDA_REQUIRE(options.sampling_rate_hz > 0.0, "sampling rate must be positive");
+  const double dt = 1.0 / options.sampling_rate_hz;
+  std::vector<double> x(length, 0.0);
+
+  // Random but fixed-per-signal harmonic phases.
+  std::vector<double> phases(options.mesh_harmonics);
+  for (double& phi : phases) phi = rng.uniform(0.0, kTwoPi);
+  const double phase_rot = rng.uniform(0.0, kTwoPi);
+
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double modulation =
+        1.0 + options.modulation_depth *
+                  std::sin(kTwoPi * options.rotation_hz * t + phase_rot);
+    double mesh = 0.0;
+    for (std::size_t h = 0; h < options.mesh_harmonics; ++h) {
+      const double harmonic = static_cast<double>(h + 1);
+      const double amplitude = 1.0 / harmonic;  // decaying harmonic series
+      mesh += amplitude *
+              std::sin(kTwoPi * options.mesh_hz * harmonic * t + phases[h]);
+    }
+    x[i] = modulation * mesh + rng.normal(0.0, options.noise_stddev);
+  }
+
+  if (condition == GearboxCondition::kSurfaceFault) {
+    // One resonance burst per shaft revolution.
+    const double period = 1.0 / options.rotation_hz;
+    const double jitter = rng.uniform(0.0, period);
+    for (std::size_t i = 0; i < length; ++i) {
+      const double t = static_cast<double>(i) * dt;
+      const double since_impulse = std::fmod(t + jitter, period);
+      x[i] += options.fault_impulse_amplitude *
+              std::exp(-options.fault_damping * since_impulse) *
+              std::sin(kTwoPi * options.fault_resonance_hz * since_impulse);
+    }
+  }
+  return x;
+}
+
+std::vector<GearboxFeatureSample> generate_gearbox_feature_dataset(
+    std::size_t total, std::size_t healthy, std::size_t window,
+    const GearboxSignalOptions& options, Rng& rng) {
+  QTDA_REQUIRE(healthy <= total, "more healthy samples than total");
+  QTDA_REQUIRE(window >= 16, "window too short for stable features");
+  std::vector<GearboxFeatureSample> samples;
+  samples.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool is_healthy = i < healthy;
+    GearboxSignalOptions sample_options = options;
+    if (!is_healthy) {
+      // Spread fault severities so the faulty class has internal variance.
+      sample_options.fault_impulse_amplitude *= rng.uniform(0.6, 1.4);
+    }
+    const auto signal = generate_gearbox_signal(
+        is_healthy ? GearboxCondition::kHealthy
+                   : GearboxCondition::kSurfaceFault,
+        window, sample_options, rng);
+    samples.push_back({condition_monitoring_features(signal),
+                       is_healthy ? 0 : 1});
+  }
+  return samples;
+}
+
+}  // namespace qtda

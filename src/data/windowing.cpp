@@ -1,0 +1,38 @@
+#include "data/windowing.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::vector<std::vector<double>> split_windows(
+    const std::vector<double>& series, std::size_t window) {
+  QTDA_REQUIRE(window > 0, "window length must be positive");
+  std::vector<std::vector<double>> out;
+  out.reserve(series.size() / window);
+  for (std::size_t start = 0; start + window <= series.size();
+       start += window) {
+    out.emplace_back(series.begin() + static_cast<std::ptrdiff_t>(start),
+                     series.begin() + static_cast<std::ptrdiff_t>(start +
+                                                                  window));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> sample_windows(
+    const std::vector<double>& series, std::size_t window, std::size_t count,
+    Rng& rng) {
+  const auto all = split_windows(series, window);
+  QTDA_REQUIRE(!all.empty(), "series shorter than one window");
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  if (count <= all.size()) {
+    std::vector<std::size_t> order = rng.permutation(all.size());
+    for (std::size_t i = 0; i < count; ++i) out.push_back(all[order[i]]);
+  } else {
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(all[rng.uniform_index(all.size())]);
+  }
+  return out;
+}
+
+}  // namespace qtda

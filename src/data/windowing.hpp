@@ -1,0 +1,26 @@
+/// \file windowing.hpp
+/// \brief Splitting long time series into fixed-length windows.
+///
+/// The paper's first §5 experiment creates samples "by taking 500 time
+/// stamps at a time" and drawing an equal number of random windows from
+/// each class.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace qtda {
+
+/// All non-overlapping windows of \p window samples, in order.  A trailing
+/// remainder shorter than the window is discarded.
+std::vector<std::vector<double>> split_windows(
+    const std::vector<double>& series, std::size_t window);
+
+/// Draws \p count windows uniformly at random (with replacement when count
+/// exceeds the available windows, without otherwise).
+std::vector<std::vector<double>> sample_windows(
+    const std::vector<double>& series, std::size_t window, std::size_t count,
+    Rng& rng);
+
+}  // namespace qtda

@@ -1,0 +1,92 @@
+/// \file dense_matrix.hpp
+/// \brief Row-major dense matrix over an arbitrary scalar.
+///
+/// The library deliberately carries its own small dense-matrix type rather
+/// than an external dependency: every matrix in the QTDA pipeline (boundary
+/// operators, Laplacians, unitaries) is at most a few hundred rows, so a
+/// cache-friendly row-major layout plus straightforward kernels is fast
+/// enough while staying fully auditable.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+/// Dense row-major matrix.
+template <typename Scalar>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows×cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Scalar{}) {}
+
+  /// rows×cols matrix filled with \p value.
+  Matrix(std::size_t rows, std::size_t cols, Scalar value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Construction from a nested initializer list (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<Scalar>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+      QTDA_REQUIRE(row.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = Scalar{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool is_square() const { return rows_ == cols_; }
+
+  Scalar& operator()(std::size_t i, std::size_t j) {
+    QTDA_ASSERT(i < rows_ && j < cols_,
+                "index (" << i << ',' << j << ") out of " << rows_ << 'x'
+                          << cols_);
+    return data_[i * cols_ + j];
+  }
+  const Scalar& operator()(std::size_t i, std::size_t j) const {
+    QTDA_ASSERT(i < rows_ && j < cols_,
+                "index (" << i << ',' << j << ") out of " << rows_ << 'x'
+                          << cols_);
+    return data_[i * cols_ + j];
+  }
+
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+  Scalar* row(std::size_t i) { return data_.data() + i * cols_; }
+  const Scalar* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+using RealVector = std::vector<double>;
+using ComplexVector = std::vector<std::complex<double>>;
+
+}  // namespace qtda

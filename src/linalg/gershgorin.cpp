@@ -1,0 +1,39 @@
+#include "linalg/gershgorin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::vector<GershgorinDisc> gershgorin_discs(const RealMatrix& a) {
+  QTDA_REQUIRE(a.is_square(), "Gershgorin discs need a square matrix");
+  std::vector<GershgorinDisc> discs;
+  discs.reserve(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double radius = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (j != i) radius += std::abs(a(i, j));
+    discs.push_back({a(i, i), radius});
+  }
+  return discs;
+}
+
+double gershgorin_max(const RealMatrix& a) {
+  QTDA_REQUIRE(a.rows() > 0, "Gershgorin bound of an empty matrix");
+  double best = -1e300;
+  for (const GershgorinDisc& d : gershgorin_discs(a))
+    best = std::max(best, d.center + d.radius);
+  return best;
+}
+
+double gershgorin_min(const RealMatrix& a) {
+  QTDA_REQUIRE(a.rows() > 0, "Gershgorin bound of an empty matrix");
+  double best = 1e300;
+  for (const GershgorinDisc& d : gershgorin_discs(a))
+    best = std::min(best, d.center - d.radius);
+  return best;
+}
+
+}  // namespace qtda

@@ -1,0 +1,29 @@
+/// \file gershgorin.hpp
+/// \brief Gershgorin circle bounds on the spectrum of a square matrix.
+///
+/// The QTDA algorithm (paper §3) needs a cheap upper bound λ̃max on the
+/// largest eigenvalue of the combinatorial Laplacian: it sets the padding
+/// value λ̃max/2 and the rescaling factor δ/λ̃max.  Gershgorin's theorem
+/// gives max_i (a_ii + Σ_{j≠i} |a_ij|) without any eigensolve.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// Upper Gershgorin bound: max over rows of center + radius.
+double gershgorin_max(const RealMatrix& a);
+
+/// Lower Gershgorin bound: min over rows of center − radius.
+double gershgorin_min(const RealMatrix& a);
+
+/// One Gershgorin disc.
+struct GershgorinDisc {
+  double center;
+  double radius;
+};
+
+/// All row discs of the matrix.
+std::vector<GershgorinDisc> gershgorin_discs(const RealMatrix& a);
+
+}  // namespace qtda

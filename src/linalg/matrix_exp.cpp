@@ -1,0 +1,36 @@
+#include "linalg/matrix_exp.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace qtda {
+
+HamiltonianExponential::HamiltonianExponential(const RealMatrix& hamiltonian)
+    : eigen_(symmetric_eigen(hamiltonian)) {}
+
+ComplexMatrix HamiltonianExponential::unitary(double scale) const {
+  const std::size_t n = dimension();
+  const RealMatrix& v = eigen_.vectors;
+  ComplexMatrix u(n, n);
+  // U = V · diag(e^{iλs}) · Vᵀ, assembled as a sum of rank-1 terms; O(n³)
+  // same as a matmul but without forming intermediates.
+  std::vector<std::complex<double>> phases(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double angle = eigen_.values[k] * scale;
+    phases[k] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::complex<double> vp = v(i, k) * phases[k];
+      if (vp == std::complex<double>{}) continue;
+      for (std::size_t j = 0; j < n; ++j) u(i, j) += vp * v(j, k);
+    }
+  }
+  return u;
+}
+
+ComplexMatrix unitary_exp(const RealMatrix& hamiltonian, double scale) {
+  return HamiltonianExponential(hamiltonian).unitary(scale);
+}
+
+}  // namespace qtda

@@ -1,0 +1,37 @@
+/// \file matrix_exp.hpp
+/// \brief Unitary exponentials of Hermitian generators.
+///
+/// QPE needs U = e^{iH} (and its powers U^{2^j}) for the rescaled padded
+/// Laplacian H.  Since H is real symmetric we diagonalize once,
+/// H = V·diag(λ)·Vᵀ, and assemble e^{iHs} = V·diag(e^{iλs})·Vᵀ for any
+/// power s — the numerically exact oracle against which the Trotterized
+/// circuits are validated.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace qtda {
+
+/// e^{i·scale·H} for real symmetric H.
+ComplexMatrix unitary_exp(const RealMatrix& hamiltonian, double scale = 1.0);
+
+/// Caches the eigendecomposition of H so that many powers e^{iH·s} can be
+/// formed cheaply (QPE needs s = 1, 2, 4, …, 2^{t−1}).
+class HamiltonianExponential {
+ public:
+  explicit HamiltonianExponential(const RealMatrix& hamiltonian);
+
+  /// e^{i·H·scale}.
+  ComplexMatrix unitary(double scale = 1.0) const;
+
+  /// Eigenvalues of H (ascending).
+  const RealVector& eigenvalues() const { return eigen_.values; }
+
+  std::size_t dimension() const { return eigen_.vectors.rows(); }
+
+ private:
+  SymmetricEigenResult eigen_;
+};
+
+}  // namespace qtda

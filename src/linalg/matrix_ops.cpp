@@ -1,0 +1,197 @@
+#include "linalg/matrix_ops.hpp"
+
+#include <cmath>
+
+namespace qtda {
+
+namespace {
+
+template <typename Scalar>
+Matrix<Scalar> matmul_impl(const Matrix<Scalar>& a, const Matrix<Scalar>& b) {
+  QTDA_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch: " << a.rows()
+                                                               << 'x' << a.cols()
+                                                               << " * "
+                                                               << b.rows() << 'x'
+                                                               << b.cols());
+  Matrix<Scalar> c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const Scalar aik = a(i, k);
+      if (aik == Scalar{}) continue;
+      const Scalar* brow = b.row(k);
+      Scalar* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+template <typename Scalar>
+std::vector<Scalar> matvec_impl(const Matrix<Scalar>& a,
+                                const std::vector<Scalar>& x) {
+  QTDA_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  std::vector<Scalar> y(a.rows(), Scalar{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Scalar* arow = a.row(i);
+    Scalar acc{};
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+template <typename Scalar>
+Matrix<Scalar> add_impl(const Matrix<Scalar>& a, const Matrix<Scalar>& b) {
+  QTDA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "add shape mismatch");
+  Matrix<Scalar> c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  return c;
+}
+
+}  // namespace
+
+RealMatrix matmul(const RealMatrix& a, const RealMatrix& b) {
+  return matmul_impl(a, b);
+}
+ComplexMatrix matmul(const ComplexMatrix& a, const ComplexMatrix& b) {
+  return matmul_impl(a, b);
+}
+
+RealVector matvec(const RealMatrix& a, const RealVector& x) {
+  return matvec_impl(a, x);
+}
+ComplexVector matvec(const ComplexMatrix& a, const ComplexVector& x) {
+  return matvec_impl(a, x);
+}
+
+RealMatrix transpose(const RealMatrix& a) {
+  RealMatrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+ComplexMatrix adjoint(const ComplexMatrix& a) {
+  ComplexMatrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = std::conj(a(i, j));
+  return t;
+}
+
+RealMatrix add(const RealMatrix& a, const RealMatrix& b) { return add_impl(a, b); }
+ComplexMatrix add(const ComplexMatrix& a, const ComplexMatrix& b) {
+  return add_impl(a, b);
+}
+
+RealMatrix subtract(const RealMatrix& a, const RealMatrix& b) {
+  QTDA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "subtract shape mismatch");
+  RealMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    c.data()[i] = a.data()[i] - b.data()[i];
+  return c;
+}
+
+RealMatrix scale(const RealMatrix& a, double factor) {
+  RealMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * factor;
+  return c;
+}
+
+ComplexMatrix scale(const ComplexMatrix& a, std::complex<double> factor) {
+  ComplexMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * factor;
+  return c;
+}
+
+ComplexMatrix to_complex(const RealMatrix& a) {
+  ComplexMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i];
+  return c;
+}
+
+ComplexMatrix kronecker(const ComplexMatrix& a, const ComplexMatrix& b) {
+  ComplexMatrix c(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ia = 0; ia < a.rows(); ++ia)
+    for (std::size_t ja = 0; ja < a.cols(); ++ja) {
+      const std::complex<double> av = a(ia, ja);
+      if (av == std::complex<double>{}) continue;
+      for (std::size_t ib = 0; ib < b.rows(); ++ib)
+        for (std::size_t jb = 0; jb < b.cols(); ++jb)
+          c(ia * b.rows() + ib, ja * b.cols() + jb) = av * b(ib, jb);
+    }
+  return c;
+}
+
+double frobenius_norm(const RealMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i] * a.data()[i];
+  return std::sqrt(s);
+}
+
+double frobenius_norm(const ComplexMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::norm(a.data()[i]);
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const RealMatrix& a, const RealMatrix& b) {
+  QTDA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+double max_abs_diff(const ComplexMatrix& a, const ComplexMatrix& b) {
+  QTDA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+bool is_symmetric(const RealMatrix& a, double tol) {
+  if (!a.is_square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+  return true;
+}
+
+bool is_hermitian(const ComplexMatrix& a, double tol) {
+  if (!a.is_square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (std::abs(a(i, i).imag()) > tol) return false;
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - std::conj(a(j, i))) > tol) return false;
+  }
+  return true;
+}
+
+bool is_unitary(const ComplexMatrix& a, double tol) {
+  if (!a.is_square()) return false;
+  const ComplexMatrix product = matmul(adjoint(a), a);
+  const ComplexMatrix id = ComplexMatrix::identity(a.rows());
+  return max_abs_diff(product, id) <= tol;
+}
+
+double trace(const RealMatrix& a) {
+  QTDA_REQUIRE(a.is_square(), "trace of non-square matrix");
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) t += a(i, i);
+  return t;
+}
+
+std::complex<double> trace(const ComplexMatrix& a) {
+  QTDA_REQUIRE(a.is_square(), "trace of non-square matrix");
+  std::complex<double> t{};
+  for (std::size_t i = 0; i < a.rows(); ++i) t += a(i, i);
+  return t;
+}
+
+}  // namespace qtda

@@ -1,0 +1,54 @@
+/// \file matrix_ops.hpp
+/// \brief Dense matrix kernels: products, transposes, norms, predicates.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// C = A·B.  Requires A.cols() == B.rows().
+RealMatrix matmul(const RealMatrix& a, const RealMatrix& b);
+ComplexMatrix matmul(const ComplexMatrix& a, const ComplexMatrix& b);
+
+/// y = A·x.
+RealVector matvec(const RealMatrix& a, const RealVector& x);
+ComplexVector matvec(const ComplexMatrix& a, const ComplexVector& x);
+
+/// Transpose.
+RealMatrix transpose(const RealMatrix& a);
+/// Conjugate transpose.
+ComplexMatrix adjoint(const ComplexMatrix& a);
+
+/// Elementwise sum / difference / scalar multiple.
+RealMatrix add(const RealMatrix& a, const RealMatrix& b);
+RealMatrix subtract(const RealMatrix& a, const RealMatrix& b);
+RealMatrix scale(const RealMatrix& a, double factor);
+ComplexMatrix add(const ComplexMatrix& a, const ComplexMatrix& b);
+ComplexMatrix scale(const ComplexMatrix& a, std::complex<double> factor);
+
+/// Promotes a real matrix to complex.
+ComplexMatrix to_complex(const RealMatrix& a);
+
+/// Kronecker product (used to build Pauli-string matrices in tests).
+ComplexMatrix kronecker(const ComplexMatrix& a, const ComplexMatrix& b);
+
+/// Frobenius norm.
+double frobenius_norm(const RealMatrix& a);
+double frobenius_norm(const ComplexMatrix& a);
+
+/// Max-abs entry difference; matrices must have equal shape.
+double max_abs_diff(const RealMatrix& a, const RealMatrix& b);
+double max_abs_diff(const ComplexMatrix& a, const ComplexMatrix& b);
+
+/// True when |A − Aᵀ|∞ ≤ tol.
+bool is_symmetric(const RealMatrix& a, double tol = 1e-12);
+/// True when |A − A†|∞ ≤ tol.
+bool is_hermitian(const ComplexMatrix& a, double tol = 1e-12);
+/// True when |A†A − I|∞ ≤ tol.
+bool is_unitary(const ComplexMatrix& a, double tol = 1e-10);
+
+/// Trace.
+double trace(const RealMatrix& a);
+std::complex<double> trace(const ComplexMatrix& a);
+
+}  // namespace qtda

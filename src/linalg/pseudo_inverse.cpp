@@ -1,0 +1,35 @@
+#include "linalg/pseudo_inverse.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace qtda {
+
+RealMatrix pseudo_inverse_symmetric(const RealMatrix& a, double tolerance) {
+  QTDA_REQUIRE(a.is_square(), "pseudo-inverse needs a square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+  const auto eigen = symmetric_eigen(a);
+  double max_abs = 0.0;
+  for (double v : eigen.values) max_abs = std::max(max_abs, std::abs(v));
+  const double threshold = tolerance * std::max(max_abs, 1e-300);
+
+  // A⁺ = V · diag(1/λ over the nonzero spectrum) · Vᵀ.
+  RealMatrix pinv(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = eigen.values[k];
+    if (std::abs(lambda) <= threshold) continue;
+    const double inv = 1.0 / lambda;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vik = eigen.vectors(i, k) * inv;
+      if (vik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        pinv(i, j) += vik * eigen.vectors(j, k);
+    }
+  }
+  return pinv;
+}
+
+}  // namespace qtda

@@ -1,0 +1,18 @@
+/// \file pseudo_inverse.hpp
+/// \brief Moore–Penrose pseudo-inverse of symmetric PSD matrices.
+///
+/// Needed by the persistent Laplacian's Schur complement: the block of the
+/// up-Laplacian on the "new" simplices is PSD but usually singular, so the
+/// complement uses C⁺ instead of C⁻¹.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// Pseudo-inverse of a symmetric matrix via its eigendecomposition.
+/// Eigenvalues with |λ| ≤ tol·max|λ| are treated as zero.
+RealMatrix pseudo_inverse_symmetric(const RealMatrix& a,
+                                    double tolerance = 1e-10);
+
+}  // namespace qtda

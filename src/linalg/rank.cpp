@@ -1,0 +1,128 @@
+#include "linalg/rank.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::size_t rank(const RealMatrix& a, double tolerance) {
+  if (a.rows() == 0 || a.cols() == 0) return 0;
+  RealMatrix m = a;
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    max_entry = std::max(max_entry, std::abs(m.data()[i]));
+  if (max_entry == 0.0) return 0;
+  const double threshold = tolerance * max_entry;
+
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  std::size_t r = 0;  // current pivot row
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    // Partial pivoting: largest |entry| in column c at or below row r.
+    std::size_t pivot = r;
+    double best = std::abs(m(r, c));
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      const double v = std::abs(m(i, c));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best <= threshold) continue;
+    if (pivot != r) {
+      for (std::size_t j = c; j < cols; ++j) std::swap(m(pivot, j), m(r, j));
+    }
+    const double inv = 1.0 / m(r, c);
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      const double factor = m(i, c) * inv;
+      if (factor == 0.0) continue;
+      m(i, c) = 0.0;
+      for (std::size_t j = c + 1; j < cols; ++j) m(i, j) -= factor * m(r, j);
+    }
+    ++r;
+  }
+  return r;
+}
+
+namespace {
+
+std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b, std::uint64_t p) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % p);
+}
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t p) {
+  std::uint64_t result = 1;
+  base %= p;
+  while (exp > 0) {
+    if (exp & 1) result = mod_mul(result, base, p);
+    base = mod_mul(base, base, p);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t mod_inverse(std::uint64_t a, std::uint64_t p) {
+  // p is prime: a^(p−2) mod p.
+  return mod_pow(a, p - 2, p);
+}
+
+}  // namespace
+
+std::size_t rank_mod_p(const RealMatrix& a, std::uint64_t p) {
+  QTDA_REQUIRE(p > 2, "rank_mod_p needs an odd prime modulus");
+  if (a.rows() == 0 || a.cols() == 0) return 0;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  // Convert to residues.
+  std::vector<std::uint64_t> m(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = a(i, j);
+      const double rounded = std::round(v);
+      QTDA_REQUIRE(std::abs(v - rounded) < 1e-9,
+                   "rank_mod_p requires integer entries, got " << v);
+      auto iv = static_cast<std::int64_t>(rounded);
+      std::int64_t residue = iv % static_cast<std::int64_t>(p);
+      if (residue < 0) residue += static_cast<std::int64_t>(p);
+      m[i * cols + j] = static_cast<std::uint64_t>(residue);
+    }
+  }
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t pivot = rows;  // sentinel: none found
+    for (std::size_t i = r; i < rows; ++i) {
+      if (m[i * cols + c] != 0) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == rows) continue;
+    if (pivot != r) {
+      for (std::size_t j = c; j < cols; ++j)
+        std::swap(m[pivot * cols + j], m[r * cols + j]);
+    }
+    const std::uint64_t inv = mod_inverse(m[r * cols + c], p);
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      const std::uint64_t factor = mod_mul(m[i * cols + c], inv, p);
+      if (factor == 0) continue;
+      for (std::size_t j = c; j < cols; ++j) {
+        const std::uint64_t sub = mod_mul(factor, m[r * cols + j], p);
+        m[i * cols + j] = (m[i * cols + j] + p - sub) % p;
+      }
+    }
+    ++r;
+  }
+  return r;
+}
+
+std::size_t rank(const SparseMatrix& a, double tolerance) {
+  return rank(a.to_dense(), tolerance);
+}
+
+std::size_t nullity(const RealMatrix& a, double tolerance) {
+  return a.cols() - rank(a, tolerance);
+}
+
+}  // namespace qtda

@@ -1,0 +1,66 @@
+/// \file sparse_matrix.hpp
+/// \brief Compressed sparse row matrix for boundary operators.
+///
+/// Boundary operators ∂_k have exactly k+1 nonzeros per column, so the
+/// Laplacian assembly (∂† ∂ products) is done sparsely and only the final
+/// Laplacian is densified for the eigensolver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// One triplet (row, col, value) used during assembly.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// CSR sparse matrix over doubles.
+class SparseMatrix {
+ public:
+  /// Empty rows×cols matrix.
+  SparseMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A·x.
+  RealVector multiply(const RealVector& x) const;
+  /// y = Aᵀ·x.
+  RealVector multiply_transposed(const RealVector& x) const;
+
+  /// Dense Aᵀ·A (size cols×cols).
+  RealMatrix gram() const;
+  /// Dense A·Aᵀ (size rows×rows).
+  RealMatrix outer_gram() const;
+
+  /// Dense copy.
+  RealMatrix to_dense() const;
+
+  /// Transposed copy (CSR of Aᵀ).
+  SparseMatrix transposed() const;
+
+  /// CSR internals (read-only), exposed for kernels and tests.
+  const std::vector<std::size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_offsets_;  // size rows_+1
+  std::vector<std::size_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace qtda

@@ -1,0 +1,140 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double off_diagonal_norm_sq(const RealMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) s += a(i, j) * a(i, j);
+  return s;
+}
+
+struct JacobiState {
+  RealMatrix a;
+  RealMatrix v;  // empty when eigenvectors are not requested
+  std::size_t sweeps = 0;
+};
+
+JacobiState run_jacobi(const RealMatrix& input, const JacobiOptions& options,
+                       bool want_vectors) {
+  QTDA_REQUIRE(input.is_square(), "eigendecomposition needs a square matrix");
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < input.size(); ++i)
+    max_entry = std::max(max_entry, std::abs(input.data()[i]));
+  QTDA_REQUIRE(is_symmetric(input, 1e-9 * std::max(1.0, max_entry)),
+               "eigendecomposition needs a symmetric matrix");
+
+  JacobiState state;
+  state.a = input;
+  const std::size_t n = input.rows();
+  if (want_vectors) state.v = RealMatrix::identity(n);
+  if (n <= 1) return state;
+
+  const double frob = frobenius_norm(input);
+  const double threshold_sq =
+      options.tolerance * options.tolerance * std::max(frob * frob, 1e-300);
+
+  RealMatrix& a = state.a;
+  for (state.sweeps = 0; state.sweeps < options.max_sweeps; ++state.sweeps) {
+    if (off_diagonal_norm_sq(a) <= threshold_sq) return state;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Stable computation of the rotation (Golub & Van Loan §8.5).
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // A ← JᵀAJ with J the rotation in the (p, q) plane.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        if (want_vectors) {
+          for (std::size_t k = 0; k < n; ++k) {
+            const double vkp = state.v(k, p);
+            const double vkq = state.v(k, q);
+            state.v(k, p) = c * vkp - s * vkq;
+            state.v(k, q) = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+  QTDA_REQUIRE(off_diagonal_norm_sq(a) <= threshold_sq,
+               "Jacobi failed to converge in " << options.max_sweeps
+                                               << " sweeps");
+  return state;
+}
+
+}  // namespace
+
+SymmetricEigenResult symmetric_eigen(const RealMatrix& a,
+                                     const JacobiOptions& options) {
+  JacobiState state = run_jacobi(a, options, /*want_vectors=*/true);
+  const std::size_t n = a.rows();
+  SymmetricEigenResult result;
+  result.sweeps = state.sweeps;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = state.a(i, i);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.values[x] < result.values[y];
+  });
+
+  RealVector sorted_values(n);
+  RealMatrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = result.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      sorted_vectors(i, j) = state.v(i, order[j]);
+  }
+  result.values = std::move(sorted_values);
+  result.vectors = std::move(sorted_vectors);
+  return result;
+}
+
+RealVector symmetric_eigenvalues(const RealMatrix& a,
+                                 const JacobiOptions& options) {
+  JacobiState state = run_jacobi(a, options, /*want_vectors=*/false);
+  RealVector values(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) values[i] = state.a(i, i);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+std::size_t count_zero_eigenvalues(const RealMatrix& a, double tol) {
+  const RealVector values = symmetric_eigenvalues(a);
+  std::size_t count = 0;
+  for (double v : values)
+    if (std::abs(v) <= tol) ++count;
+  return count;
+}
+
+}  // namespace qtda

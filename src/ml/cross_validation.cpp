@@ -1,0 +1,49 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace qtda {
+
+CrossValidationResult stratified_k_fold(const Dataset& data,
+                                        std::size_t folds,
+                                        const FoldEvaluator& evaluate,
+                                        Rng& rng) {
+  data.validate();
+  QTDA_REQUIRE(folds >= 2, "cross-validation needs at least 2 folds");
+  QTDA_REQUIRE(data.size() >= folds, "fewer samples than folds");
+
+  // Assign fold ids round-robin within each class after shuffling — the
+  // standard stratification.
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    (data.labels[i] == 1 ? pos : neg).push_back(i);
+  QTDA_REQUIRE(pos.size() >= folds && neg.size() >= folds,
+               "each class needs at least one sample per fold");
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+  std::vector<std::size_t> fold_of(data.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) fold_of[pos[i]] = i % folds;
+  for (std::size_t i = 0; i < neg.size(); ++i) fold_of[neg[i]] = i % folds;
+
+  CrossValidationResult result;
+  result.fold_scores.reserve(folds);
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    Dataset train, validation;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (fold_of[i] == fold) {
+        validation.add(data.features[i], data.labels[i]);
+      } else {
+        train.add(data.features[i], data.labels[i]);
+      }
+    }
+    result.fold_scores.push_back(evaluate(train, validation));
+  }
+  result.mean_score = mean(result.fold_scores);
+  result.stddev_score = stddev(result.fold_scores);
+  return result;
+}
+
+}  // namespace qtda

@@ -1,0 +1,38 @@
+/// \file cross_validation.hpp
+/// \brief Stratified k-fold cross-validation.
+///
+/// Fig. 4's protocol repeats a train/evaluate cycle many times; k-fold CV
+/// is the systematic version and gives the harnesses variance estimates
+/// that do not depend on one lucky split.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "ml/dataset.hpp"
+
+namespace qtda {
+
+/// A model factory + evaluation callback: receives (train, validation) and
+/// returns the validation score (e.g. accuracy).
+using FoldEvaluator =
+    std::function<double(const Dataset& train, const Dataset& validation)>;
+
+/// Per-fold scores from one CV run.
+struct CrossValidationResult {
+  std::vector<double> fold_scores;
+  double mean_score = 0.0;
+  double stddev_score = 0.0;
+};
+
+/// Splits \p data into \p folds stratified folds (class ratios preserved),
+/// evaluates the callback on each leave-one-fold-out split.
+/// Requires folds ≥ 2 and at least one sample of each class per fold.
+CrossValidationResult stratified_k_fold(const Dataset& data,
+                                        std::size_t folds,
+                                        const FoldEvaluator& evaluate,
+                                        Rng& rng);
+
+}  // namespace qtda

@@ -1,0 +1,91 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+void Dataset::add(std::vector<double> x, int y) {
+  QTDA_REQUIRE(features.empty() || x.size() == features.front().size(),
+               "feature width mismatch");
+  QTDA_REQUIRE(y == 0 || y == 1, "labels must be 0 or 1");
+  features.push_back(std::move(x));
+  labels.push_back(y);
+}
+
+void Dataset::validate() const {
+  QTDA_REQUIRE(features.size() == labels.size(),
+               "feature/label count mismatch");
+  for (const auto& row : features)
+    QTDA_REQUIRE(row.size() == features.front().size(), "ragged features");
+  for (int y : labels) QTDA_REQUIRE(y == 0 || y == 1, "non-binary label");
+}
+
+std::size_t Dataset::positive_count() const {
+  std::size_t c = 0;
+  for (int y : labels) c += (y == 1) ? 1 : 0;
+  return c;
+}
+
+namespace {
+
+TrainValSplit split_by_indices(const Dataset& data,
+                               const std::vector<std::size_t>& train_idx,
+                               const std::vector<std::size_t>& val_idx) {
+  TrainValSplit split;
+  for (std::size_t i : train_idx)
+    split.train.add(data.features[i], data.labels[i]);
+  for (std::size_t i : val_idx)
+    split.validation.add(data.features[i], data.labels[i]);
+  return split;
+}
+
+}  // namespace
+
+TrainValSplit train_val_split(const Dataset& data, double train_fraction,
+                              Rng& rng) {
+  data.validate();
+  QTDA_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+               "train fraction must lie in (0,1)");
+  QTDA_REQUIRE(data.size() >= 2, "need at least two samples to split");
+  std::vector<std::size_t> order = rng.permutation(data.size());
+  auto train_count = static_cast<std::size_t>(
+      std::max(1.0, std::round(train_fraction * static_cast<double>(
+                                                    data.size()))));
+  train_count = std::min(train_count, data.size() - 1);
+  const std::vector<std::size_t> train_idx(order.begin(),
+                                           order.begin() + train_count);
+  const std::vector<std::size_t> val_idx(order.begin() + train_count,
+                                         order.end());
+  return split_by_indices(data, train_idx, val_idx);
+}
+
+TrainValSplit stratified_split(const Dataset& data, double train_fraction,
+                               Rng& rng) {
+  data.validate();
+  QTDA_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+               "train fraction must lie in (0,1)");
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    (data.labels[i] == 1 ? pos : neg).push_back(i);
+  rng.shuffle(pos);
+  rng.shuffle(neg);
+  std::vector<std::size_t> train_idx, val_idx;
+  const auto take = [&](std::vector<std::size_t>& group) {
+    auto count = static_cast<std::size_t>(std::round(
+        train_fraction * static_cast<double>(group.size())));
+    count = std::min(std::max<std::size_t>(count, group.empty() ? 0 : 1),
+                     group.empty() ? 0 : group.size() - 1);
+    for (std::size_t i = 0; i < group.size(); ++i)
+      (i < count ? train_idx : val_idx).push_back(group[i]);
+  };
+  take(pos);
+  take(neg);
+  rng.shuffle(train_idx);
+  rng.shuffle(val_idx);
+  return split_by_indices(data, train_idx, val_idx);
+}
+
+}  // namespace qtda

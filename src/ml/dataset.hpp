@@ -1,0 +1,47 @@
+/// \file dataset.hpp
+/// \brief Labelled feature datasets with deterministic splitting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace qtda {
+
+/// Features (row per sample) with binary labels {0, 1}.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+
+  std::size_t size() const { return features.size(); }
+  std::size_t feature_count() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Appends one sample.
+  void add(std::vector<double> x, int y);
+
+  /// Throws when rows are ragged or labels are not 0/1.
+  void validate() const;
+
+  /// Number of samples with label 1.
+  std::size_t positive_count() const;
+};
+
+/// A train/validation split.
+struct TrainValSplit {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Shuffles and splits; \p train_fraction in (0, 1).  The paper's Table 1
+/// uses a 20%/80% train/validation split.
+TrainValSplit train_val_split(const Dataset& data, double train_fraction,
+                              Rng& rng);
+
+/// Stratified variant: preserves the class ratio in both parts.
+TrainValSplit stratified_split(const Dataset& data, double train_fraction,
+                               Rng& rng);
+
+}  // namespace qtda

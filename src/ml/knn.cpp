@@ -1,0 +1,63 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  QTDA_REQUIRE(k >= 1, "kNN needs k >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& data) {
+  data.validate();
+  QTDA_REQUIRE(data.size() > 0, "cannot fit kNN on an empty dataset");
+  train_ = data;
+}
+
+double KnnClassifier::predict_probability(const std::vector<double>& x) const {
+  QTDA_REQUIRE(train_.size() > 0, "kNN not fitted");
+  QTDA_REQUIRE(x.size() == train_.feature_count(), "feature width mismatch");
+  // Distances to all training points; partial sort for the k smallest.
+  std::vector<std::pair<double, int>> neighbours;  // (distance², label)
+  neighbours.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double diff = x[j] - train_.features[i][j];
+      d2 += diff * diff;
+    }
+    neighbours.emplace_back(d2, train_.labels[i]);
+  }
+  const std::size_t use = std::min(k_, neighbours.size());
+  std::partial_sort(neighbours.begin(),
+                    neighbours.begin() + static_cast<std::ptrdiff_t>(use),
+                    neighbours.end());
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < use; ++i)
+    positive += neighbours[i].second == 1 ? 1 : 0;
+  return static_cast<double>(positive) / static_cast<double>(use);
+}
+
+int KnnClassifier::predict(const std::vector<double>& x) const {
+  const double p = predict_probability(x);
+  if (p == 0.5) {
+    // Exact tie: fall back to the single nearest neighbour's label.
+    KnnClassifier nearest(1);
+    nearest.train_ = train_;
+    return nearest.predict_probability(x) >= 0.5 ? 1 : 0;
+  }
+  return p > 0.5 ? 1 : 0;
+}
+
+std::vector<int> KnnClassifier::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace qtda

@@ -1,0 +1,108 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+double sigmoid(double z) {
+  // Branch on sign to avoid overflow in exp().
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {
+  QTDA_REQUIRE(options_.learning_rate > 0.0, "learning rate must be positive");
+  QTDA_REQUIRE(options_.l2_penalty >= 0.0, "l2 penalty must be non-negative");
+  QTDA_REQUIRE(options_.max_iterations > 0, "need at least one iteration");
+}
+
+void LogisticRegression::fit(const Dataset& data) {
+  data.validate();
+  QTDA_REQUIRE(data.size() > 0, "cannot fit on an empty dataset");
+  const std::size_t n = data.size();
+  const std::size_t d = data.feature_count();
+  QTDA_REQUIRE(d > 0, "cannot fit on zero features");
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  double lr = options_.learning_rate;
+  double previous_loss = loss(data);
+
+  std::vector<double> grad_w(d);
+  for (iterations_used_ = 0; iterations_used_ < options_.max_iterations;
+       ++iterations_used_) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = predict_probability(data.features[i]);
+      const double err = p - static_cast<double>(data.labels[i]);
+      for (std::size_t j = 0; j < d; ++j)
+        grad_w[j] += err * data.features[i][j];
+      grad_b += err;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      grad_w[j] = grad_w[j] * inv_n + options_.l2_penalty * weights_[j];
+      weights_[j] -= lr * grad_w[j];
+    }
+    bias_ -= lr * grad_b * inv_n;
+
+    const double current_loss = loss(data);
+    if (current_loss > previous_loss) {
+      lr *= 0.5;  // overshoot: anneal
+      if (lr < 1e-8) break;
+    } else if (previous_loss - current_loss < options_.tolerance) {
+      break;
+    }
+    previous_loss = std::min(previous_loss, current_loss);
+  }
+}
+
+double LogisticRegression::predict_probability(
+    const std::vector<double>& x) const {
+  QTDA_REQUIRE(x.size() == weights_.size(),
+               "feature width " << x.size() << " does not match model width "
+                                << weights_.size());
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return sigmoid(z);
+}
+
+int LogisticRegression::predict(const std::vector<double>& x) const {
+  return predict_probability(x) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> LogisticRegression::predict_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+double LogisticRegression::loss(const Dataset& data) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double p = predict_probability(data.features[i]);
+    const double y = data.labels[i];
+    const double eps = 1e-12;
+    total -= y * std::log(p + eps) + (1.0 - y) * std::log(1.0 - p + eps);
+  }
+  double reg = 0.0;
+  for (double w : weights_) reg += w * w;
+  return total / static_cast<double>(data.size()) +
+         0.5 * options_.l2_penalty * reg;
+}
+
+}  // namespace qtda

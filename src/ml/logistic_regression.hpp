@@ -1,0 +1,53 @@
+/// \file logistic_regression.hpp
+/// \brief Binary logistic regression (the paper's classifier).
+///
+/// Full-batch gradient descent on the L2-regularized cross-entropy; enough
+/// for the paper's two-feature Betti datasets, deterministic, and free of
+/// external dependencies.  The learning rate anneals when the loss stalls.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace qtda {
+
+/// Training hyper-parameters.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  double l2_penalty = 1e-4;       ///< applied to weights, not the bias
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-8;        ///< stop when the loss improvement drops below
+};
+
+/// The fitted model.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  /// Fits on a dataset (binary labels).  Features should be standardized.
+  void fit(const Dataset& data);
+
+  /// P(y = 1 | x).
+  double predict_probability(const std::vector<double>& x) const;
+  /// Hard prediction at the 0.5 threshold.
+  int predict(const std::vector<double>& x) const;
+  /// Predictions for many rows.
+  std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Mean cross-entropy on a dataset (diagnostics).
+  double loss(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  std::size_t iterations_used() const { return iterations_used_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::size_t iterations_used_ = 0;
+};
+
+}  // namespace qtda

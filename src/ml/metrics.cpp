@@ -1,0 +1,71 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+double accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predictions) {
+  QTDA_REQUIRE(truth.size() == predictions.size(), "metric size mismatch");
+  QTDA_REQUIRE(!truth.empty(), "accuracy of an empty set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    hits += truth[i] == predictions[i] ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& predictions) {
+  QTDA_REQUIRE(truth.size() == predictions.size(), "metric size mismatch");
+  QTDA_REQUIRE(!truth.empty(), "MAE of an empty set");
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    total += std::abs(truth[i] - predictions[i]);
+  return total / static_cast<double>(truth.size());
+}
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions) {
+  QTDA_REQUIRE(truth.size() == predictions.size(), "metric size mismatch");
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool actual = truth[i] == 1;
+    const bool predicted = predictions[i] == 1;
+    if (actual && predicted) ++m.true_positive;
+    else if (!actual && !predicted) ++m.true_negative;
+    else if (!actual && predicted) ++m.false_positive;
+    else ++m.false_negative;
+  }
+  return m;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace qtda

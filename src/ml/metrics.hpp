@@ -1,0 +1,37 @@
+/// \file metrics.hpp
+/// \brief Classification and regression metrics used by the experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qtda {
+
+/// Fraction of matching predictions.
+double accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predictions);
+
+/// Mean absolute error between two real vectors (Table 1's Betti MAE).
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& predictions);
+
+/// 2×2 confusion counts for binary labels.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions);
+
+}  // namespace qtda

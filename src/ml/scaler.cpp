@@ -1,0 +1,51 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
+  QTDA_REQUIRE(!rows.empty(), "cannot fit a scaler on no rows");
+  const std::size_t width = rows.front().size();
+  QTDA_REQUIRE(width > 0, "cannot fit a scaler on zero-width rows");
+  means_.assign(width, 0.0);
+  scales_.assign(width, 1.0);
+  for (const auto& row : rows) {
+    QTDA_REQUIRE(row.size() == width, "ragged rows in scaler fit");
+    for (std::size_t j = 0; j < width; ++j) means_[j] += row[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(rows.size());
+  std::vector<double> var(width, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = row[j] - means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    const double v = var[j] / static_cast<double>(rows.size());
+    scales_[j] = v > 1e-24 ? std::sqrt(v) : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform_row(
+    const std::vector<double>& row) const {
+  QTDA_REQUIRE(fitted(), "scaler not fitted");
+  QTDA_REQUIRE(row.size() == means_.size(), "row width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - means_[j]) / scales_[j];
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform_row(row));
+  return out;
+}
+
+}  // namespace qtda

@@ -1,0 +1,32 @@
+/// \file scaler.hpp
+/// \brief Standardization (zero mean, unit variance) fitted on train data.
+#pragma once
+
+#include <vector>
+
+namespace qtda {
+
+/// Per-feature standardizer.  Fit on the training fold only, then applied
+/// to both folds — the usual leakage-free protocol.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation.  Constant columns get
+  /// a unit scale (they transform to zero).
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  /// Applies the learned transform.  Requires fit() first.
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& rows) const;
+
+  std::vector<double> transform_row(const std::vector<double>& row) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace qtda

@@ -1,0 +1,34 @@
+#include "ml/takens.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::size_t takens_output_size(std::size_t series_length,
+                               const TakensOptions& options) {
+  const std::size_t span = (options.dimension - 1) * options.delay;
+  if (series_length <= span) return 0;
+  return series_length - span;
+}
+
+PointCloud takens_embedding(const std::vector<double>& series,
+                            const TakensOptions& options) {
+  QTDA_REQUIRE(options.dimension >= 1, "embedding dimension must be >= 1");
+  QTDA_REQUIRE(options.delay >= 1, "delay must be >= 1");
+  QTDA_REQUIRE(options.stride >= 1, "stride must be >= 1");
+  const std::size_t count = takens_output_size(series.size(), options);
+  QTDA_REQUIRE(count > 0, "series of length "
+                              << series.size()
+                              << " too short for the requested embedding");
+  std::vector<std::vector<double>> points;
+  points.reserve((count + options.stride - 1) / options.stride);
+  for (std::size_t i = 0; i < count; i += options.stride) {
+    std::vector<double> p(options.dimension);
+    for (std::size_t j = 0; j < options.dimension; ++j)
+      p[j] = series[i + j * options.delay];
+    points.push_back(std::move(p));
+  }
+  return PointCloud(std::move(points));
+}
+
+}  // namespace qtda

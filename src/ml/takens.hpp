@@ -1,0 +1,31 @@
+/// \file takens.hpp
+/// \brief Takens delay embedding of scalar time series.
+///
+/// The paper's §5 pipeline uses giotto-tda's TakensEmbedding to turn a
+/// 500-sample vibration window into a point cloud: point i is
+/// (x_i, x_{i+τ}, …, x_{i+(d−1)τ}).  A subsampling stride keeps the Rips
+/// stage tractable.
+#pragma once
+
+#include <vector>
+
+#include "topology/point_cloud.hpp"
+
+namespace qtda {
+
+/// Delay-embedding parameters.
+struct TakensOptions {
+  std::size_t dimension = 3;  ///< embedding dimension d
+  std::size_t delay = 1;      ///< time delay τ
+  std::size_t stride = 1;     ///< keep every stride-th embedded point
+};
+
+/// Number of embedded points a series of length n yields (before stride).
+std::size_t takens_output_size(std::size_t series_length,
+                               const TakensOptions& options);
+
+/// Embeds the series; throws when it is too short for one point.
+PointCloud takens_embedding(const std::vector<double>& series,
+                            const TakensOptions& options);
+
+}  // namespace qtda

@@ -1,0 +1,245 @@
+#include "quantum/circuit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "quantum/gates.hpp"
+
+namespace qtda {
+
+std::string gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return "H";
+    case GateKind::kX: return "X";
+    case GateKind::kY: return "Y";
+    case GateKind::kZ: return "Z";
+    case GateKind::kS: return "S";
+    case GateKind::kSdg: return "Sdg";
+    case GateKind::kT: return "T";
+    case GateKind::kTdg: return "Tdg";
+    case GateKind::kRX: return "RX";
+    case GateKind::kRY: return "RY";
+    case GateKind::kRZ: return "RZ";
+    case GateKind::kPhase: return "P";
+    case GateKind::kUnitary: return "U";
+  }
+  return "?";
+}
+
+bool is_rotation(GateKind kind) {
+  return kind == GateKind::kRX || kind == GateKind::kRY ||
+         kind == GateKind::kRZ || kind == GateKind::kPhase;
+}
+
+bool is_self_inverse(GateKind kind) {
+  return kind == GateKind::kH || kind == GateKind::kX ||
+         kind == GateKind::kY || kind == GateKind::kZ;
+}
+
+ComplexMatrix Gate::single_qubit_matrix() const {
+  switch (kind) {
+    case GateKind::kH: return gates::H();
+    case GateKind::kX: return gates::X();
+    case GateKind::kY: return gates::Y();
+    case GateKind::kZ: return gates::Z();
+    case GateKind::kS: return gates::S();
+    case GateKind::kSdg: return gates::Sdg();
+    case GateKind::kT: return gates::T();
+    case GateKind::kTdg: return gates::Tdg();
+    case GateKind::kRX: return gates::RX(parameter);
+    case GateKind::kRY: return gates::RY(parameter);
+    case GateKind::kRZ: return gates::RZ(parameter);
+    case GateKind::kPhase: return gates::Phase(parameter);
+    case GateKind::kUnitary:
+      QTDA_REQUIRE(false, "kUnitary gate has no named 2x2 matrix");
+  }
+  return {};
+}
+
+Circuit::Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  QTDA_REQUIRE(num_qubits > 0, "circuit needs at least one qubit");
+  QTDA_REQUIRE(num_qubits <= 30, "register too wide for dense simulation");
+}
+
+void Circuit::check_qubit(std::size_t q) const {
+  QTDA_REQUIRE(q < num_qubits_,
+               "qubit " << q << " out of register width " << num_qubits_);
+}
+
+void Circuit::check_gate(const Gate& gate) const {
+  QTDA_REQUIRE(!gate.targets.empty(), "gate without targets");
+  for (std::size_t q : gate.targets) check_qubit(q);
+  for (std::size_t q : gate.controls) check_qubit(q);
+  // No qubit may appear twice across targets+controls.
+  std::vector<std::size_t> all = gate.targets;
+  all.insert(all.end(), gate.controls.begin(), gate.controls.end());
+  std::sort(all.begin(), all.end());
+  QTDA_REQUIRE(std::adjacent_find(all.begin(), all.end()) == all.end(),
+               "gate uses a qubit twice");
+  if (gate.kind == GateKind::kUnitary) {
+    const std::size_t dim = std::size_t{1} << gate.targets.size();
+    QTDA_REQUIRE(gate.matrix.rows() == dim && gate.matrix.cols() == dim,
+                 "unitary matrix shape " << gate.matrix.rows() << 'x'
+                                         << gate.matrix.cols()
+                                         << " does not match "
+                                         << gate.targets.size() << " targets");
+  } else {
+    QTDA_REQUIRE(gate.targets.size() == 1,
+                 "named gates are single-target");
+  }
+}
+
+void Circuit::append(Gate gate) {
+  check_gate(gate);
+  gates_.push_back(std::move(gate));
+}
+
+namespace {
+Gate named(GateKind kind, std::size_t q, double parameter = 0.0) {
+  Gate g;
+  g.kind = kind;
+  g.targets = {q};
+  g.parameter = parameter;
+  return g;
+}
+}  // namespace
+
+void Circuit::h(std::size_t q) { append(named(GateKind::kH, q)); }
+void Circuit::x(std::size_t q) { append(named(GateKind::kX, q)); }
+void Circuit::y(std::size_t q) { append(named(GateKind::kY, q)); }
+void Circuit::z(std::size_t q) { append(named(GateKind::kZ, q)); }
+void Circuit::s(std::size_t q) { append(named(GateKind::kS, q)); }
+void Circuit::sdg(std::size_t q) { append(named(GateKind::kSdg, q)); }
+void Circuit::t(std::size_t q) { append(named(GateKind::kT, q)); }
+void Circuit::tdg(std::size_t q) { append(named(GateKind::kTdg, q)); }
+void Circuit::rx(std::size_t q, double theta) {
+  append(named(GateKind::kRX, q, theta));
+}
+void Circuit::ry(std::size_t q, double theta) {
+  append(named(GateKind::kRY, q, theta));
+}
+void Circuit::rz(std::size_t q, double theta) {
+  append(named(GateKind::kRZ, q, theta));
+}
+void Circuit::phase(std::size_t q, double phi) {
+  append(named(GateKind::kPhase, q, phi));
+}
+
+void Circuit::cnot(std::size_t control, std::size_t target) {
+  Gate g = named(GateKind::kX, target);
+  g.controls = {control};
+  append(std::move(g));
+}
+
+void Circuit::cz(std::size_t control, std::size_t target) {
+  Gate g = named(GateKind::kZ, target);
+  g.controls = {control};
+  append(std::move(g));
+}
+
+void Circuit::swap(std::size_t a, std::size_t b) {
+  cnot(a, b);
+  cnot(b, a);
+  cnot(a, b);
+}
+
+void Circuit::controlled_phase(std::size_t control, std::size_t target,
+                               double phi) {
+  Gate g = named(GateKind::kPhase, target, phi);
+  g.controls = {control};
+  append(std::move(g));
+}
+
+void Circuit::unitary(const ComplexMatrix& u, std::vector<std::size_t> targets,
+                      std::vector<std::size_t> controls) {
+  Gate g;
+  g.kind = GateKind::kUnitary;
+  g.targets = std::move(targets);
+  g.controls = std::move(controls);
+  g.matrix = u;
+  append(std::move(g));
+}
+
+void Circuit::append_circuit(const Circuit& other) {
+  QTDA_REQUIRE(other.num_qubits() == num_qubits_,
+               "append_circuit register width mismatch");
+  for (const Gate& g : other.gates()) append(g);
+  global_phase_ += other.global_phase();
+}
+
+Circuit Circuit::controlled_on(std::size_t control) const {
+  check_qubit(control);
+  Circuit out(num_qubits_);
+  for (Gate g : gates_) {
+    QTDA_REQUIRE(std::find(g.targets.begin(), g.targets.end(), control) ==
+                         g.targets.end() &&
+                     std::find(g.controls.begin(), g.controls.end(),
+                               control) == g.controls.end(),
+                 "control qubit already used by the circuit");
+    g.controls.push_back(control);
+    out.append(std::move(g));
+  }
+  // e^{iφ} global phase, conditioned on the control, is a P(φ) gate.
+  if (global_phase_ != 0.0) out.phase(control, global_phase_);
+  return out;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> frontier(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t level = 0;
+    for (std::size_t q : g.targets) level = std::max(level, frontier[q]);
+    for (std::size_t q : g.controls) level = std::max(level, frontier[q]);
+    ++level;
+    for (std::size_t q : g.targets) frontier[q] = level;
+    for (std::size_t q : g.controls) frontier[q] = level;
+    depth = std::max(depth, level);
+  }
+  return depth;
+}
+
+std::size_t Circuit::two_qubit_gate_count() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_)
+    if (g.targets.size() + g.controls.size() >= 2) ++count;
+  return count;
+}
+
+std::vector<std::pair<std::string, std::size_t>> Circuit::gate_census()
+    const {
+  std::map<std::string, std::size_t> census;
+  for (const Gate& g : gates_) {
+    std::string name = gate_kind_name(g.kind);
+    if (!g.controls.empty())
+      name = "C(" + std::to_string(g.controls.size()) + ")" + name;
+    ++census[name];
+  }
+  return {census.begin(), census.end()};
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "Circuit(" << num_qubits_ << " qubits, " << gates_.size()
+     << " gates, depth " << depth() << ")\n";
+  for (const Gate& g : gates_) {
+    os << "  " << gate_kind_name(g.kind);
+    if (is_rotation(g.kind)) os << '(' << g.parameter << ')';
+    os << " targets=[";
+    for (std::size_t i = 0; i < g.targets.size(); ++i)
+      os << (i ? "," : "") << g.targets[i];
+    os << ']';
+    if (!g.controls.empty()) {
+      os << " controls=[";
+      for (std::size_t i = 0; i < g.controls.size(); ++i)
+        os << (i ? "," : "") << g.controls[i];
+      os << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qtda

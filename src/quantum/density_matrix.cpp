@@ -1,0 +1,191 @@
+#include "quantum/density_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+ComplexMatrix conjugate(const ComplexMatrix& m) {
+  ComplexMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    out.data()[i] = std::conj(m.data()[i]);
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Validated before the 4^n vectorized storage is allocated.
+std::size_t checked_density_width(std::size_t num_qubits) {
+  QTDA_REQUIRE(num_qubits >= 1 && num_qubits <= 13,
+               "density matrix width " << num_qubits
+                                       << " unsupported (4^n storage)");
+  return num_qubits;
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(checked_density_width(num_qubits)),
+      vectorized_(2 * num_qubits) {}
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits, Statevector vectorized)
+    : num_qubits_(num_qubits), vectorized_(std::move(vectorized)) {}
+
+DensityMatrix DensityMatrix::from_statevector(const Statevector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const std::uint64_t dim = psi.dimension();
+  std::vector<Amplitude> vec(dim * dim);
+  for (std::uint64_t r = 0; r < dim; ++r)
+    for (std::uint64_t c = 0; c < dim; ++c)
+      vec[r * dim + c] = psi.amplitude(r) * std::conj(psi.amplitude(c));
+  rho.vectorized_.set_amplitudes(std::move(vec));
+  return rho;
+}
+
+DensityMatrix DensityMatrix::maximally_mixed(std::size_t num_qubits) {
+  DensityMatrix rho(num_qubits);
+  const std::uint64_t dim = rho.dimension();
+  std::vector<Amplitude> vec(dim * dim);
+  const double weight = 1.0 / static_cast<double>(dim);
+  for (std::uint64_t r = 0; r < dim; ++r) vec[r * dim + r] = weight;
+  rho.vectorized_.set_amplitudes(std::move(vec));
+  return rho;
+}
+
+Amplitude DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
+  QTDA_REQUIRE(row < dimension() && col < dimension(),
+               "density matrix index out of range");
+  return vectorized_.amplitude(row * dimension() + col);
+}
+
+void DensityMatrix::apply_gate(const Gate& gate) {
+  // Row side: the gate verbatim (row register occupies qubits [0, n)).
+  vectorized_.apply_gate(gate);
+  // Column side: conj(U) on the column register [n, 2n).
+  Gate column = gate;
+  column.kind = GateKind::kUnitary;
+  column.matrix = conjugate(gate.kind == GateKind::kUnitary
+                                ? gate.matrix
+                                : gate.single_qubit_matrix());
+  for (std::size_t& q : column.targets) q += num_qubits_;
+  for (std::size_t& q : column.controls) q += num_qubits_;
+  vectorized_.apply_gate(column);
+}
+
+void DensityMatrix::apply_circuit(const Circuit& circuit) {
+  QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
+               "circuit width mismatch");
+  for (const Gate& gate : circuit.gates()) apply_gate(gate);
+  // e^{iφ}ρe^{−iφ} = ρ: the global phase cancels.
+}
+
+void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
+  QTDA_REQUIRE(qubit < num_qubits_, "qubit out of range");
+  QTDA_REQUIRE(probability >= 0.0 && probability <= 1.0,
+               "error probability out of [0,1]");
+  if (probability == 0.0) return;
+  // Closed form of (1−p)ρ + (p/3)(XρX + YρY + ZρZ) on one qubit:
+  //   off-diagonal (in that qubit):  scaled by (1 − 4p/3)
+  //   diagonal pair (a, d):          a' = (1−2p/3)a + (2p/3)d  (and sym.)
+  // One pass over vec(ρ), no temporaries.
+  const double shrink = 1.0 - 4.0 * probability / 3.0;
+  const double mix = 2.0 * probability / 3.0;
+  const std::size_t total = 2 * num_qubits_;
+  const std::uint64_t row_mask = qubit_mask(qubit, total);
+  const std::uint64_t col_mask = qubit_mask(qubit + num_qubits_, total);
+  std::vector<Amplitude> v = vectorized_.amplitudes();
+  const std::uint64_t dim = std::uint64_t{1} << total;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & row_mask) != 0 || (i & col_mask) != 0) continue;
+    const std::uint64_t i00 = i;
+    const std::uint64_t i01 = i | col_mask;
+    const std::uint64_t i10 = i | row_mask;
+    const std::uint64_t i11 = i | row_mask | col_mask;
+    const Amplitude a = v[i00];
+    const Amplitude d = v[i11];
+    v[i00] = shrink * a + mix * (a + d);
+    v[i11] = shrink * d + mix * (a + d);
+    v[i01] *= shrink;
+    v[i10] *= shrink;
+  }
+  vectorized_.set_amplitudes(std::move(v));
+}
+
+void DensityMatrix::apply_circuit_with_noise(const Circuit& circuit,
+                                             const NoiseModel& noise) {
+  QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
+               "circuit width mismatch");
+  for (const Gate& gate : circuit.gates()) {
+    apply_gate(gate);
+    const bool multi = gate.targets.size() + gate.controls.size() >= 2;
+    const double p =
+        multi ? noise.two_qubit_error : noise.single_qubit_error;
+    if (p <= 0.0) continue;
+    for (std::size_t q : gate.targets) apply_depolarizing(q, p);
+    for (std::size_t q : gate.controls) apply_depolarizing(q, p);
+  }
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::uint64_t r = 0; r < dimension(); ++r)
+    t += element(r, r).real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // Tr ρ² = Σ_{r,c} |ρ(r,c)|² for Hermitian ρ — the vectorized 2-norm.
+  return vectorized_.norm_squared();
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dimension());
+  for (std::uint64_t r = 0; r < dimension(); ++r)
+    p[r] = std::max(element(r, r).real(), 0.0);
+  return p;
+}
+
+std::vector<double> DensityMatrix::marginal_probabilities(
+    const std::vector<std::size_t>& qubits) const {
+  QTDA_REQUIRE(!qubits.empty(), "marginal over an empty qubit set");
+  const std::size_t m = qubits.size();
+  std::vector<std::uint64_t> bit_mask(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    QTDA_REQUIRE(qubits[j] < num_qubits_, "qubit out of range");
+    bit_mask[j] = qubit_mask(qubits[m - 1 - j], num_qubits_);
+  }
+  std::vector<double> marginal(std::uint64_t{1} << m, 0.0);
+  const auto diag = probabilities();
+  for (std::uint64_t r = 0; r < dimension(); ++r) {
+    std::uint64_t outcome = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      if (r & bit_mask[j]) outcome |= std::uint64_t{1} << j;
+    marginal[outcome] += diag[r];
+  }
+  return marginal;
+}
+
+std::vector<std::uint64_t> DensityMatrix::sample_counts(
+    const std::vector<std::size_t>& qubits, std::size_t shots,
+    Rng& rng) const {
+  return multinomial_sample(marginal_probabilities(qubits), shots, rng);
+}
+
+DensityMatrix run_circuit_density(const Circuit& circuit,
+                                  const NoiseModel& noise) {
+  DensityMatrix rho(circuit.num_qubits());
+  if (noise.is_noiseless()) {
+    rho.apply_circuit(circuit);
+  } else {
+    rho.apply_circuit_with_noise(circuit, noise);
+  }
+  return rho;
+}
+
+}  // namespace qtda

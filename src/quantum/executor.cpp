@@ -1,0 +1,44 @@
+#include "quantum/executor.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+Statevector run_circuit(const Circuit& circuit) {
+  Statevector state(circuit.num_qubits());
+  state.apply_circuit(circuit);
+  return state;
+}
+
+Statevector run_circuit_from_basis(const Circuit& circuit,
+                                   std::uint64_t initial_state) {
+  Statevector state(circuit.num_qubits());
+  state.set_basis_state(initial_state);
+  state.apply_circuit(circuit);
+  return state;
+}
+
+std::vector<std::uint64_t> sample_circuit(
+    const Circuit& circuit, const std::vector<std::size_t>& measured_qubits,
+    std::size_t shots, Rng& rng) {
+  const Statevector state = run_circuit(circuit);
+  return state.sample_counts(measured_qubits, shots, rng);
+}
+
+std::vector<std::uint64_t> sample_circuit_noisy(
+    const Circuit& circuit, const std::vector<std::size_t>& measured_qubits,
+    std::size_t shots, const NoiseModel& noise, Rng& rng) {
+  if (noise.is_noiseless())
+    return sample_circuit(circuit, measured_qubits, shots, rng);
+  QTDA_REQUIRE(!measured_qubits.empty(), "no measured qubits");
+  std::vector<std::uint64_t> counts(std::uint64_t{1} << measured_qubits.size(),
+                                    0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const Statevector state = run_noisy_trajectory(circuit, noise, rng);
+    const auto one = state.sample_counts(measured_qubits, 1, rng);
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += one[i];
+  }
+  return counts;
+}
+
+}  // namespace qtda

@@ -1,0 +1,35 @@
+/// \file executor.hpp
+/// \brief Circuit execution and shot sampling (ideal and noisy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/noise.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qtda {
+
+/// Runs a circuit from |0…0⟩ and returns the final state.
+Statevector run_circuit(const Circuit& circuit);
+
+/// Runs from a given initial basis state.
+Statevector run_circuit_from_basis(const Circuit& circuit,
+                                   std::uint64_t initial_state);
+
+/// Ideal sampling: one state-vector evolution, exact multinomial shots over
+/// the measured qubits (MSB-first outcome encoding).
+std::vector<std::uint64_t> sample_circuit(
+    const Circuit& circuit, const std::vector<std::size_t>& measured_qubits,
+    std::size_t shots, Rng& rng);
+
+/// Noisy sampling by Monte-Carlo trajectories: each shot evolves its own
+/// trajectory with stochastic Pauli errors injected per gate, then draws one
+/// outcome.  Exact but O(shots · circuit) — use modest shot counts.
+std::vector<std::uint64_t> sample_circuit_noisy(
+    const Circuit& circuit, const std::vector<std::size_t>& measured_qubits,
+    std::size_t shots, const NoiseModel& noise, Rng& rng);
+
+}  // namespace qtda

@@ -1,0 +1,99 @@
+#include "quantum/gates.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace qtda::gates {
+
+namespace {
+const std::complex<double> kI{0.0, 1.0};
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+ComplexMatrix I() { return {{1.0, 0.0}, {0.0, 1.0}}; }
+
+ComplexMatrix X() { return {{0.0, 1.0}, {1.0, 0.0}}; }
+
+ComplexMatrix Y() {
+  ComplexMatrix m(2, 2);
+  m(0, 1) = -kI;
+  m(1, 0) = kI;
+  return m;
+}
+
+ComplexMatrix Z() { return {{1.0, 0.0}, {0.0, -1.0}}; }
+
+ComplexMatrix H() {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = kInvSqrt2;
+  m(0, 1) = kInvSqrt2;
+  m(1, 0) = kInvSqrt2;
+  m(1, 1) = -kInvSqrt2;
+  return m;
+}
+
+ComplexMatrix S() {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = kI;
+  return m;
+}
+
+ComplexMatrix Sdg() {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = -kI;
+  return m;
+}
+
+ComplexMatrix T() {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = std::exp(kI * (M_PI / 4.0));
+  return m;
+}
+
+ComplexMatrix Tdg() {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = std::exp(-kI * (M_PI / 4.0));
+  return m;
+}
+
+ComplexMatrix RX(double theta) {
+  ComplexMatrix m(2, 2);
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  m(0, 0) = c;
+  m(0, 1) = -kI * s;
+  m(1, 0) = -kI * s;
+  m(1, 1) = c;
+  return m;
+}
+
+ComplexMatrix RY(double theta) {
+  ComplexMatrix m(2, 2);
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  m(0, 0) = c;
+  m(0, 1) = -s;
+  m(1, 0) = s;
+  m(1, 1) = c;
+  return m;
+}
+
+ComplexMatrix RZ(double theta) {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = std::exp(-kI * (theta / 2.0));
+  m(1, 1) = std::exp(kI * (theta / 2.0));
+  return m;
+}
+
+ComplexMatrix Phase(double phi) {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = std::exp(kI * phi);
+  return m;
+}
+
+}  // namespace qtda::gates

@@ -1,0 +1,28 @@
+/// \file gates.hpp
+/// \brief Standard gate matrices.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda::gates {
+
+/// 2×2 constants.
+ComplexMatrix I();
+ComplexMatrix X();
+ComplexMatrix Y();
+ComplexMatrix Z();
+ComplexMatrix H();
+ComplexMatrix S();
+ComplexMatrix Sdg();
+ComplexMatrix T();
+ComplexMatrix Tdg();
+
+/// Rotations: R_A(θ) = exp(−iθA/2).
+ComplexMatrix RX(double theta);
+ComplexMatrix RY(double theta);
+ComplexMatrix RZ(double theta);
+
+/// Phase gate diag(1, e^{iφ}).
+ComplexMatrix Phase(double phi);
+
+}  // namespace qtda::gates

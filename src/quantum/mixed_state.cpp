@@ -1,0 +1,18 @@
+#include "quantum/mixed_state.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+void append_mixed_state_preparation(Circuit& circuit,
+                                    const std::vector<std::size_t>& ancillas,
+                                    const std::vector<std::size_t>& systems) {
+  QTDA_REQUIRE(ancillas.size() == systems.size(),
+               "purification needs one ancilla per system qubit");
+  for (std::size_t i = 0; i < ancillas.size(); ++i) {
+    circuit.h(ancillas[i]);
+    circuit.cnot(ancillas[i], systems[i]);
+  }
+}
+
+}  // namespace qtda

@@ -1,0 +1,24 @@
+/// \file mixed_state.hpp
+/// \brief Maximally mixed state preparation (paper Fig. 2).
+///
+/// The q-qubit maximally mixed state I/2^q is prepared by purification:
+/// each of q ancillas gets a Hadamard and a CNOT onto its system partner;
+/// tracing out the ancillas leaves I/2^q on the system.  The estimator also
+/// supports a cheaper classically-sampled mixture (a uniformly random basis
+/// state per shot), which is statistically identical — property tests check
+/// the equivalence.
+#pragma once
+
+#include <vector>
+
+#include "quantum/circuit.hpp"
+
+namespace qtda {
+
+/// Appends H(ancilla_i); CNOT(ancilla_i → system_i) for each pair.  The two
+/// wire lists must have equal length.
+void append_mixed_state_preparation(Circuit& circuit,
+                                    const std::vector<std::size_t>& ancillas,
+                                    const std::vector<std::size_t>& systems);
+
+}  // namespace qtda

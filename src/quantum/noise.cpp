@@ -1,0 +1,45 @@
+#include "quantum/noise.hpp"
+
+#include "common/error.hpp"
+#include "quantum/gates.hpp"
+
+namespace qtda {
+
+void maybe_apply_depolarizing(Statevector& state, std::size_t qubit,
+                              double probability, Rng& rng) {
+  if (probability <= 0.0) return;
+  QTDA_REQUIRE(probability <= 1.0, "error probability above 1");
+  if (!rng.bernoulli(probability)) return;
+  switch (rng.uniform_index(3)) {
+    case 0:
+      state.apply_single_qubit(gates::X(), qubit);
+      break;
+    case 1:
+      state.apply_single_qubit(gates::Y(), qubit);
+      break;
+    default:
+      state.apply_single_qubit(gates::Z(), qubit);
+      break;
+  }
+}
+
+Statevector run_noisy_trajectory(const Circuit& circuit,
+                                 const NoiseModel& noise, Rng& rng) {
+  Statevector state(circuit.num_qubits());
+  for (const Gate& gate : circuit.gates()) {
+    state.apply_gate(gate);
+    const bool multi = gate.targets.size() + gate.controls.size() >= 2;
+    const double p =
+        multi ? noise.two_qubit_error : noise.single_qubit_error;
+    if (p <= 0.0) continue;
+    for (std::size_t q : gate.targets)
+      maybe_apply_depolarizing(state, q, p, rng);
+    for (std::size_t q : gate.controls)
+      maybe_apply_depolarizing(state, q, p, rng);
+  }
+  if (circuit.global_phase() != 0.0)
+    state.apply_global_phase(circuit.global_phase());
+  return state;
+}
+
+}  // namespace qtda

@@ -1,0 +1,39 @@
+/// \file noise.hpp
+/// \brief Stochastic Pauli (depolarizing) noise — the paper's NISQ
+/// future-work axis.
+///
+/// A depolarizing channel of strength p on a qubit applies a uniformly
+/// random non-identity Pauli with probability p.  The noisy executor
+/// inserts such errors after every gate, on every qubit the gate touches,
+/// with separate strengths for single- and multi-qubit gates (hardware
+/// two-qubit error rates are typically an order of magnitude worse).
+#pragma once
+
+#include <cstddef>
+
+#include "common/random.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qtda {
+
+/// Depolarizing noise strengths.
+struct NoiseModel {
+  double single_qubit_error = 0.0;  ///< per touched qubit, 1q gates
+  double two_qubit_error = 0.0;     ///< per touched qubit, ≥2q gates
+
+  bool is_noiseless() const {
+    return single_qubit_error <= 0.0 && two_qubit_error <= 0.0;
+  }
+};
+
+/// Applies one stochastic depolarizing event to \p qubit with probability
+/// \p probability (X, Y or Z uniformly when it fires).
+void maybe_apply_depolarizing(Statevector& state, std::size_t qubit,
+                              double probability, Rng& rng);
+
+/// Runs one noisy trajectory of the circuit from |0…0⟩.
+Statevector run_noisy_trajectory(const Circuit& circuit,
+                                 const NoiseModel& noise, Rng& rng);
+
+}  // namespace qtda

@@ -1,0 +1,137 @@
+#include "quantum/optimizer.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Rotation period: RX/RY/RZ repeat at 4π, the Phase gate at 2π.
+double rotation_period(GateKind kind) {
+  return kind == GateKind::kPhase ? kTwoPi : 2.0 * kTwoPi;
+}
+
+bool angle_is_trivial(GateKind kind, double angle) {
+  const double period = rotation_period(kind);
+  const double reduced = std::remainder(angle, period);
+  return std::abs(reduced) < 1e-12;
+}
+
+bool same_wires(const Gate& a, const Gate& b) {
+  return a.targets == b.targets && a.controls == b.controls;
+}
+
+/// True when the two gates cancel exactly (self-inverse named gates, same
+/// wires; also S/Sdg and T/Tdg pairs).
+bool cancels(const Gate& a, const Gate& b) {
+  if (!same_wires(a, b)) return false;
+  if (is_self_inverse(a.kind) && a.kind == b.kind) return true;
+  const auto inverse_pair = [](GateKind x, GateKind y) {
+    return (x == GateKind::kS && y == GateKind::kSdg) ||
+           (x == GateKind::kSdg && y == GateKind::kS) ||
+           (x == GateKind::kT && y == GateKind::kTdg) ||
+           (x == GateKind::kTdg && y == GateKind::kT);
+  };
+  return inverse_pair(a.kind, b.kind);
+}
+
+bool mergeable_rotations(const Gate& a, const Gate& b) {
+  return is_rotation(a.kind) && a.kind == b.kind && same_wires(a, b);
+}
+
+}  // namespace
+
+Circuit optimize_circuit(const Circuit& circuit, OptimizerReport* report) {
+  OptimizerReport local;
+  local.gates_before = circuit.gate_count();
+  local.depth_before = circuit.depth();
+
+  constexpr std::size_t kNoGate = static_cast<std::size_t>(-1);
+  std::vector<Gate> out;
+  out.reserve(circuit.gate_count());
+  // last_toucher[q] = index in `out` of the last surviving gate using q.
+  std::vector<std::size_t> last_toucher(circuit.num_qubits(), kNoGate);
+  std::vector<bool> erased;  // parallel to `out`
+
+  const auto wires_of = [](const Gate& g) {
+    std::vector<std::size_t> wires = g.targets;
+    wires.insert(wires.end(), g.controls.begin(), g.controls.end());
+    return wires;
+  };
+
+  const auto previous_on_all_wires =
+      [&](const Gate& g) -> std::optional<std::size_t> {
+    // The candidate must be the immediately preceding gate on EVERY wire the
+    // new gate uses, otherwise something intervenes and the rewrite is
+    // unsound.
+    std::optional<std::size_t> candidate;
+    for (std::size_t q : wires_of(g)) {
+      const std::size_t last = last_toucher[q];
+      if (last == kNoGate || erased[last]) return std::nullopt;
+      if (!candidate) candidate = last;
+      if (*candidate != last) return std::nullopt;
+    }
+    return candidate;
+  };
+
+  for (const Gate& gate : circuit.gates()) {
+    // Rule: drop trivial rotations outright.
+    if (is_rotation(gate.kind) && angle_is_trivial(gate.kind, gate.parameter)) {
+      ++local.dropped_rotations;
+      continue;
+    }
+    bool consumed = false;
+    if (gate.kind != GateKind::kUnitary) {
+      const auto prev = previous_on_all_wires(gate);
+      if (prev && !erased[*prev]) {
+        Gate& before = out[*prev];
+        if (cancels(before, gate)) {
+          erased[*prev] = true;
+          ++local.cancelled_pairs;
+          consumed = true;
+        } else if (mergeable_rotations(before, gate)) {
+          before.parameter += gate.parameter;
+          ++local.merged_rotations;
+          if (angle_is_trivial(before.kind, before.parameter)) {
+            erased[*prev] = true;
+            ++local.dropped_rotations;
+          }
+          consumed = true;
+        }
+      }
+    }
+    if (!consumed) {
+      out.push_back(gate);
+      erased.push_back(false);
+      for (std::size_t q : wires_of(gate))
+        last_toucher[q] = out.size() - 1;
+    }
+  }
+
+  Circuit optimized(circuit.num_qubits());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!erased[i]) optimized.append(out[i]);
+  }
+  optimized.add_global_phase(circuit.global_phase());
+
+  // Iterate to a fixpoint: a cancellation can expose a new adjacent pair.
+  if (optimized.gate_count() < circuit.gate_count()) {
+    OptimizerReport inner;
+    Circuit again = optimize_circuit(optimized, &inner);
+    local.cancelled_pairs += inner.cancelled_pairs;
+    local.merged_rotations += inner.merged_rotations;
+    local.dropped_rotations += inner.dropped_rotations;
+    optimized = std::move(again);
+  }
+
+  local.gates_after = optimized.gate_count();
+  local.depth_after = optimized.depth();
+  if (report) *report = local;
+  return optimized;
+}
+
+}  // namespace qtda

@@ -1,0 +1,32 @@
+/// \file optimizer.hpp
+/// \brief Peephole circuit optimizer (paper future work: depth reduction).
+///
+/// Three local rewrites applied to a fixpoint:
+///  * cancel adjacent self-inverse pairs (H·H, X·X, CNOT·CNOT, …),
+///  * merge adjacent same-axis rotations (RZ(a)·RZ(b) → RZ(a+b)),
+///  * drop rotations with angle ≡ 0 (mod 4π; mod 2π for Phase).
+/// "Adjacent" means no intervening gate touches any shared qubit, tracked
+/// with per-qubit last-writer bookkeeping, so rewrites across independent
+/// wires still fire.
+#pragma once
+
+#include "quantum/circuit.hpp"
+
+namespace qtda {
+
+/// What the optimizer did.
+struct OptimizerReport {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t depth_before = 0;
+  std::size_t depth_after = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t merged_rotations = 0;
+  std::size_t dropped_rotations = 0;
+};
+
+/// Returns the optimized circuit; \p report (optional) receives statistics.
+Circuit optimize_circuit(const Circuit& circuit,
+                         OptimizerReport* report = nullptr);
+
+}  // namespace qtda

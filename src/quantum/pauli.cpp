@@ -1,0 +1,207 @@
+#include "quantum/pauli.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+char pauli_kind_char(PauliKind kind) {
+  switch (kind) {
+    case PauliKind::I: return 'I';
+    case PauliKind::X: return 'X';
+    case PauliKind::Y: return 'Y';
+    case PauliKind::Z: return 'Z';
+  }
+  return '?';
+}
+
+PauliKind pauli_kind_from_char(char c) {
+  switch (c) {
+    case 'I': return PauliKind::I;
+    case 'X': return PauliKind::X;
+    case 'Y': return PauliKind::Y;
+    case 'Z': return PauliKind::Z;
+    default:
+      QTDA_REQUIRE(false, "invalid Pauli letter '" << c << '\'');
+  }
+  return PauliKind::I;
+}
+
+PauliString::PauliString(std::size_t num_qubits)
+    : kinds_(num_qubits, PauliKind::I) {
+  QTDA_REQUIRE(num_qubits > 0, "PauliString needs at least one qubit");
+}
+
+PauliString::PauliString(const std::string& letters) {
+  QTDA_REQUIRE(!letters.empty(), "empty Pauli string");
+  kinds_.reserve(letters.size());
+  for (char c : letters) kinds_.push_back(pauli_kind_from_char(c));
+}
+
+PauliString::PauliString(std::vector<PauliKind> kinds)
+    : kinds_(std::move(kinds)) {
+  QTDA_REQUIRE(!kinds_.empty(), "empty Pauli string");
+}
+
+std::size_t PauliString::weight() const {
+  std::size_t w = 0;
+  for (PauliKind k : kinds_)
+    if (k != PauliKind::I) ++w;
+  return w;
+}
+
+std::string PauliString::to_string() const {
+  std::string s;
+  s.reserve(kinds_.size());
+  for (PauliKind k : kinds_) s.push_back(pauli_kind_char(k));
+  return s;
+}
+
+ComplexMatrix PauliString::matrix() const {
+  ComplexMatrix m = ComplexMatrix::identity(1);
+  for (PauliKind k : kinds_) {
+    const ComplexMatrix factor = [k] {
+      switch (k) {
+        case PauliKind::I: return gates::I();
+        case PauliKind::X: return gates::X();
+        case PauliKind::Y: return gates::Y();
+        case PauliKind::Z: return gates::Z();
+      }
+      return gates::I();
+    }();
+    m = kronecker(m, factor);
+  }
+  return m;
+}
+
+std::uint64_t PauliString::flip_mask() const {
+  std::uint64_t mask = 0;
+  const std::size_t n = kinds_.size();
+  for (std::size_t q = 0; q < n; ++q) {
+    if (kinds_[q] == PauliKind::X || kinds_[q] == PauliKind::Y)
+      mask |= qubit_mask(q, n);
+  }
+  return mask;
+}
+
+std::complex<double> PauliString::phase_for(std::uint64_t ket) const {
+  // P|ket⟩ = phase · |ket ^ flip_mask⟩ with per-qubit factors:
+  //   X: 1      Y: i·(−1)^b      Z: (−1)^b        (b = ket's bit)
+  std::complex<double> phase{1.0, 0.0};
+  const std::size_t n = kinds_.size();
+  for (std::size_t q = 0; q < n; ++q) {
+    const int b = qubit_bit(ket, q, n);
+    switch (kinds_[q]) {
+      case PauliKind::I:
+      case PauliKind::X:
+        break;
+      case PauliKind::Y:
+        phase *= std::complex<double>(0.0, b ? -1.0 : 1.0);
+        break;
+      case PauliKind::Z:
+        if (b) phase = -phase;
+        break;
+    }
+  }
+  return phase;
+}
+
+PauliSum::PauliSum(std::vector<PauliTerm> terms) : terms_(std::move(terms)) {
+  for (const PauliTerm& t : terms_) {
+    QTDA_REQUIRE(t.string.num_qubits() == terms_.front().string.num_qubits(),
+                 "mixed qubit counts in PauliSum");
+  }
+}
+
+std::size_t PauliSum::num_qubits() const {
+  return terms_.empty() ? 0 : terms_.front().string.num_qubits();
+}
+
+ComplexMatrix PauliSum::matrix() const {
+  QTDA_REQUIRE(!terms_.empty(), "matrix of an empty PauliSum");
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits();
+  ComplexMatrix m(dim, dim);
+  for (const PauliTerm& t : terms_) {
+    const std::uint64_t flip = t.string.flip_mask();
+    for (std::uint64_t ket = 0; ket < dim; ++ket) {
+      m(ket ^ flip, ket) += t.coefficient * t.string.phase_for(ket);
+    }
+  }
+  return m;
+}
+
+double PauliSum::coefficient_of(const std::string& letters) const {
+  const PauliString target(letters);
+  double c = 0.0;
+  for (const PauliTerm& t : terms_)
+    if (t.string == target) c += t.coefficient;
+  return c;
+}
+
+PauliSum PauliSum::sorted() const {
+  std::vector<PauliTerm> out = terms_;
+  std::sort(out.begin(), out.end(), [](const PauliTerm& a, const PauliTerm& b) {
+    return a.string < b.string;
+  });
+  return PauliSum(std::move(out));
+}
+
+namespace {
+
+PauliSum decompose_impl(const ComplexMatrix& h, double tolerance) {
+  QTDA_REQUIRE(h.is_square(), "decomposition needs a square matrix");
+  const std::uint64_t dim = h.rows();
+  QTDA_REQUIRE(dim > 1 && (dim & (dim - 1)) == 0,
+               "matrix dimension must be a power of two, got " << dim);
+  QTDA_REQUIRE(is_hermitian(h, 1e-9), "decomposition needs a Hermitian matrix");
+  std::size_t n = 0;
+  while ((std::uint64_t{1} << n) < dim) ++n;
+  QTDA_REQUIRE(n <= 8, "Pauli decomposition over " << n
+                           << " qubits would enumerate 4^" << n
+                           << " strings; cap is 8");
+
+  std::vector<PauliTerm> terms;
+  // Enumerate all 4^n strings by base-4 digits (digit q = letter of qubit q).
+  const std::uint64_t num_strings = std::uint64_t{1} << (2 * n);
+  for (std::uint64_t code = 0; code < num_strings; ++code) {
+    std::vector<PauliKind> kinds(n);
+    std::uint64_t rest = code;
+    for (std::size_t q = n; q-- > 0;) {
+      kinds[q] = static_cast<PauliKind>(rest & 3ULL);
+      rest >>= 2;
+    }
+    PauliString p(std::move(kinds));
+    // coeff = Tr(P·H)/2^n.  Tr(PH) = Σ_{j,l} P(j,l)·H(l,j) and P(j,l) is
+    // nonzero only at j = l ^ flip with value phase_for(l), so the trace is
+    // a single sweep over columns l:  Σ_l phase_for(l) · H(l, l ^ flip).
+    const std::uint64_t flip = p.flip_mask();
+    std::complex<double> tr{};
+    for (std::uint64_t l = 0; l < dim; ++l) {
+      tr += p.phase_for(l) * h(l, l ^ flip);
+    }
+    const std::complex<double> coeff = tr / static_cast<double>(dim);
+    QTDA_ASSERT(std::abs(coeff.imag()) < 1e-9,
+                "non-real Pauli coefficient for Hermitian input");
+    if (std::abs(coeff.real()) > tolerance) {
+      terms.push_back({coeff.real(), std::move(p)});
+    }
+  }
+  return PauliSum(std::move(terms));
+}
+
+}  // namespace
+
+PauliSum pauli_decompose(const RealMatrix& hamiltonian, double tolerance) {
+  return decompose_impl(to_complex(hamiltonian), tolerance);
+}
+
+PauliSum pauli_decompose(const ComplexMatrix& hamiltonian, double tolerance) {
+  return decompose_impl(hamiltonian, tolerance);
+}
+
+}  // namespace qtda

@@ -1,0 +1,105 @@
+/// \file pauli.hpp
+/// \brief Pauli strings, Pauli sums, and Hamiltonian decomposition.
+///
+/// The paper's Appendix A expands the padded Laplacian into the Pauli basis
+/// (Eq. 19) before synthesizing the e^{iH} circuit.  A PauliString stores
+/// one letter per qubit (MSB-first, "ZIX" = Z⊗I⊗X); a PauliSum is a real
+/// linear combination — real coefficients suffice because the decomposed
+/// operators are Hermitian.  Decomposition uses the Hilbert–Schmidt inner
+/// product with O(2^n) work per string (each Pauli has one nonzero per row).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+enum class PauliKind : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+char pauli_kind_char(PauliKind kind);
+PauliKind pauli_kind_from_char(char c);
+
+/// A tensor product of single-qubit Paulis.
+class PauliString {
+ public:
+  /// Identity string on \p num_qubits qubits.
+  explicit PauliString(std::size_t num_qubits);
+  /// From letters, e.g. PauliString("ZIX").
+  explicit PauliString(const std::string& letters);
+  /// From explicit kinds (MSB-first).
+  explicit PauliString(std::vector<PauliKind> kinds);
+
+  std::size_t num_qubits() const { return kinds_.size(); }
+  PauliKind kind(std::size_t qubit) const { return kinds_[qubit]; }
+  const std::vector<PauliKind>& kinds() const { return kinds_; }
+
+  /// Number of non-identity letters.
+  std::size_t weight() const;
+  bool is_identity() const { return weight() == 0; }
+
+  /// "ZIX"-style rendering.
+  std::string to_string() const;
+
+  /// Dense 2^n × 2^n matrix (test/diagnostic path; O(4^n) memory).
+  ComplexMatrix matrix() const;
+
+  /// ⟨bra|P|ket⟩ entries without densifying: P|ket⟩ = phase · |ket ^ flip⟩.
+  /// flip_mask has the X/Y qubits' bits set (MSB-first convention).
+  std::uint64_t flip_mask() const;
+  /// The phase applied to basis state \p ket.
+  std::complex<double> phase_for(std::uint64_t ket) const;
+
+  bool operator==(const PauliString& other) const {
+    return kinds_ == other.kinds_;
+  }
+  bool operator<(const PauliString& other) const {
+    return kinds_ < other.kinds_;
+  }
+
+ private:
+  std::vector<PauliKind> kinds_;
+};
+
+/// One weighted string.
+struct PauliTerm {
+  double coefficient = 0.0;
+  PauliString string;
+};
+
+/// A real linear combination of Pauli strings (a Hermitian operator).
+class PauliSum {
+ public:
+  PauliSum() = default;
+  explicit PauliSum(std::vector<PauliTerm> terms);
+
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+  std::size_t num_qubits() const;
+
+  /// Dense matrix Σ c_i · P_i.
+  ComplexMatrix matrix() const;
+
+  /// Coefficient of a string by its letters; 0 when absent.
+  double coefficient_of(const std::string& letters) const;
+
+  /// Terms sorted by letters (deterministic output for printing/tests).
+  PauliSum sorted() const;
+
+ private:
+  std::vector<PauliTerm> terms_;
+};
+
+/// Expands a Hermitian matrix (given as real symmetric, the Laplacian case)
+/// into the Pauli basis.  The matrix dimension must be a power of two.
+/// Terms with |coefficient| ≤ \p tolerance are dropped.
+PauliSum pauli_decompose(const RealMatrix& hamiltonian,
+                         double tolerance = 1e-12);
+
+/// Same for complex Hermitian input.
+PauliSum pauli_decompose(const ComplexMatrix& hamiltonian,
+                         double tolerance = 1e-12);
+
+}  // namespace qtda

@@ -1,0 +1,102 @@
+#include "quantum/qasm.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Angle literal with enough digits for a lossless round trip.
+std::string angle(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+/// The qelib1 mnemonic for an uncontrolled named gate.
+std::string base_name(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::kH: return "h";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kRX: return "rx(" + angle(gate.parameter) + ")";
+    case GateKind::kRY: return "ry(" + angle(gate.parameter) + ")";
+    case GateKind::kRZ: return "rz(" + angle(gate.parameter) + ")";
+    case GateKind::kPhase: return "u1(" + angle(gate.parameter) + ")";
+    case GateKind::kUnitary:
+      QTDA_REQUIRE(false, "dense unitaries have no OpenQASM 2 form; "
+                          "synthesize via the Trotter backend first");
+  }
+  return "";
+}
+
+/// The mnemonic for a singly-controlled named gate, where qelib1 has one.
+std::string controlled_name(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::kX: return "cx";
+    case GateKind::kY: return "cy";
+    case GateKind::kZ: return "cz";
+    case GateKind::kH: return "ch";
+    case GateKind::kRX: return "crx(" + angle(gate.parameter) + ")";
+    case GateKind::kRY: return "cry(" + angle(gate.parameter) + ")";
+    case GateKind::kRZ: return "crz(" + angle(gate.parameter) + ")";
+    case GateKind::kPhase: return "cu1(" + angle(gate.parameter) + ")";
+    default:
+      QTDA_REQUIRE(false, "no qelib1 controlled form for "
+                              << gate_kind_name(gate.kind));
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit, const QasmOptions& options) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  const std::string& reg = options.register_name;
+  os << "qreg " << reg << '[' << circuit.num_qubits() << "];\n";
+  if (options.include_measurements)
+    os << "creg c[" << circuit.num_qubits() << "];\n";
+  if (options.emit_global_phase_comment && circuit.global_phase() != 0.0)
+    os << "// global phase: " << angle(circuit.global_phase()) << "\n";
+
+  const auto wire = [&](std::size_t q) {
+    return reg + '[' + std::to_string(q) + ']';
+  };
+
+  for (const Gate& gate : circuit.gates()) {
+    QTDA_REQUIRE(gate.kind != GateKind::kUnitary,
+                 "dense unitaries have no OpenQASM 2 form; synthesize via "
+                 "the Trotter backend first");
+    const std::size_t controls = gate.controls.size();
+    if (controls == 0) {
+      os << base_name(gate) << ' ' << wire(gate.targets[0]) << ";\n";
+    } else if (controls == 1) {
+      os << controlled_name(gate) << ' ' << wire(gate.controls[0]) << ','
+         << wire(gate.targets[0]) << ";\n";
+    } else if (controls == 2 && gate.kind == GateKind::kX) {
+      os << "ccx " << wire(gate.controls[0]) << ',' << wire(gate.controls[1])
+         << ',' << wire(gate.targets[0]) << ";\n";
+    } else {
+      QTDA_REQUIRE(false, "gate " << gate_kind_name(gate.kind) << " with "
+                                  << controls
+                                  << " controls has no OpenQASM 2 form");
+    }
+  }
+  if (options.include_measurements) {
+    for (std::size_t q = 0; q < circuit.num_qubits(); ++q)
+      os << "measure " << wire(q) << " -> c[" << q << "];\n";
+  }
+  return os.str();
+}
+
+}  // namespace qtda

@@ -1,0 +1,30 @@
+/// \file qasm.hpp
+/// \brief OpenQASM 2.0 export of circuit IR.
+///
+/// The paper's stated goal is making QTDA runnable on existing quantum
+/// SDKs; this exporter bridges our IR to that world: the Trotterized QPE
+/// circuits (all named gates with ≤ 2 controls) serialize to standard
+/// qelib1 QASM that Qiskit/PennyLane can ingest.  Dense kUnitary oracles
+/// have no QASM-2 representation and are rejected — synthesize through the
+/// Trotter backend first.
+#pragma once
+
+#include <string>
+
+#include "quantum/circuit.hpp"
+
+namespace qtda {
+
+/// Options for the exporter.
+struct QasmOptions {
+  std::string register_name = "q";
+  bool include_measurements = true;  ///< measure every qubit at the end
+  bool emit_global_phase_comment = true;
+};
+
+/// Serializes a circuit to OpenQASM 2.0.  Throws qtda::Error for gates that
+/// QASM 2 cannot express (dense unitaries; more than two controls; >1
+/// control on parameterized rotations other than Phase).
+std::string to_qasm(const Circuit& circuit, const QasmOptions& options = {});
+
+}  // namespace qtda

@@ -1,0 +1,40 @@
+#include "quantum/qft.hpp"
+
+#include "common/error.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+void append_qft(Circuit& circuit, const std::vector<std::size_t>& qubits) {
+  QTDA_REQUIRE(!qubits.empty(), "QFT over no qubits");
+  const std::size_t t = qubits.size();
+  // Textbook network (Nielsen & Chuang §5.1): process from the MSB wire,
+  // Hadamard then controlled phases from the lower wires.
+  for (std::size_t j = 0; j < t; ++j) {
+    circuit.h(qubits[j]);
+    for (std::size_t k = j + 1; k < t; ++k) {
+      const double angle = kTwoPi / static_cast<double>(1ULL << (k - j + 1));
+      circuit.controlled_phase(qubits[k], qubits[j], angle);
+    }
+  }
+  // Bit reversal.
+  for (std::size_t j = 0; j < t / 2; ++j)
+    circuit.swap(qubits[j], qubits[t - 1 - j]);
+}
+
+void append_inverse_qft(Circuit& circuit,
+                        const std::vector<std::size_t>& qubits) {
+  QTDA_REQUIRE(!qubits.empty(), "inverse QFT over no qubits");
+  const std::size_t t = qubits.size();
+  for (std::size_t j = 0; j < t / 2; ++j)
+    circuit.swap(qubits[j], qubits[t - 1 - j]);
+  for (std::size_t j = t; j-- > 0;) {
+    for (std::size_t k = t; k-- > j + 1;) {
+      const double angle = -kTwoPi / static_cast<double>(1ULL << (k - j + 1));
+      circuit.controlled_phase(qubits[k], qubits[j], angle);
+    }
+    circuit.h(qubits[j]);
+  }
+}
+
+}  // namespace qtda

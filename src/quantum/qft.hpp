@@ -1,0 +1,21 @@
+/// \file qft.hpp
+/// \brief Quantum Fourier transform circuit fragments.
+#pragma once
+
+#include <vector>
+
+#include "quantum/circuit.hpp"
+
+namespace qtda {
+
+/// Appends the QFT over \p qubits (MSB-first list):
+///   |x⟩ → 2^{−t/2} Σ_y e^{2πi·x·y/2^t} |y⟩,
+/// with x and y read MSB-first off the listed qubits.  Includes the closing
+/// swap network.
+void append_qft(Circuit& circuit, const std::vector<std::size_t>& qubits);
+
+/// Appends the inverse QFT (exact adjoint of append_qft).
+void append_inverse_qft(Circuit& circuit,
+                        const std::vector<std::size_t>& qubits);
+
+}  // namespace qtda

@@ -1,0 +1,76 @@
+#include "quantum/qpe.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "quantum/qft.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+std::vector<std::size_t> QpeLayout::precision_wires() const {
+  std::vector<std::size_t> wires(precision_qubits);
+  for (std::size_t i = 0; i < precision_qubits; ++i) wires[i] = i;
+  return wires;
+}
+
+std::vector<std::size_t> QpeLayout::system_wires() const {
+  std::vector<std::size_t> wires(system_qubits);
+  for (std::size_t i = 0; i < system_qubits; ++i)
+    wires[i] = precision_qubits + i;
+  return wires;
+}
+
+std::vector<std::size_t> QpeLayout::ancilla_wires() const {
+  std::vector<std::size_t> wires(ancilla_qubits);
+  for (std::size_t i = 0; i < ancilla_qubits; ++i)
+    wires[i] = precision_qubits + system_qubits + i;
+  return wires;
+}
+
+Circuit build_qpe_circuit(const QpeLayout& layout,
+                          const ControlledPowerAppender& append_power) {
+  QTDA_REQUIRE(layout.precision_qubits >= 1, "QPE needs precision qubits");
+  QTDA_REQUIRE(layout.system_qubits >= 1, "QPE needs a system register");
+  Circuit circuit(layout.total());
+  const std::size_t t = layout.precision_qubits;
+
+  for (std::size_t j = 0; j < t; ++j) circuit.h(j);
+  // Precision wire j (MSB-first) carries weight 2^{t−1−j}.
+  for (std::size_t j = 0; j < t; ++j) {
+    const std::uint64_t power = std::uint64_t{1} << (t - 1 - j);
+    append_power(circuit, power, j);
+  }
+  append_inverse_qft(circuit, layout.precision_wires());
+  return circuit;
+}
+
+Circuit build_qpe_circuit_dense(
+    const QpeLayout& layout,
+    const std::function<ComplexMatrix(std::uint64_t)>& unitary_power) {
+  const std::vector<std::size_t> system = layout.system_wires();
+  return build_qpe_circuit(
+      layout, [&](Circuit& circuit, std::uint64_t power, std::size_t control) {
+        circuit.unitary(unitary_power(power), system, {control});
+      });
+}
+
+double qpe_outcome_probability(double theta, std::uint64_t m, std::size_t t) {
+  QTDA_REQUIRE(t >= 1 && t <= 62, "precision qubit count out of range");
+  const double big_t = static_cast<double>(std::uint64_t{1} << t);
+  QTDA_REQUIRE(m < static_cast<std::uint64_t>(big_t), "outcome out of range");
+  // Δ = θ − m/2^t reduced to (−1/2, 1/2]; the kernel is 1-periodic.
+  double delta = theta - static_cast<double>(m) / big_t;
+  delta -= std::round(delta);
+  if (std::abs(delta) < 1e-15) return 1.0;
+  const double numerator = std::sin(kPi * big_t * delta);
+  const double denominator = std::sin(kPi * delta);
+  const double amplitude = numerator / (big_t * denominator);
+  return amplitude * amplitude;
+}
+
+double qpe_zero_probability(double theta, std::size_t t) {
+  return qpe_outcome_probability(theta, 0, t);
+}
+
+}  // namespace qtda

@@ -1,0 +1,58 @@
+/// \file qpe.hpp
+/// \brief Quantum phase estimation circuit builder (paper Fig. 6).
+///
+/// Register layout (MSB-first): precision qubits [0, t), system qubits
+/// [t, t+q), optional ancillas [t+q, t+q+a) for mixed-state purification.
+/// Precision qubit j controls U^{2^{t−1−j}} so the measured integer m (read
+/// MSB-first off the precision register) estimates the phase θ ≈ m/2^t.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "quantum/circuit.hpp"
+
+namespace qtda {
+
+/// Fixed register layout of a QPE instance.
+struct QpeLayout {
+  std::size_t precision_qubits = 3;
+  std::size_t system_qubits = 1;
+  std::size_t ancilla_qubits = 0;
+
+  std::size_t total() const {
+    return precision_qubits + system_qubits + ancilla_qubits;
+  }
+  std::vector<std::size_t> precision_wires() const;
+  std::vector<std::size_t> system_wires() const;
+  std::vector<std::size_t> ancilla_wires() const;
+};
+
+/// Supplies the controlled powers of U.  Given the power p (one of 1, 2, 4,
+/// …, 2^{t−1}) and the control wire, the callback must append the controlled
+/// U^p acting on the layout's system wires.
+using ControlledPowerAppender =
+    std::function<void(Circuit&, std::uint64_t power, std::size_t control)>;
+
+/// Builds the QPE network: H wall on the precision register, controlled
+/// powers (through the callback), inverse QFT.  State preparation of the
+/// system/ancilla registers is the caller's job (prepend it).
+Circuit build_qpe_circuit(const QpeLayout& layout,
+                          const ControlledPowerAppender& append_power);
+
+/// Convenience: QPE with a dense unitary oracle.  `unitary_power(p)` must
+/// return the 2^q × 2^q matrix of U^p.
+Circuit build_qpe_circuit_dense(
+    const QpeLayout& layout,
+    const std::function<ComplexMatrix(std::uint64_t)>& unitary_power);
+
+/// Theoretical QPE outcome distribution for one eigenphase θ ∈ [0, 1):
+/// probability of measuring integer m on t precision qubits,
+///   Pr[m] = |2^{−t} Σ_x e^{2πi x (θ − m/2^t)}|²  (Fejér kernel).
+double qpe_outcome_probability(double theta, std::uint64_t m, std::size_t t);
+
+/// Pr[m = 0] for eigenphase θ — the quantity the Betti estimator counts.
+double qpe_zero_probability(double theta, std::size_t t);
+
+}  // namespace qtda

@@ -1,0 +1,266 @@
+#include "quantum/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Below this state size the OpenMP fork/join overhead dominates
+/// (measured: parallel dispatch on 2^14-amplitude states made the exact
+/// density-matrix ablation ~10x slower than serial kernels).
+constexpr std::uint64_t kParallelThreshold = 1ULL << 17;
+
+}  // namespace
+
+Statevector::Statevector(std::size_t num_qubits)
+    : num_qubits_(num_qubits),
+      amplitudes_(std::uint64_t{1} << num_qubits, Amplitude{0.0, 0.0}) {
+  QTDA_REQUIRE(num_qubits > 0 && num_qubits <= 30,
+               "statevector width " << num_qubits << " unsupported");
+  amplitudes_[0] = Amplitude{1.0, 0.0};
+}
+
+Amplitude Statevector::amplitude(std::uint64_t index) const {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  return amplitudes_[index];
+}
+
+void Statevector::set_basis_state(std::uint64_t index) {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  std::fill(amplitudes_.begin(), amplitudes_.end(), Amplitude{});
+  amplitudes_[index] = Amplitude{1.0, 0.0};
+}
+
+void Statevector::set_amplitudes(std::vector<Amplitude> amplitudes) {
+  QTDA_REQUIRE(amplitudes.size() == dimension(),
+               "amplitude vector length mismatch");
+  amplitudes_ = std::move(amplitudes);
+}
+
+void Statevector::apply_gate(const Gate& gate) {
+  if (gate.kind == GateKind::kUnitary) {
+    apply_unitary(gate.matrix, gate.targets, gate.controls);
+  } else {
+    apply_single_qubit(gate.single_qubit_matrix(), gate.targets.at(0),
+                       gate.controls);
+  }
+}
+
+void Statevector::apply_circuit(const Circuit& circuit) {
+  QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
+               "circuit width " << circuit.num_qubits()
+                                << " does not match state width "
+                                << num_qubits_);
+  for (const Gate& gate : circuit.gates()) apply_gate(gate);
+  if (circuit.global_phase() != 0.0) apply_global_phase(circuit.global_phase());
+}
+
+void Statevector::apply_single_qubit(const ComplexMatrix& u,
+                                     std::size_t target,
+                                     const std::vector<std::size_t>& controls) {
+  QTDA_REQUIRE(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
+  QTDA_REQUIRE(target < num_qubits_, "target out of range");
+  const std::uint64_t mask = qubit_mask(target, num_qubits_);
+  std::uint64_t cmask = 0;
+  for (std::size_t c : controls) {
+    QTDA_REQUIRE(c < num_qubits_ && c != target, "bad control qubit");
+    cmask |= qubit_mask(c, num_qubits_);
+  }
+  const Amplitude u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const std::uint64_t dim = dimension();
+  Amplitude* amp = amplitudes_.data();
+
+  const auto body = [&](std::uint64_t i0) {
+    if ((i0 & cmask) != cmask) return;
+    const std::uint64_t i1 = i0 | mask;
+    const Amplitude a0 = amp[i0];
+    const Amplitude a1 = amp[i1];
+    amp[i0] = u00 * a0 + u01 * a1;
+    amp[i1] = u10 * a0 + u11 * a1;
+  };
+
+  if (dim >= kParallelThreshold) {
+#ifdef QTDA_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+      const auto idx = static_cast<std::uint64_t>(i);
+      if ((idx & mask) == 0) body(idx);
+    }
+  } else {
+    for (std::uint64_t block = 0; block < dim; block += 2 * mask) {
+      for (std::uint64_t i = block; i < block + mask; ++i) body(i);
+    }
+  }
+}
+
+void Statevector::apply_unitary(const ComplexMatrix& u,
+                                const std::vector<std::size_t>& targets,
+                                const std::vector<std::size_t>& controls) {
+  if (targets.size() == 1) {
+    apply_single_qubit(u, targets[0], controls);
+    return;
+  }
+  const std::size_t m = targets.size();
+  QTDA_REQUIRE(m <= 20, "dense unitary over too many targets");
+  const std::uint64_t block = std::uint64_t{1} << m;
+  QTDA_REQUIRE(u.rows() == block && u.cols() == block,
+               "unitary shape does not match target count");
+  std::uint64_t tmask = 0;
+  // Local bit j (LSB-first) is targets[m−1−j]: the first listed target is
+  // the most significant local bit, mirroring the global convention.
+  std::vector<std::uint64_t> local_bit_mask(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t q = targets[m - 1 - j];
+    QTDA_REQUIRE(q < num_qubits_, "target out of range");
+    local_bit_mask[j] = qubit_mask(q, num_qubits_);
+    QTDA_REQUIRE((tmask & local_bit_mask[j]) == 0, "duplicate target");
+    tmask |= local_bit_mask[j];
+  }
+  std::uint64_t cmask = 0;
+  for (std::size_t c : controls) {
+    QTDA_REQUIRE(c < num_qubits_, "control out of range");
+    const std::uint64_t bit = qubit_mask(c, num_qubits_);
+    QTDA_REQUIRE((bit & tmask) == 0, "control overlaps target");
+    cmask |= bit;
+  }
+  // Global offsets of each local index.
+  std::vector<std::uint64_t> offset(block);
+  for (std::uint64_t l = 0; l < block; ++l) {
+    std::uint64_t off = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      if ((l >> j) & 1ULL) off |= local_bit_mask[j];
+    offset[l] = off;
+  }
+
+  const std::uint64_t dim = dimension();
+  Amplitude* amp = amplitudes_.data();
+  std::vector<Amplitude> scratch(block);
+
+  const auto body = [&](std::uint64_t base, std::vector<Amplitude>& buf) {
+    for (std::uint64_t l = 0; l < block; ++l) buf[l] = amp[base | offset[l]];
+    for (std::uint64_t r = 0; r < block; ++r) {
+      Amplitude acc{};
+      const Amplitude* urow = u.row(r);
+      for (std::uint64_t c = 0; c < block; ++c) acc += urow[c] * buf[c];
+      amp[base | offset[r]] = acc;
+    }
+  };
+
+  if (dim >= kParallelThreshold && block <= 64) {
+#ifdef QTDA_HAVE_OPENMP
+#pragma omp parallel
+    {
+      std::vector<Amplitude> local(block);
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
+        const auto idx = static_cast<std::uint64_t>(i);
+        if ((idx & tmask) == 0 && (idx & cmask) == cmask) body(idx, local);
+      }
+    }
+    return;
+#endif
+  }
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & tmask) == 0 && (i & cmask) == cmask) body(i, scratch);
+  }
+}
+
+void Statevector::apply_global_phase(double phi) {
+  const Amplitude factor{std::cos(phi), std::sin(phi)};
+  for (Amplitude& a : amplitudes_) a *= factor;
+}
+
+double Statevector::probability(std::uint64_t index) const {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  return std::norm(amplitudes_[index]);
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> p(amplitudes_.size());
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
+    p[i] = std::norm(amplitudes_[i]);
+  return p;
+}
+
+std::vector<double> Statevector::marginal_probabilities(
+    const std::vector<std::size_t>& qubits) const {
+  QTDA_REQUIRE(!qubits.empty(), "marginal over an empty qubit set");
+  const std::size_t m = qubits.size();
+  QTDA_REQUIRE(m <= 26, "marginal outcome space too large");
+  std::vector<std::uint64_t> bit_mask(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    QTDA_REQUIRE(qubits[j] < num_qubits_, "qubit out of range");
+    // Outcome bit j (LSB-first) is qubits[m−1−j] (MSB-first listing).
+    bit_mask[j] = qubit_mask(qubits[m - 1 - j], num_qubits_);
+  }
+  std::vector<double> marginal(std::uint64_t{1} << m, 0.0);
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    const double p = std::norm(amplitudes_[i]);
+    if (p == 0.0) continue;
+    std::uint64_t outcome = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      if (i & bit_mask[j]) outcome |= std::uint64_t{1} << j;
+    marginal[outcome] += p;
+  }
+  return marginal;
+}
+
+std::vector<std::uint64_t> Statevector::sample_counts(
+    const std::vector<std::size_t>& qubits, std::size_t shots,
+    Rng& rng) const {
+  return multinomial_sample(marginal_probabilities(qubits), shots, rng);
+}
+
+double Statevector::norm_squared() const {
+  double s = 0.0;
+  for (const Amplitude& a : amplitudes_) s += std::norm(a);
+  return s;
+}
+
+void Statevector::normalize() {
+  const double n2 = norm_squared();
+  QTDA_REQUIRE(n2 > 0.0, "cannot normalize the zero vector");
+  const double inv = 1.0 / std::sqrt(n2);
+  for (Amplitude& a : amplitudes_) a *= inv;
+}
+
+Amplitude Statevector::inner_product(const Statevector& other) const {
+  QTDA_REQUIRE(other.num_qubits() == num_qubits_,
+               "inner product width mismatch");
+  Amplitude acc{};
+  for (std::uint64_t i = 0; i < dimension(); ++i)
+    acc += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  return acc;
+}
+
+std::vector<std::uint64_t> multinomial_sample(
+    const std::vector<double>& distribution, std::size_t shots, Rng& rng) {
+  QTDA_REQUIRE(!distribution.empty(), "empty distribution");
+  std::vector<double> cumulative(distribution.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < distribution.size(); ++i) {
+    QTDA_REQUIRE(distribution[i] >= -1e-12,
+                 "negative probability " << distribution[i]);
+    total += std::max(distribution[i], 0.0);
+    cumulative[i] = total;
+  }
+  QTDA_REQUIRE(total > 0.0, "distribution sums to zero");
+  std::vector<std::uint64_t> counts(distribution.size(), 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    const std::size_t idx =
+        std::min<std::size_t>(std::distance(cumulative.begin(), it),
+                              distribution.size() - 1);
+    ++counts[idx];
+  }
+  return counts;
+}
+
+}  // namespace qtda

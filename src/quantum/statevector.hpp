@@ -1,0 +1,87 @@
+/// \file statevector.hpp
+/// \brief Dense state-vector simulator.
+///
+/// Amplitudes are stored for all 2^n basis states under the MSB-first qubit
+/// convention of types.hpp.  Gate kernels are cache-friendly strided loops,
+/// parallelized with OpenMP above a size threshold (the state for the
+/// paper's circuits ranges from 2^3 to 2^20 amplitudes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+/// A pure n-qubit state.
+class Statevector {
+ public:
+  /// |0…0⟩ on \p num_qubits qubits.
+  explicit Statevector(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
+  const std::vector<Amplitude>& amplitudes() const { return amplitudes_; }
+  Amplitude amplitude(std::uint64_t index) const;
+
+  /// Resets to the computational basis state |index⟩.
+  void set_basis_state(std::uint64_t index);
+
+  /// Sets arbitrary amplitudes (must have length 2^n; normalized by caller
+  /// or via normalize()).
+  void set_amplitudes(std::vector<Amplitude> amplitudes);
+
+  // -- gate application -------------------------------------------------------
+  /// Applies a named or dense gate (with controls) from the circuit IR.
+  void apply_gate(const Gate& gate);
+  /// Applies every gate of a circuit, then its global phase.
+  void apply_circuit(const Circuit& circuit);
+  /// 2×2 matrix on \p target, conditioned on all \p controls being 1.
+  void apply_single_qubit(const ComplexMatrix& u, std::size_t target,
+                          const std::vector<std::size_t>& controls = {});
+  /// Dense 2^m×2^m matrix over ordered targets (first = most significant
+  /// local bit), conditioned on controls.
+  void apply_unitary(const ComplexMatrix& u,
+                     const std::vector<std::size_t>& targets,
+                     const std::vector<std::size_t>& controls = {});
+  /// Multiplies the whole state by e^{iφ}.
+  void apply_global_phase(double phi);
+
+  // -- measurement ------------------------------------------------------------
+  /// |amplitude|² of one basis state.
+  double probability(std::uint64_t index) const;
+  /// Full probability vector (length 2^n).
+  std::vector<double> probabilities() const;
+  /// Marginal distribution over an ordered qubit subset (MSB-first: the
+  /// first listed qubit is the most significant bit of the outcome).
+  std::vector<double> marginal_probabilities(
+      const std::vector<std::size_t>& qubits) const;
+  /// Draws \p shots outcomes over the given qubits; returns counts indexed
+  /// by outcome.  Sampling is exact multinomial from the marginal.
+  std::vector<std::uint64_t> sample_counts(
+      const std::vector<std::size_t>& qubits, std::size_t shots,
+      Rng& rng) const;
+
+  /// Σ|amp|²; 1 for a normalized state.
+  double norm_squared() const;
+  /// Rescales to unit norm (throws on the zero vector).
+  void normalize();
+  /// ⟨this|other⟩.
+  Amplitude inner_product(const Statevector& other) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+/// Multinomial sampling helper shared with the analytic backend: draws
+/// \p shots outcomes from \p distribution (need not be perfectly normalized;
+/// it is renormalized internally) and returns per-outcome counts.
+std::vector<std::uint64_t> multinomial_sample(
+    const std::vector<double>& distribution, std::size_t shots, Rng& rng);
+
+}  // namespace qtda

@@ -1,0 +1,91 @@
+#include "quantum/trotter.hpp"
+
+#include "common/error.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+void append_pauli_exponential(Circuit& circuit, const PauliString& p,
+                              double theta, std::size_t offset) {
+  const std::size_t n = p.num_qubits();
+  QTDA_REQUIRE(offset + n <= circuit.num_qubits(),
+               "Pauli exponential exceeds register");
+  if (theta == 0.0) return;
+
+  std::vector<std::size_t> active;
+  for (std::size_t q = 0; q < n; ++q)
+    if (p.kind(q) != PauliKind::I) active.push_back(offset + q);
+
+  if (active.empty()) {
+    // e^{iθ·I} is a pure global phase.
+    circuit.add_global_phase(theta);
+    return;
+  }
+
+  // Basis changes into the Z eigenbasis: X = H·Z·H, Y = RX(π/2)†·Z·RX(π/2).
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::size_t wire = offset + q;
+    switch (p.kind(q)) {
+      case PauliKind::X:
+        circuit.h(wire);
+        break;
+      case PauliKind::Y:
+        circuit.rx(wire, kPi / 2.0);
+        break;
+      default:
+        break;
+    }
+  }
+  // Parity ladder onto the last active wire.
+  for (std::size_t i = 0; i + 1 < active.size(); ++i)
+    circuit.cnot(active[i], active[i + 1]);
+  // e^{iθZ} = RZ(−2θ) on the parity wire.
+  circuit.rz(active.back(), -2.0 * theta);
+  // Un-compute.
+  for (std::size_t i = active.size() - 1; i-- > 0;)
+    circuit.cnot(active[i], active[i + 1]);
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::size_t wire = offset + q;
+    switch (p.kind(q)) {
+      case PauliKind::X:
+        circuit.h(wire);
+        break;
+      case PauliKind::Y:
+        circuit.rx(wire, -kPi / 2.0);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+Circuit trotter_circuit(const PauliSum& hamiltonian, double time,
+                        const TrotterOptions& options,
+                        std::size_t total_qubits, std::size_t offset) {
+  QTDA_REQUIRE(options.steps >= 1, "Trotter needs at least one step");
+  QTDA_REQUIRE(options.order == 1 || options.order == 2,
+               "Trotter order must be 1 or 2");
+  QTDA_REQUIRE(hamiltonian.size() > 0, "empty Hamiltonian");
+  Circuit circuit(total_qubits);
+  const double dt = time / static_cast<double>(options.steps);
+  const auto& terms = hamiltonian.terms();
+
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    if (options.order == 1) {
+      for (const PauliTerm& t : terms)
+        append_pauli_exponential(circuit, t.string, t.coefficient * dt,
+                                 offset);
+    } else {
+      // Strang: half-steps forward, then in reverse order.
+      for (const PauliTerm& t : terms)
+        append_pauli_exponential(circuit, t.string,
+                                 t.coefficient * dt / 2.0, offset);
+      for (std::size_t i = terms.size(); i-- > 0;)
+        append_pauli_exponential(circuit, terms[i].string,
+                                 terms[i].coefficient * dt / 2.0, offset);
+    }
+  }
+  return circuit;
+}
+
+}  // namespace qtda

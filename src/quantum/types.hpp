@@ -1,0 +1,33 @@
+/// \file types.hpp
+/// \brief Shared conventions of the quantum simulator.
+///
+/// **Qubit ordering.**  Qubit 0 is the *most significant* bit of a basis
+/// index (the PennyLane wire convention, which the paper's circuits use):
+/// for an n-qubit register, basis state |b_0 b_1 … b_{n−1}⟩ has index
+/// Σ_k b_k · 2^{n−1−k}.  Pauli strings are written left to right in qubit
+/// order ("ZIX" = Z on qubit 0, I on qubit 1, X on qubit 2) and their
+/// matrices are the Kronecker products in that order — matching Eq. (19).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace qtda {
+
+using Amplitude = std::complex<double>;
+
+/// Bit of \p index corresponding to \p qubit under the MSB-first convention.
+inline int qubit_bit(std::uint64_t index, std::size_t qubit,
+                     std::size_t num_qubits) {
+  return static_cast<int>((index >> (num_qubits - 1 - qubit)) & 1ULL);
+}
+
+/// Bitmask selecting \p qubit in an n-qubit index.
+inline std::uint64_t qubit_mask(std::size_t qubit, std::size_t num_qubits) {
+  return 1ULL << (num_qubits - 1 - qubit);
+}
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace qtda

@@ -1,0 +1,38 @@
+#include "topology/betti.hpp"
+
+#include "common/error.hpp"
+#include "linalg/rank.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "topology/boundary.hpp"
+#include "topology/laplacian.hpp"
+
+namespace qtda {
+
+std::size_t betti_number(const SimplicialComplex& complex, int k) {
+  QTDA_REQUIRE(k >= 0, "Betti number index must be >= 0");
+  const std::size_t nk = complex.count(k);
+  if (nk == 0) return 0;
+  const std::size_t rank_k = rank(boundary_operator(complex, k));
+  const std::size_t rank_k1 = rank(boundary_operator(complex, k + 1));
+  QTDA_ASSERT(rank_k + rank_k1 <= nk,
+              "rank inequality violated: " << rank_k << '+' << rank_k1 << " > "
+                                           << nk);
+  return nk - rank_k - rank_k1;
+}
+
+std::size_t betti_number_via_laplacian(const SimplicialComplex& complex,
+                                       int k, double tolerance) {
+  if (complex.count(k) == 0) return 0;
+  return count_zero_eigenvalues(combinatorial_laplacian(complex, k),
+                                tolerance);
+}
+
+std::vector<std::size_t> betti_numbers(const SimplicialComplex& complex,
+                                       int max_k) {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(max_k) + 1);
+  for (int k = 0; k <= max_k; ++k) out.push_back(betti_number(complex, k));
+  return out;
+}
+
+}  // namespace qtda

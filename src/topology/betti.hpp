@@ -1,0 +1,27 @@
+/// \file betti.hpp
+/// \brief Classical (exact) Betti numbers — the baseline the quantum
+/// estimator is compared against.
+///
+/// Two independent computations are provided and cross-checked in tests:
+///  * rank route:      β_k = |S_k| − rank ∂_k − rank ∂_{k+1}
+///  * Laplacian route: β_k = dim ker Δ_k   (zero-eigenvalue count)
+#pragma once
+
+#include <vector>
+
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// β_k via boundary-operator ranks.  Returns 0 when |S_k| = 0.
+std::size_t betti_number(const SimplicialComplex& complex, int k);
+
+/// β_k via the kernel of the combinatorial Laplacian.
+std::size_t betti_number_via_laplacian(const SimplicialComplex& complex,
+                                       int k, double tolerance = 1e-8);
+
+/// β_0..β_kmax in one call (rank route).
+std::vector<std::size_t> betti_numbers(const SimplicialComplex& complex,
+                                       int max_k);
+
+}  // namespace qtda

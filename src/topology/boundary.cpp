@@ -1,0 +1,31 @@
+#include "topology/boundary.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+SparseMatrix boundary_operator(const SimplicialComplex& complex, int k) {
+  QTDA_REQUIRE(k >= 0, "boundary operator dimension must be >= 0");
+  const std::size_t rows = complex.count(k - 1);
+  const std::size_t cols = complex.count(k);
+  if (k == 0 || cols == 0) return SparseMatrix(rows, cols);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(cols * static_cast<std::size_t>(k + 1));
+  const auto& k_simplices = complex.simplices(k);
+  for (std::size_t col = 0; col < cols; ++col) {
+    const Simplex& s = k_simplices[col];
+    for (std::size_t t = 0; t < s.vertex_count(); ++t) {
+      const Simplex face = s.face_without(t);
+      const auto row = complex.index_of(face);
+      QTDA_REQUIRE(row.has_value(), "complex not closed: face "
+                                        << face.to_string() << " of "
+                                        << s.to_string() << " missing");
+      const double sign = (t % 2 == 0) ? 1.0 : -1.0;
+      triplets.push_back({*row, col, sign});
+    }
+  }
+  return SparseMatrix::from_triplets(rows, cols, std::move(triplets));
+}
+
+}  // namespace qtda

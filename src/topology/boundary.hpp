@@ -1,0 +1,22 @@
+/// \file boundary.hpp
+/// \brief Restricted boundary operators ∂_k of a simplicial complex.
+///
+/// ∂_k maps k-chains to (k−1)-chains:
+///   ∂_k [v_0..v_k] = Σ_t (−1)^t [v_0.. v̂_t ..v_k]
+/// (standard orientation; the paper's Eq. (14) is the global negation of its
+/// own Eq. (1) — the Laplacian is invariant either way, and tests pin both).
+/// Rows are indexed by the sorted (k−1)-simplices, columns by the sorted
+/// k-simplices of the complex, matching the paper's ordering.
+#pragma once
+
+#include "linalg/sparse_matrix.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// Builds ∂_k as a sparse |S_{k−1}| × |S_k| matrix.  For k = 0 the result
+/// is the empty 0 × |S_0| matrix (the boundary of a vertex is zero).
+/// For k > max dimension the result is |S_{k−1}| × 0.
+SparseMatrix boundary_operator(const SimplicialComplex& complex, int k);
+
+}  // namespace qtda

@@ -1,0 +1,76 @@
+#include "topology/components.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), count_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  QTDA_REQUIRE(x < parent_.size(), "union-find index out of range");
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {  // path compression
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --count_;
+  return true;
+}
+
+std::size_t connected_components(const NeighborhoodGraph& graph) {
+  UnionFind forest(graph.num_vertices());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.neighbors(u)) {
+      if (v > u) forest.unite(u, v);
+    }
+  }
+  return forest.count();
+}
+
+std::size_t betti0_fast(const SimplicialComplex& complex) {
+  const std::size_t vertices = complex.count(0);
+  if (vertices == 0) return 0;
+  // Vertex ids may be sparse; map them to dense indices first.
+  std::unordered_map<VertexId, std::size_t> dense;
+  dense.reserve(vertices);
+  for (const Simplex& v : complex.simplices(0))
+    dense.emplace(v[0], dense.size());
+  UnionFind forest(vertices);
+  for (const Simplex& e : complex.simplices(1))
+    forest.unite(dense.at(e[0]), dense.at(e[1]));
+  return forest.count();
+}
+
+std::vector<std::size_t> component_labels(const NeighborhoodGraph& graph) {
+  UnionFind forest(graph.num_vertices());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u)
+    for (VertexId v : graph.neighbors(u))
+      if (v > u) forest.unite(u, v);
+  std::vector<std::size_t> labels(graph.num_vertices());
+  std::unordered_map<std::size_t, std::size_t> relabel;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t root = forest.find(i);
+    const auto it = relabel.emplace(root, relabel.size()).first;
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+}  // namespace qtda

@@ -1,0 +1,50 @@
+/// \file components.hpp
+/// \brief Union-find connected components: a fast exact β0.
+///
+/// β0 is just the number of connected components of the 1-skeleton; the
+/// union-find route is near-linear versus the O(n³) rank computation, so
+/// the classification pipelines use it when only β0 is needed.  Tests
+/// cross-check it against the homological definition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/rips.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  std::size_t find(std::size_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  /// Current number of disjoint sets.
+  std::size_t count() const { return count_; }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t count_;
+};
+
+/// Number of connected components of a graph.
+std::size_t connected_components(const NeighborhoodGraph& graph);
+
+/// β0 of a simplicial complex via its 1-skeleton (equals
+/// betti_number(complex, 0); near-linear time).
+std::size_t betti0_fast(const SimplicialComplex& complex);
+
+/// Per-vertex component labels of a graph, in [0, #components).
+std::vector<std::size_t> component_labels(const NeighborhoodGraph& graph);
+
+}  // namespace qtda

@@ -1,0 +1,85 @@
+#include "topology/filtration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "topology/rips.hpp"
+
+namespace qtda {
+
+Filtration::Filtration(std::vector<FilteredSimplex> simplices)
+    : simplices_(std::move(simplices)) {
+  std::sort(simplices_.begin(), simplices_.end(),
+            [](const FilteredSimplex& a, const FilteredSimplex& b) {
+              if (a.birth != b.birth) return a.birth < b.birth;
+              if (a.simplex.dimension() != b.simplex.dimension())
+                return a.simplex.dimension() < b.simplex.dimension();
+              return a.simplex < b.simplex;
+            });
+  positions_.reserve(simplices_.size());
+  for (std::size_t i = 0; i < simplices_.size(); ++i) {
+    const auto inserted = positions_.emplace(simplices_[i].simplex, i);
+    QTDA_REQUIRE(inserted.second, "duplicate simplex in filtration: "
+                                      << simplices_[i].simplex.to_string());
+  }
+  // Validate: every facet exists and appears earlier.
+  for (std::size_t i = 0; i < simplices_.size(); ++i) {
+    const Simplex& s = simplices_[i].simplex;
+    if (s.dimension() == 0) continue;
+    for (const Simplex& face : s.facets()) {
+      const auto it = positions_.find(face);
+      QTDA_REQUIRE(it != positions_.end(),
+                   "filtration missing face " << face.to_string());
+      QTDA_REQUIRE(it->second < i, "face " << face.to_string()
+                                           << " appears after coface "
+                                           << s.to_string());
+    }
+  }
+}
+
+std::size_t Filtration::position_of(const Simplex& s) const {
+  const auto it = positions_.find(s);
+  QTDA_REQUIRE(it != positions_.end(),
+               "simplex " << s.to_string() << " not in filtration");
+  return it->second;
+}
+
+SimplicialComplex Filtration::complex_at(double epsilon) const {
+  std::vector<Simplex> members;
+  for (const FilteredSimplex& fs : simplices_) {
+    if (fs.birth <= epsilon) members.push_back(fs.simplex);
+  }
+  return SimplicialComplex::from_simplices(members, /*close_downward=*/false);
+}
+
+double Filtration::max_birth() const {
+  double m = 0.0;
+  for (const FilteredSimplex& fs : simplices_) m = std::max(m, fs.birth);
+  return m;
+}
+
+Filtration rips_filtration(const RealMatrix& distances, double max_epsilon,
+                           int max_dimension) {
+  const SimplicialComplex complex =
+      rips_complex(distances, max_epsilon, max_dimension);
+  std::vector<FilteredSimplex> filtered;
+  filtered.reserve(complex.total_count());
+  for (int k = 0; k <= complex.max_dimension(); ++k) {
+    for (const Simplex& s : complex.simplices(k)) {
+      double birth = 0.0;
+      const auto& vs = s.vertices();
+      for (std::size_t a = 0; a < vs.size(); ++a)
+        for (std::size_t b = a + 1; b < vs.size(); ++b)
+          birth = std::max(birth, distances(vs[a], vs[b]));
+      filtered.push_back({s, birth});
+    }
+  }
+  return Filtration(std::move(filtered));
+}
+
+Filtration rips_filtration(const PointCloud& cloud, double max_epsilon,
+                           int max_dimension) {
+  return rips_filtration(cloud.distance_matrix(), max_epsilon, max_dimension);
+}
+
+}  // namespace qtda

@@ -1,0 +1,65 @@
+/// \file filtration.hpp
+/// \brief Rips filtrations: simplices ordered by birth scale.
+///
+/// The paper's future work points at persistent Betti numbers, which are
+/// scale-invariant.  A filtration assigns each simplex the smallest grouping
+/// scale ε at which it enters the Rips complex (0 for vertices, the edge
+/// length for edges, the longest edge for higher simplices) and orders
+/// simplices by (birth, dimension, lexicographic) so that every prefix is a
+/// valid subcomplex.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "topology/point_cloud.hpp"
+#include "topology/simplex.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// One filtered simplex.
+struct FilteredSimplex {
+  Simplex simplex;
+  double birth = 0.0;
+};
+
+/// A filtration: simplices in a subcomplex-compatible order.
+class Filtration {
+ public:
+  Filtration() = default;
+
+  /// Sorts and validates the given filtered simplices.  Throws when a face
+  /// is missing or appears after a coface.
+  explicit Filtration(std::vector<FilteredSimplex> simplices);
+
+  std::size_t size() const { return simplices_.size(); }
+  const FilteredSimplex& operator[](std::size_t i) const {
+    return simplices_[i];
+  }
+  const std::vector<FilteredSimplex>& entries() const { return simplices_; }
+
+  /// Position of a simplex in the filtration order.
+  std::size_t position_of(const Simplex& s) const;
+
+  /// The subcomplex at scale ε (all simplices with birth ≤ ε).
+  SimplicialComplex complex_at(double epsilon) const;
+
+  /// Largest birth value present (0 for an empty filtration).
+  double max_birth() const;
+
+ private:
+  std::vector<FilteredSimplex> simplices_;
+  std::unordered_map<Simplex, std::size_t, SimplexHash> positions_;
+};
+
+/// Builds the Rips filtration of a point cloud up to \p max_dimension and
+/// scale \p max_epsilon.
+Filtration rips_filtration(const PointCloud& cloud, double max_epsilon,
+                           int max_dimension);
+
+/// Same from a distance matrix.
+Filtration rips_filtration(const RealMatrix& distances, double max_epsilon,
+                           int max_dimension);
+
+}  // namespace qtda

@@ -1,0 +1,29 @@
+#include "topology/laplacian.hpp"
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "topology/boundary.hpp"
+
+namespace qtda {
+
+RealMatrix down_laplacian(const SimplicialComplex& complex, int k) {
+  QTDA_REQUIRE(complex.count(k) > 0,
+               "Laplacian of dimension " << k << " with no k-simplices");
+  // ∂_k is |S_{k−1}|×|S_k|; the Gram AᵀA is |S_k|×|S_k|.
+  return boundary_operator(complex, k).gram();
+}
+
+RealMatrix up_laplacian(const SimplicialComplex& complex, int k) {
+  QTDA_REQUIRE(complex.count(k) > 0,
+               "Laplacian of dimension " << k << " with no k-simplices");
+  const std::size_t nk = complex.count(k);
+  if (complex.count(k + 1) == 0) return RealMatrix(nk, nk);
+  // ∂_{k+1} is |S_k|×|S_{k+1}|; AAᵀ is |S_k|×|S_k|.
+  return boundary_operator(complex, k + 1).outer_gram();
+}
+
+RealMatrix combinatorial_laplacian(const SimplicialComplex& complex, int k) {
+  return add(down_laplacian(complex, k), up_laplacian(complex, k));
+}
+
+}  // namespace qtda

@@ -1,0 +1,22 @@
+/// \file laplacian.hpp
+/// \brief Combinatorial (Hodge) Laplacians Δ_k = ∂_k†∂_k + ∂_{k+1}∂_{k+1}†.
+///
+/// Δ_k is a real symmetric positive semidefinite |S_k|×|S_k| matrix whose
+/// kernel dimension is the k-th Betti number (paper Eq. (5)–(6)).
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// Dense combinatorial Laplacian of dimension k.  Requires |S_k| > 0.
+RealMatrix combinatorial_laplacian(const SimplicialComplex& complex, int k);
+
+/// The "down" part ∂_k†∂_k alone.
+RealMatrix down_laplacian(const SimplicialComplex& complex, int k);
+
+/// The "up" part ∂_{k+1}∂_{k+1}† alone.
+RealMatrix up_laplacian(const SimplicialComplex& complex, int k);
+
+}  // namespace qtda

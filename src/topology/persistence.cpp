@@ -1,0 +1,120 @@
+#include "topology/persistence.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Sparse Z2 column: sorted filtration positions of nonzero rows.
+using Z2Column = std::vector<std::size_t>;
+
+/// Symmetric difference of two sorted columns (Z2 addition).
+Z2Column z2_add(const Z2Column& a, const Z2Column& b) {
+  Z2Column out;
+  out.reserve(a.size() + b.size());
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+PersistenceDiagram compute_persistence(const Filtration& filtration) {
+  const std::size_t n = filtration.size();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Boundary columns in filtration order.
+  std::vector<Z2Column> columns(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Simplex& s = filtration[j].simplex;
+    if (s.dimension() == 0) continue;
+    Z2Column col;
+    col.reserve(s.vertex_count());
+    for (const Simplex& face : s.facets())
+      col.push_back(filtration.position_of(face));
+    std::sort(col.begin(), col.end());
+    columns[j] = std::move(col);
+  }
+
+  // pivot_owner[i] = column whose lowest nonzero row is i.
+  std::vector<std::size_t> pivot_owner(n, kNone);
+  std::vector<std::size_t> killer(n, kNone);  // killer[i] = j pairing i
+  for (std::size_t j = 0; j < n; ++j) {
+    Z2Column& col = columns[j];
+    while (!col.empty()) {
+      const std::size_t low = col.back();
+      const std::size_t owner = pivot_owner[low];
+      if (owner == kNone) {
+        pivot_owner[low] = j;
+        killer[low] = j;
+        break;
+      }
+      col = z2_add(col, columns[owner]);
+    }
+  }
+
+  // Positive simplices: columns that reduced to zero (creators).
+  std::vector<PersistencePair> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!columns[i].empty()) continue;  // negative column: destroyer
+    PersistencePair pair;
+    pair.dimension = filtration[i].simplex.dimension();
+    pair.birth = filtration[i].birth;
+    pair.birth_position = i;
+    if (killer[i] != kNone) {
+      pair.death = filtration[killer[i]].birth;
+      pair.death_position = killer[i];
+      pair.essential = false;
+    } else {
+      pair.essential = true;
+      pair.death_position = kNone;
+    }
+    pairs.push_back(pair);
+  }
+  return PersistenceDiagram(std::move(pairs));
+}
+
+PersistenceDiagram::PersistenceDiagram(std::vector<PersistencePair> pairs)
+    : pairs_(std::move(pairs)) {
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const PersistencePair& a, const PersistencePair& b) {
+              if (a.dimension != b.dimension) return a.dimension < b.dimension;
+              if (a.birth != b.birth) return a.birth < b.birth;
+              return a.death < b.death;
+            });
+}
+
+std::vector<PersistencePair> PersistenceDiagram::pairs_in_dimension(
+    int k) const {
+  std::vector<PersistencePair> out;
+  for (const PersistencePair& p : pairs_)
+    if (p.dimension == k) out.push_back(p);
+  return out;
+}
+
+std::size_t PersistenceDiagram::persistent_betti(int k, double b,
+                                                 double d) const {
+  QTDA_REQUIRE(b <= d, "persistent_betti requires birth scale <= death scale");
+  std::size_t count = 0;
+  for (const PersistencePair& p : pairs_) {
+    if (p.dimension != k) continue;
+    if (p.birth <= b && (p.essential || p.death > d)) ++count;
+  }
+  return count;
+}
+
+std::size_t PersistenceDiagram::betti_at(int k, double epsilon) const {
+  return persistent_betti(k, epsilon, epsilon);
+}
+
+std::size_t PersistenceDiagram::essential_count(int k) const {
+  std::size_t count = 0;
+  for (const PersistencePair& p : pairs_)
+    if (p.dimension == k && p.essential) ++count;
+  return count;
+}
+
+}  // namespace qtda

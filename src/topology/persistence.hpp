@@ -1,0 +1,61 @@
+/// \file persistence.hpp
+/// \brief Persistent homology over Z2 via the standard column reduction.
+///
+/// Implements the classical matrix-reduction algorithm (Edelsbrunner–
+/// Letscher–Zomorodian): reduce the filtration boundary matrix column by
+/// column; each surviving pivot (i, j) is a (birth, death) pair, unpaired
+/// positive columns are essential classes.  Persistent Betti numbers
+/// β_k^{b,d} count classes born by scale b still alive after scale d —
+/// the scale-invariant features named in the paper's future work.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "topology/filtration.hpp"
+
+namespace qtda {
+
+/// One persistence interval [birth, death); death = +inf for essential
+/// classes.
+struct PersistencePair {
+  int dimension = 0;
+  double birth = 0.0;
+  double death = std::numeric_limits<double>::infinity();
+  std::size_t birth_position = 0;  ///< filtration index of the creator
+  std::size_t death_position = 0;  ///< filtration index of the destroyer
+  bool essential = false;
+
+  double persistence() const { return death - birth; }
+};
+
+/// Full persistence diagram of a filtration.
+class PersistenceDiagram {
+ public:
+  explicit PersistenceDiagram(std::vector<PersistencePair> pairs);
+
+  const std::vector<PersistencePair>& pairs() const { return pairs_; }
+
+  /// Pairs of one homology dimension.
+  std::vector<PersistencePair> pairs_in_dimension(int k) const;
+
+  /// Persistent Betti number β_k^{b,d}: classes born at scale ≤ b that are
+  /// still alive strictly after scale d (requires b ≤ d).
+  std::size_t persistent_betti(int k, double b, double d) const;
+
+  /// Ordinary Betti number of the subcomplex at scale ε:
+  /// β_k(ε) = β_k^{ε,ε}.
+  std::size_t betti_at(int k, double epsilon) const;
+
+  /// Number of essential (never-dying) classes in dimension k.
+  std::size_t essential_count(int k) const;
+
+ private:
+  std::vector<PersistencePair> pairs_;
+};
+
+/// Runs the reduction.  Zero-persistence pairs (birth == death) are kept —
+/// callers can filter — because β_k(ε) needs exact bookkeeping.
+PersistenceDiagram compute_persistence(const Filtration& filtration);
+
+}  // namespace qtda

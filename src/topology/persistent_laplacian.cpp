@@ -1,0 +1,95 @@
+#include "topology/persistent_laplacian.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "linalg/pseudo_inverse.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "topology/boundary.hpp"
+#include "topology/laplacian.hpp"
+
+namespace qtda {
+
+RealMatrix persistent_laplacian(const SimplicialComplex& sub,
+                                const SimplicialComplex& super, int k) {
+  QTDA_REQUIRE(k >= 0, "homology dimension must be >= 0");
+  const std::size_t nk_sub = sub.count(k);
+  QTDA_REQUIRE(nk_sub > 0, "persistent Laplacian needs k-simplices in K");
+
+  // Validate the inclusion K ⊆ L and locate K's k-simplices inside L's
+  // ordering.
+  std::vector<std::size_t> inside;  // positions (in L) of simplices of K
+  inside.reserve(nk_sub);
+  for (const Simplex& s : sub.simplices(k)) {
+    const auto position = super.index_of(s);
+    QTDA_REQUIRE(position.has_value(),
+                 "K is not a subcomplex of L: missing " << s.to_string());
+    inside.push_back(*position);
+  }
+  for (const Simplex& s : sub.simplices(k + 1)) {
+    QTDA_REQUIRE(super.contains(s),
+                 "K is not a subcomplex of L: missing " << s.to_string());
+  }
+
+  // Down part lives entirely in K.
+  const RealMatrix down = down_laplacian(sub, k);
+
+  // Up part: Schur complement of Δ_k^{L,up} onto K's simplices.
+  const std::size_t nk_super = super.count(k);
+  const RealMatrix up_super = up_laplacian(super, k);
+
+  std::vector<bool> in_sub(nk_super, false);
+  for (std::size_t position : inside) in_sub[position] = true;
+  std::vector<std::size_t> outside;
+  outside.reserve(nk_super - nk_sub);
+  for (std::size_t i = 0; i < nk_super; ++i)
+    if (!in_sub[i]) outside.push_back(i);
+
+  RealMatrix up(nk_sub, nk_sub);
+  if (outside.empty()) {
+    // K and L share the k-simplices: the Schur complement is the whole
+    // up-Laplacian, permuted into K's order.
+    for (std::size_t i = 0; i < nk_sub; ++i)
+      for (std::size_t j = 0; j < nk_sub; ++j)
+        up(i, j) = up_super(inside[i], inside[j]);
+  } else {
+    // Blocks A (K×K), B (K×out), C (out×out); up = A − B·C⁺·Bᵀ.
+    RealMatrix block_a(nk_sub, nk_sub);
+    RealMatrix block_b(nk_sub, outside.size());
+    RealMatrix block_c(outside.size(), outside.size());
+    for (std::size_t i = 0; i < nk_sub; ++i) {
+      for (std::size_t j = 0; j < nk_sub; ++j)
+        block_a(i, j) = up_super(inside[i], inside[j]);
+      for (std::size_t j = 0; j < outside.size(); ++j)
+        block_b(i, j) = up_super(inside[i], outside[j]);
+    }
+    for (std::size_t i = 0; i < outside.size(); ++i)
+      for (std::size_t j = 0; j < outside.size(); ++j)
+        block_c(i, j) = up_super(outside[i], outside[j]);
+
+    const RealMatrix c_pinv = pseudo_inverse_symmetric(block_c);
+    const RealMatrix correction =
+        matmul(block_b, matmul(c_pinv, transpose(block_b)));
+    up = subtract(block_a, correction);
+  }
+  return add(down, up);
+}
+
+RealMatrix persistent_laplacian(const Filtration& filtration, int k,
+                                double birth_scale, double death_scale) {
+  QTDA_REQUIRE(birth_scale <= death_scale,
+               "persistent Laplacian needs birth scale <= death scale");
+  return persistent_laplacian(filtration.complex_at(birth_scale),
+                              filtration.complex_at(death_scale), k);
+}
+
+std::size_t persistent_betti_via_laplacian(const SimplicialComplex& sub,
+                                           const SimplicialComplex& super,
+                                           int k, double tolerance) {
+  if (sub.count(k) == 0) return 0;
+  return count_zero_eigenvalues(persistent_laplacian(sub, super, k),
+                                tolerance);
+}
+
+}  // namespace qtda

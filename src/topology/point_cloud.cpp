@@ -1,0 +1,48 @@
+#include "topology/point_cloud.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+PointCloud::PointCloud(std::vector<std::vector<double>> points)
+    : points_(std::move(points)) {
+  for (const auto& p : points_) {
+    QTDA_REQUIRE(p.size() == points_.front().size(),
+                 "all points must share a dimension");
+  }
+}
+
+double PointCloud::distance(std::size_t i, std::size_t j) const {
+  QTDA_REQUIRE(i < size() && j < size(), "point index out of range");
+  const auto& a = points_[i];
+  const auto& b = points_[j];
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+RealMatrix PointCloud::distance_matrix() const {
+  const std::size_t n = size();
+  RealMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = distance(i, j);
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+void PointCloud::add_point(std::vector<double> p) {
+  QTDA_REQUIRE(points_.empty() || p.size() == points_.front().size(),
+               "new point dimension mismatch");
+  points_.push_back(std::move(p));
+}
+
+}  // namespace qtda

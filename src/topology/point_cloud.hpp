@@ -1,0 +1,40 @@
+/// \file point_cloud.hpp
+/// \brief Point clouds in R^m with pairwise distances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace qtda {
+
+/// A finite set of points in a common m-dimensional space.
+class PointCloud {
+ public:
+  PointCloud() = default;
+
+  /// Builds from row-per-point coordinates; all rows must share a length.
+  explicit PointCloud(std::vector<std::vector<double>> points);
+
+  std::size_t size() const { return points_.size(); }
+  std::size_t dimension() const {
+    return points_.empty() ? 0 : points_.front().size();
+  }
+  const std::vector<double>& point(std::size_t i) const { return points_[i]; }
+  const std::vector<std::vector<double>>& points() const { return points_; }
+
+  /// Euclidean distance between points i and j.
+  double distance(std::size_t i, std::size_t j) const;
+
+  /// Full symmetric distance matrix.
+  RealMatrix distance_matrix() const;
+
+  /// Appends one point (must match the dimension of existing points).
+  void add_point(std::vector<double> p);
+
+ private:
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace qtda

@@ -1,0 +1,35 @@
+#include "topology/random_complex.hpp"
+
+#include "common/error.hpp"
+#include "topology/rips.hpp"
+
+namespace qtda {
+
+SimplicialComplex random_flag_complex(const RandomComplexOptions& options,
+                                      Rng& rng) {
+  QTDA_REQUIRE(options.num_vertices > 0, "need at least one vertex");
+  QTDA_REQUIRE(options.max_dimension >= 0, "max_dimension must be >= 0");
+  const double p = options.edge_probability.has_value()
+                       ? *options.edge_probability
+                       : rng.uniform(0.25, 0.75);
+  QTDA_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability out of [0,1]");
+
+  NeighborhoodGraph graph(options.num_vertices);
+  for (VertexId u = 0; u < options.num_vertices; ++u) {
+    for (VertexId v = u + 1; v < options.num_vertices; ++v) {
+      if (rng.bernoulli(p)) graph.add_edge(u, v);
+    }
+  }
+  return flag_complex(graph, options.max_dimension);
+}
+
+std::vector<std::vector<double>> random_point_cloud(std::size_t n,
+                                                    std::size_t m, Rng& rng) {
+  QTDA_REQUIRE(m > 0, "point dimension must be positive");
+  std::vector<std::vector<double>> points(n, std::vector<double>(m));
+  for (auto& p : points)
+    for (auto& coordinate : p) coordinate = rng.uniform();
+  return points;
+}
+
+}  // namespace qtda

@@ -1,0 +1,36 @@
+/// \file random_complex.hpp
+/// \brief Random simplicial complexes for the Fig. 3 error sweeps.
+///
+/// The paper evaluates on "randomly generated simplicial complexes" for
+/// n ∈ {5, 10, 15}.  We use random flag complexes: an Erdős–Rényi graph
+/// G(n, p) (p itself drawn uniformly unless fixed) expanded to cliques —
+/// the same construction an ε-graph induces on random data.
+#pragma once
+
+#include <optional>
+
+#include "common/random.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// Configuration of the random complex generator.
+struct RandomComplexOptions {
+  std::size_t num_vertices = 10;
+  /// Edge probability; when unset, drawn uniformly from [0.25, 0.75] per
+  /// complex so the sweep covers sparse and dense regimes.
+  std::optional<double> edge_probability;
+  /// Flag expansion cap; k+1 is enough to compute Δ_k.
+  int max_dimension = 2;
+};
+
+/// Draws one random flag complex.  Always contains all n vertices.
+SimplicialComplex random_flag_complex(const RandomComplexOptions& options,
+                                      Rng& rng);
+
+/// Draws a random point cloud in [0, 1]^m (uniform), n points.
+/// Useful for Rips-pipeline property tests.
+std::vector<std::vector<double>> random_point_cloud(std::size_t n,
+                                                    std::size_t m, Rng& rng);
+
+}  // namespace qtda

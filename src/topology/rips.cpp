@@ -1,0 +1,122 @@
+#include "topology/rips.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+NeighborhoodGraph::NeighborhoodGraph(std::size_t num_vertices)
+    : adjacency_(num_vertices) {}
+
+NeighborhoodGraph NeighborhoodGraph::from_point_cloud(const PointCloud& cloud,
+                                                      double epsilon) {
+  return from_distance_matrix(cloud.distance_matrix(), epsilon);
+}
+
+NeighborhoodGraph NeighborhoodGraph::from_distance_matrix(
+    const RealMatrix& distances, double epsilon) {
+  QTDA_REQUIRE(distances.is_square(), "distance matrix must be square");
+  QTDA_REQUIRE(epsilon >= 0.0, "grouping scale must be non-negative");
+  NeighborhoodGraph g(distances.rows());
+  for (std::size_t i = 0; i < distances.rows(); ++i) {
+    for (std::size_t j = i + 1; j < distances.cols(); ++j) {
+      if (distances(i, j) <= epsilon) {
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::size_t NeighborhoodGraph::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& nbrs : adjacency_) total += nbrs.size();
+  return total / 2;
+}
+
+void NeighborhoodGraph::add_edge(VertexId u, VertexId v) {
+  QTDA_REQUIRE(u != v, "self-loops are not simplices");
+  QTDA_REQUIRE(u < adjacency_.size() && v < adjacency_.size(),
+               "edge endpoint out of range");
+  auto insert_sorted = [](std::vector<VertexId>& list, VertexId x) {
+    const auto it = std::lower_bound(list.begin(), list.end(), x);
+    if (it == list.end() || *it != x) list.insert(it, x);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+}
+
+bool NeighborhoodGraph::has_edge(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  const auto& nbrs = adjacency_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+const std::vector<VertexId>& NeighborhoodGraph::neighbors(VertexId u) const {
+  QTDA_REQUIRE(u < adjacency_.size(), "vertex out of range");
+  return adjacency_[u];
+}
+
+std::vector<VertexId> NeighborhoodGraph::lower_neighbors(VertexId u) const {
+  const auto& nbrs = neighbors(u);
+  std::vector<VertexId> lower;
+  for (VertexId v : nbrs) {
+    if (v >= u) break;  // sorted: all later entries are ≥ u
+    lower.push_back(v);
+  }
+  return lower;
+}
+
+namespace {
+
+/// Recursive cofacet enumeration (Zomorodian's incremental expansion).
+/// \p tau is a clique (descending insertion order is irrelevant; Simplex
+/// sorts), \p candidates are common lower-neighbours of all its vertices.
+void add_cofaces(const NeighborhoodGraph& graph, int max_dimension,
+                 std::vector<VertexId>& tau,
+                 const std::vector<VertexId>& candidates,
+                 std::vector<Simplex>& out) {
+  out.emplace_back(tau);
+  if (static_cast<int>(tau.size()) - 1 >= max_dimension) return;
+  for (VertexId v : candidates) {
+    tau.push_back(v);
+    // Next candidate set: candidates ∩ lower_neighbors(v); both sorted.
+    const std::vector<VertexId> lower = graph.lower_neighbors(v);
+    std::vector<VertexId> next;
+    std::set_intersection(candidates.begin(), candidates.end(), lower.begin(),
+                          lower.end(), std::back_inserter(next));
+    add_cofaces(graph, max_dimension, tau, next, out);
+    tau.pop_back();
+  }
+}
+
+}  // namespace
+
+SimplicialComplex flag_complex(const NeighborhoodGraph& graph,
+                               int max_dimension) {
+  QTDA_REQUIRE(max_dimension >= 0, "max_dimension must be >= 0");
+  std::vector<Simplex> simplices;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    std::vector<VertexId> tau{u};
+    add_cofaces(graph, max_dimension, tau, graph.lower_neighbors(u),
+                simplices);
+  }
+  return SimplicialComplex::from_simplices(simplices,
+                                           /*close_downward=*/false);
+}
+
+SimplicialComplex rips_complex(const PointCloud& cloud, double epsilon,
+                               int max_dimension) {
+  return flag_complex(NeighborhoodGraph::from_point_cloud(cloud, epsilon),
+                      max_dimension);
+}
+
+SimplicialComplex rips_complex(const RealMatrix& distances, double epsilon,
+                               int max_dimension) {
+  return flag_complex(
+      NeighborhoodGraph::from_distance_matrix(distances, epsilon),
+      max_dimension);
+}
+
+}  // namespace qtda

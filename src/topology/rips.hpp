@@ -1,0 +1,62 @@
+/// \file rips.hpp
+/// \brief Vietoris–Rips (flag) complex construction.
+///
+/// The paper builds K_eps by connecting points within the grouping scale ε
+/// and taking every clique of the resulting graph as a simplex.  The
+/// expansion uses Zomorodian's incremental algorithm: each clique is grown
+/// from its highest vertex through common lower-neighbour intersections, so
+/// every simplex is enumerated exactly once.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "topology/point_cloud.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// Undirected graph on [0, n) stored as sorted adjacency lists.
+class NeighborhoodGraph {
+ public:
+  explicit NeighborhoodGraph(std::size_t num_vertices);
+
+  /// Builds the ε-neighbourhood graph of a point cloud: edge (i, j) iff
+  /// d(x_i, x_j) ≤ ε.
+  static NeighborhoodGraph from_point_cloud(const PointCloud& cloud,
+                                            double epsilon);
+
+  /// Builds from a precomputed symmetric distance matrix.
+  static NeighborhoodGraph from_distance_matrix(const RealMatrix& distances,
+                                                double epsilon);
+
+  std::size_t num_vertices() const { return adjacency_.size(); }
+  std::size_t num_edges() const;
+
+  void add_edge(VertexId u, VertexId v);
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Sorted neighbours of u.
+  const std::vector<VertexId>& neighbors(VertexId u) const;
+
+  /// Sorted neighbours of u smaller than u (used by the expansion).
+  std::vector<VertexId> lower_neighbors(VertexId u) const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;
+};
+
+/// Expands a graph into its flag complex with simplices up to dimension
+/// \p max_dimension (inclusive).
+SimplicialComplex flag_complex(const NeighborhoodGraph& graph,
+                               int max_dimension);
+
+/// Convenience: point cloud → ε-graph → flag complex.
+SimplicialComplex rips_complex(const PointCloud& cloud, double epsilon,
+                               int max_dimension);
+
+/// Convenience: distance matrix → ε-graph → flag complex.
+SimplicialComplex rips_complex(const RealMatrix& distances, double epsilon,
+                               int max_dimension);
+
+}  // namespace qtda

@@ -1,0 +1,78 @@
+#include "topology/simplex.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+Simplex::Simplex(std::vector<VertexId> vertices)
+    : vertices_(std::move(vertices)) {
+  std::sort(vertices_.begin(), vertices_.end());
+  const auto dup = std::adjacent_find(vertices_.begin(), vertices_.end());
+  QTDA_REQUIRE(dup == vertices_.end(), "simplex with duplicate vertex");
+}
+
+Simplex::Simplex(std::initializer_list<VertexId> vertices)
+    : Simplex(std::vector<VertexId>(vertices)) {}
+
+Simplex Simplex::face_without(std::size_t t) const {
+  QTDA_REQUIRE(t < vertices_.size(),
+               "face_without(" << t << ") on a " << dimension() << "-simplex");
+  std::vector<VertexId> face;
+  face.reserve(vertices_.size() - 1);
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    if (i != t) face.push_back(vertices_[i]);
+  return Simplex(std::move(face));
+}
+
+std::vector<Simplex> Simplex::facets() const {
+  std::vector<Simplex> out;
+  if (vertices_.empty()) return out;
+  out.reserve(vertices_.size());
+  for (std::size_t t = 0; t < vertices_.size(); ++t)
+    out.push_back(face_without(t));
+  return out;
+}
+
+bool Simplex::has_face(const Simplex& other) const {
+  return std::includes(vertices_.begin(), vertices_.end(),
+                       other.vertices_.begin(), other.vertices_.end());
+}
+
+bool Simplex::contains(VertexId v) const {
+  return std::binary_search(vertices_.begin(), vertices_.end(), v);
+}
+
+bool Simplex::operator<(const Simplex& other) const {
+  return std::lexicographical_compare(vertices_.begin(), vertices_.end(),
+                                      other.vertices_.begin(),
+                                      other.vertices_.end());
+}
+
+std::string Simplex::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (i) os << ',';
+    os << vertices_[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s) {
+  return os << s.to_string();
+}
+
+std::size_t SimplexHash::operator()(const Simplex& s) const {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (VertexId v : s.vertices()) {
+    h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace qtda

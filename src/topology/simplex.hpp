@@ -1,0 +1,72 @@
+/// \file simplex.hpp
+/// \brief Abstract k-simplices with the paper's vertex-ordering convention.
+///
+/// A k-simplex is a set of k+1 vertices; following the paper (§2) vertices
+/// are kept in ascending order everywhere, which fixes the orientation used
+/// by the boundary operator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qtda {
+
+using VertexId = std::uint32_t;
+
+/// Immutable simplex: an ascending list of distinct vertex ids.
+class Simplex {
+ public:
+  Simplex() = default;
+
+  /// Builds from vertices in any order; they are sorted and checked for
+  /// duplicates.
+  explicit Simplex(std::vector<VertexId> vertices);
+  Simplex(std::initializer_list<VertexId> vertices);
+
+  /// Dimension k (= vertex count − 1).  Empty simplex has dimension −1.
+  int dimension() const { return static_cast<int>(vertices_.size()) - 1; }
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  VertexId operator[](std::size_t i) const { return vertices_[i]; }
+
+  /// The face obtained by deleting the t-th vertex (paper's s_{k−1}(t)).
+  Simplex face_without(std::size_t t) const;
+
+  /// All k+1 facets in vertex-deletion order (t = 0..k).
+  std::vector<Simplex> facets() const;
+
+  /// True when \p other is a face (subset) of this simplex.
+  bool has_face(const Simplex& other) const;
+
+  /// True when vertex v belongs to this simplex (binary search).
+  bool contains(VertexId v) const;
+
+  /// Lexicographic comparison on the sorted vertex lists; ties broken by
+  /// size so faces order before cofaces with a common prefix.
+  bool operator<(const Simplex& other) const;
+  bool operator==(const Simplex& other) const {
+    return vertices_ == other.vertices_;
+  }
+  bool operator!=(const Simplex& other) const { return !(*this == other); }
+
+  /// Human-readable "{1,2,3}" form (for diagnostics and examples).
+  std::string to_string() const;
+
+ private:
+  std::vector<VertexId> vertices_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s);
+
+/// FNV-style hash over the vertex list, usable in unordered containers.
+struct SimplexHash {
+  std::size_t operator()(const Simplex& s) const;
+};
+
+}  // namespace qtda

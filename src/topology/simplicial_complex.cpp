@@ -1,0 +1,119 @@
+#include "topology/simplicial_complex.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+const std::vector<Simplex> SimplicialComplex::kEmpty{};
+
+SimplicialComplex SimplicialComplex::from_simplices(
+    const std::vector<Simplex>& simplices, bool close_downward) {
+  SimplicialComplex complex;
+  if (close_downward) {
+    for (const Simplex& s : simplices) complex.insert_with_faces(s);
+  } else {
+    for (const Simplex& s : simplices) complex.insert_sorted(s);
+    for (int k = 0; k <= complex.max_dimension(); ++k)
+      complex.rebuild_index(k);
+    const auto missing = complex.find_missing_face();
+    QTDA_REQUIRE(!missing, "complex is not downward closed: missing face "
+                               << missing->to_string());
+    return complex;
+  }
+  for (int k = 0; k <= complex.max_dimension(); ++k) complex.rebuild_index(k);
+  return complex;
+}
+
+void SimplicialComplex::insert_with_faces(const Simplex& s) {
+  QTDA_REQUIRE(s.dimension() >= 0, "cannot insert the empty simplex");
+  if (contains(s)) return;
+  insert_sorted(s);
+  rebuild_index(s.dimension());
+  if (s.dimension() > 0) {
+    for (const Simplex& face : s.facets()) insert_with_faces(face);
+  }
+}
+
+void SimplicialComplex::insert_sorted(const Simplex& s) {
+  const auto k = static_cast<std::size_t>(s.dimension());
+  if (by_dimension_.size() <= k) {
+    by_dimension_.resize(k + 1);
+    index_.resize(k + 1);
+  }
+  auto& list = by_dimension_[k];
+  const auto it = std::lower_bound(list.begin(), list.end(), s);
+  if (it != list.end() && *it == s) return;  // already present
+  list.insert(it, s);
+}
+
+void SimplicialComplex::rebuild_index(int k) {
+  const auto uk = static_cast<std::size_t>(k);
+  if (uk >= by_dimension_.size()) return;
+  auto& map = index_[uk];
+  map.clear();
+  const auto& list = by_dimension_[uk];
+  map.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) map.emplace(list[i], i);
+}
+
+int SimplicialComplex::max_dimension() const {
+  for (std::size_t k = by_dimension_.size(); k > 0; --k)
+    if (!by_dimension_[k - 1].empty()) return static_cast<int>(k) - 1;
+  return -1;
+}
+
+std::size_t SimplicialComplex::count(int k) const {
+  if (k < 0 || static_cast<std::size_t>(k) >= by_dimension_.size()) return 0;
+  return by_dimension_[static_cast<std::size_t>(k)].size();
+}
+
+std::size_t SimplicialComplex::total_count() const {
+  std::size_t total = 0;
+  for (const auto& list : by_dimension_) total += list.size();
+  return total;
+}
+
+const std::vector<Simplex>& SimplicialComplex::simplices(int k) const {
+  if (k < 0 || static_cast<std::size_t>(k) >= by_dimension_.size())
+    return kEmpty;
+  return by_dimension_[static_cast<std::size_t>(k)];
+}
+
+std::optional<std::size_t> SimplicialComplex::index_of(
+    const Simplex& s) const {
+  const int k = s.dimension();
+  if (k < 0 || static_cast<std::size_t>(k) >= index_.size())
+    return std::nullopt;
+  const auto& map = index_[static_cast<std::size_t>(k)];
+  const auto it = map.find(s);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SimplicialComplex::contains(const Simplex& s) const {
+  return index_of(s).has_value();
+}
+
+long long SimplicialComplex::euler_characteristic() const {
+  long long chi = 0;
+  for (int k = 0; k <= max_dimension(); ++k) {
+    const auto term = static_cast<long long>(count(k));
+    chi += (k % 2 == 0) ? term : -term;
+  }
+  return chi;
+}
+
+std::optional<Simplex> SimplicialComplex::find_missing_face() const {
+  for (int k = 1; k <= max_dimension(); ++k) {
+    for (const Simplex& s : simplices(k)) {
+      for (const Simplex& face : s.facets()) {
+        if (!contains(face)) return face;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qtda

@@ -1,0 +1,65 @@
+/// \file simplicial_complex.hpp
+/// \brief Simplicial complexes indexed per dimension.
+///
+/// Simplices of each dimension k are kept sorted lexicographically — the
+/// paper's §2 ordering — so the column order of the boundary operator ∂_k
+/// matches Eq. (14)/(15) of the worked example.  The container validates
+/// downward closure (every face of a member is a member).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/simplex.hpp"
+
+namespace qtda {
+
+/// A finite abstract simplicial complex.
+class SimplicialComplex {
+ public:
+  SimplicialComplex() = default;
+
+  /// Builds from a list of simplices.  When \p close_downward is true the
+  /// missing faces are added automatically; otherwise the input must already
+  /// be closed (throws if not).
+  static SimplicialComplex from_simplices(const std::vector<Simplex>& simplices,
+                                          bool close_downward = false);
+
+  /// Adds a simplex and (recursively) all of its faces.
+  void insert_with_faces(const Simplex& s);
+
+  /// Largest dimension present, or −1 for the empty complex.
+  int max_dimension() const;
+
+  /// Number of k-simplices, |S_k|.  Zero for out-of-range k.
+  std::size_t count(int k) const;
+
+  /// Total number of simplices across dimensions.
+  std::size_t total_count() const;
+
+  /// Sorted k-simplices; empty for out-of-range k.
+  const std::vector<Simplex>& simplices(int k) const;
+
+  /// Index of \p s within simplices(s.dimension()); nullopt when absent.
+  std::optional<std::size_t> index_of(const Simplex& s) const;
+
+  /// Membership test.
+  bool contains(const Simplex& s) const;
+
+  /// Euler characteristic χ = Σ_k (−1)^k |S_k|.
+  long long euler_characteristic() const;
+
+  /// Verifies downward closure; returns the first missing face if any.
+  std::optional<Simplex> find_missing_face() const;
+
+ private:
+  void insert_sorted(const Simplex& s);
+  void rebuild_index(int k);
+
+  std::vector<std::vector<Simplex>> by_dimension_;
+  std::vector<std::unordered_map<Simplex, std::size_t, SimplexHash>> index_;
+  static const std::vector<Simplex> kEmpty;
+};
+
+}  // namespace qtda

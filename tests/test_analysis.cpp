@@ -1,0 +1,117 @@
+// Tests for core/analysis.hpp: leakage decomposition and the precision
+// recommendation.
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/betti_estimator.hpp"
+#include "topology/betti.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+RealMatrix paper_delta1() {
+  return RealMatrix{{3, 0, 0, 0, 0, 0},  {0, 3, 0, -1, -1, 0},
+                    {0, 0, 3, -1, -1, 0}, {0, -1, -1, 2, 1, -1},
+                    {0, -1, -1, 1, 2, 1}, {0, 0, 0, -1, 1, 2}};
+}
+
+TEST(Analysis, WorkedExampleDecomposition) {
+  const auto analysis = analyze_estimator_error(paper_delta1(), 3, 6.0);
+  EXPECT_EQ(analysis.kernel_dimension, 1u);
+  EXPECT_EQ(analysis.system_qubits, 3u);
+  EXPECT_NEAR(analysis.ideal_zero_probability, 0.125, 1e-12);
+  // quickstart's exact p(0) is 0.137: leakage ≈ 0.012.
+  EXPECT_NEAR(analysis.exact_zero_probability, 0.137, 0.002);
+  EXPECT_NEAR(analysis.leakage,
+              analysis.exact_zero_probability - 0.125, 1e-12);
+  EXPECT_NEAR(analysis.betti_bias, 8.0 * analysis.leakage, 1e-12);
+  EXPECT_GT(analysis.spectral_gap_phase, 0.0);
+  EXPECT_LT(analysis.spectral_gap_phase, 1.0);
+}
+
+TEST(Analysis, LeakageIsNonnegativeAndShrinksWithPrecision) {
+  Rng rng(5);
+  for (int rep = 0; rep < 5; ++rep) {
+    RandomComplexOptions options;
+    options.num_vertices = 7;
+    options.max_dimension = 2;
+    const auto complex = random_flag_complex(options, rng);
+    if (complex.count(1) == 0) continue;
+    const auto laplacian = combinatorial_laplacian(complex, 1);
+    double previous = 1e9;
+    for (std::size_t t = 1; t <= 10; ++t) {
+      const auto analysis = analyze_estimator_error(laplacian, t);
+      EXPECT_GE(analysis.leakage, -1e-12);
+      EXPECT_LE(analysis.leakage, previous + 1e-12);
+      previous = analysis.leakage;
+    }
+    EXPECT_LT(previous, 1e-3);
+  }
+}
+
+TEST(Analysis, KernelMatchesClassicalBetti) {
+  Rng rng(9);
+  for (int rep = 0; rep < 8; ++rep) {
+    RandomComplexOptions options;
+    options.num_vertices = 8;
+    options.max_dimension = 2;
+    const auto complex = random_flag_complex(options, rng);
+    if (complex.count(1) == 0) continue;
+    const auto analysis = analyze_estimator_error(
+        combinatorial_laplacian(complex, 1), 4);
+    EXPECT_EQ(analysis.kernel_dimension, betti_number(complex, 1));
+  }
+}
+
+TEST(Analysis, ExactProbabilityMatchesEstimatorField) {
+  const auto analysis = analyze_estimator_error(paper_delta1(), 5, 6.0);
+  EstimatorOptions options;
+  options.precision_qubits = 5;
+  options.shots = 1;
+  options.delta = 6.0;
+  const auto estimate = estimate_betti_from_laplacian(paper_delta1(), options);
+  EXPECT_NEAR(analysis.exact_zero_probability,
+              estimate.exact_zero_probability, 1e-12);
+}
+
+TEST(Analysis, ZeroLaplacianHasNoGap) {
+  const auto analysis = analyze_estimator_error(RealMatrix(2, 2), 3);
+  // All eigenvalues of the original block are zero; the padding block
+  // contributes the only nonzero phases... which exist, so the kernel is 2.
+  EXPECT_EQ(analysis.kernel_dimension, 2u);
+  EXPECT_NEAR(analysis.ideal_zero_probability, 1.0, 1e-9);
+}
+
+TEST(RecommendedPrecision, MonotoneInTarget) {
+  const auto strict =
+      recommended_precision_qubits(paper_delta1(), 0.01, 6.0);
+  const auto loose = recommended_precision_qubits(paper_delta1(), 0.5, 6.0);
+  EXPECT_GE(strict, loose);
+  // The recommendation actually achieves its target.
+  const auto analysis =
+      analyze_estimator_error(paper_delta1(), strict, 6.0);
+  EXPECT_LE(analysis.betti_bias, 0.01);
+}
+
+TEST(RecommendedPrecision, WorkedExampleNeedsFewQubitsForRounding) {
+  // Rounding to the nearest integer only needs bias < 0.5: the paper's
+  // t = 3 choice is in this regime.
+  const auto t = recommended_precision_qubits(paper_delta1(), 0.49, 6.0);
+  EXPECT_LE(t, 3u);
+}
+
+TEST(RecommendedPrecision, UnreachableTargetThrows) {
+  EXPECT_THROW(
+      recommended_precision_qubits(paper_delta1(), 1e-12, 6.0, 4),
+      Error);
+}
+
+}  // namespace
+}  // namespace qtda

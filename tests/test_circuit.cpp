@@ -1,0 +1,163 @@
+// Tests for quantum/circuit.hpp.
+#include "quantum/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "quantum/gates.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Circuit, AppendersRecordGates) {
+  Circuit c(3);
+  c.h(0);
+  c.cnot(0, 1);
+  c.rz(2, 0.5);
+  EXPECT_EQ(c.gate_count(), 3u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::kH);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::kX);
+  ASSERT_EQ(c.gates()[1].controls.size(), 1u);
+  EXPECT_EQ(c.gates()[1].controls[0], 0u);
+  EXPECT_DOUBLE_EQ(c.gates()[2].parameter, 0.5);
+}
+
+TEST(Circuit, QubitOutOfRangeThrows) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.cnot(0, 2), Error);
+}
+
+TEST(Circuit, DuplicateWireThrows) {
+  Circuit c(2);
+  EXPECT_THROW(c.cnot(1, 1), Error);
+  Gate g;
+  g.kind = GateKind::kUnitary;
+  g.targets = {0, 0};
+  g.matrix = ComplexMatrix::identity(4);
+  EXPECT_THROW(c.append(g), Error);
+}
+
+TEST(Circuit, UnitaryShapeValidated) {
+  Circuit c(3);
+  EXPECT_THROW(c.unitary(ComplexMatrix::identity(2), {0, 1}), Error);
+  EXPECT_NO_THROW(c.unitary(ComplexMatrix::identity(4), {0, 1}));
+}
+
+TEST(Circuit, WidthLimits) {
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(31), Error);
+  EXPECT_NO_THROW(Circuit(1));
+}
+
+TEST(Circuit, DepthCountsQubitChains) {
+  Circuit c(3);
+  // Layer 1: H(0), H(1), H(2) — parallel.  Layer 2: CNOT(0,1).  Layer 3: H(1).
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.cnot(0, 1);
+  c.h(1);
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthOfEmptyCircuitIsZero) {
+  EXPECT_EQ(Circuit(2).depth(), 0u);
+}
+
+TEST(Circuit, TwoQubitGateCount) {
+  Circuit c(3);
+  c.h(0);
+  c.cnot(0, 1);
+  c.cz(1, 2);
+  c.unitary(ComplexMatrix::identity(4), {0, 1});
+  EXPECT_EQ(c.two_qubit_gate_count(), 3u);
+}
+
+TEST(Circuit, SwapIsThreeCnots) {
+  Circuit c(2);
+  c.swap(0, 1);
+  EXPECT_EQ(c.gate_count(), 3u);
+}
+
+TEST(Circuit, GateCensus) {
+  Circuit c(2);
+  c.h(0);
+  c.h(1);
+  c.cnot(0, 1);
+  const auto census = c.gate_census();
+  bool found_h = false, found_cx = false;
+  for (const auto& [name, count] : census) {
+    if (name == "H") {
+      EXPECT_EQ(count, 2u);
+      found_h = true;
+    }
+    if (name == "C(1)X") {
+      EXPECT_EQ(count, 1u);
+      found_cx = true;
+    }
+  }
+  EXPECT_TRUE(found_h);
+  EXPECT_TRUE(found_cx);
+}
+
+TEST(Circuit, AppendCircuitConcatenates) {
+  Circuit a(2), b(2);
+  a.h(0);
+  b.x(1);
+  b.add_global_phase(0.5);
+  a.append_circuit(b);
+  EXPECT_EQ(a.gate_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.global_phase(), 0.5);
+}
+
+TEST(Circuit, AppendCircuitWidthMismatchThrows) {
+  Circuit a(2), b(3);
+  EXPECT_THROW(a.append_circuit(b), Error);
+}
+
+TEST(Circuit, ControlledOnAddsControlEverywhere) {
+  Circuit c(3);
+  c.h(1);
+  c.cnot(1, 2);
+  c.add_global_phase(0.7);
+  const Circuit controlled = c.controlled_on(0);
+  ASSERT_EQ(controlled.gate_count(), 3u);  // +1 phase gate for global phase
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& controls = controlled.gates()[i].controls;
+    EXPECT_TRUE(std::find(controls.begin(), controls.end(), 0u) !=
+                controls.end());
+  }
+  EXPECT_EQ(controlled.gates()[2].kind, GateKind::kPhase);
+  EXPECT_DOUBLE_EQ(controlled.gates()[2].parameter, 0.7);
+  EXPECT_DOUBLE_EQ(controlled.global_phase(), 0.0);
+}
+
+TEST(Circuit, ControlledOnUsedWireThrows) {
+  Circuit c(2);
+  c.h(0);
+  EXPECT_THROW(c.controlled_on(0), Error);
+}
+
+TEST(Circuit, SingleQubitMatrixOfNamedGate) {
+  Gate g;
+  g.kind = GateKind::kRZ;
+  g.targets = {0};
+  g.parameter = 0.4;
+  EXPECT_LT(max_abs_diff(g.single_qubit_matrix(), gates::RZ(0.4)), 1e-15);
+}
+
+TEST(Circuit, ToStringMentionsGates) {
+  Circuit c(2);
+  c.h(0);
+  c.rz(1, 0.25);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("H"), std::string::npos);
+  EXPECT_NE(s.find("RZ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtda

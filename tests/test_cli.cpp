@@ -1,0 +1,79 @@
+// Tests for common/cli.hpp.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qtda {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const auto args = parse({"--shots", "500"});
+  EXPECT_TRUE(args.has("shots"));
+  EXPECT_EQ(args.get_int("shots", 0), 500);
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = parse({"--epsilon=2.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("epsilon", 0.0), 2.5);
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto args = parse({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_FALSE(args.get_bool("quick"));
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+  const auto args = parse({"--full", "--shots", "10"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_EQ(args.get_int("shots", 0), 10);
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("s", "fallback"), "fallback");
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = parse({"input.txt", "--n", "3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, IntList) {
+  const auto args = parse({"--shots=100,1000,10000"});
+  const auto list = args.get_int_list("shots", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 100);
+  EXPECT_EQ(list[1], 1000);
+  EXPECT_EQ(list[2], 10000);
+}
+
+TEST(Cli, IntListFallback) {
+  const auto args = parse({});
+  const auto list = args.get_int_list("shots", {7, 8});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], 7);
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = parse({});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, NegativeNumberIsValueNotFlag) {
+  const auto args = parse({"--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace qtda

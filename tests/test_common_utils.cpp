@@ -1,0 +1,92 @@
+// Tests for the remaining common/ utilities: error macros, logging, timer.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(ErrorMacro, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(QTDA_REQUIRE(1 + 1 == 2, "never shown"));
+}
+
+TEST(ErrorMacro, FailureThrowsQtdaError) {
+  EXPECT_THROW(QTDA_REQUIRE(false, "boom"), Error);
+}
+
+TEST(ErrorMacro, MessageCarriesStreamedContent) {
+  try {
+    const int k = 7;
+    QTDA_REQUIRE(k < 5, "k=" << k << " out of range");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("k=7 out of range"), std::string::npos);
+    EXPECT_NE(what.find("k < 5"), std::string::npos);  // the condition text
+    EXPECT_NE(what.find("test_common_utils.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacro, IsARuntimeError) {
+  try {
+    QTDA_REQUIRE(false, "x");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL() << "Error must derive from std::runtime_error";
+}
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped (no crash, no output check needed).
+  QTDA_INFO << "suppressed info message";
+  QTDA_WARN << "suppressed warning";
+  set_log_level(old_level);
+}
+
+TEST(Logging, StreamingCompiles) {
+  set_log_level(LogLevel::kError);  // keep test output clean
+  QTDA_DEBUG << "value=" << 42 << " pi=" << 3.14;
+  set_log_level(LogLevel::kInfo);
+  SUCCEED();
+}
+
+TEST(Logging, ThreadSafety) {
+  set_log_level(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) QTDA_DEBUG << "thread " << t << " " << i;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  set_log_level(LogLevel::kInfo);
+  SUCCEED();
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+              timer.seconds() * 50);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace qtda

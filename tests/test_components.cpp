@@ -1,0 +1,91 @@
+// Tests for topology/components.hpp (union-find β0).
+#include "topology/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "topology/betti.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(UnionFind, StartsFullySeparated) {
+  UnionFind forest(5);
+  EXPECT_EQ(forest.count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(forest.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind forest(4);
+  EXPECT_TRUE(forest.unite(0, 1));
+  EXPECT_EQ(forest.count(), 3u);
+  EXPECT_FALSE(forest.unite(1, 0));  // already merged
+  EXPECT_EQ(forest.count(), 3u);
+  EXPECT_TRUE(forest.unite(2, 3));
+  EXPECT_TRUE(forest.unite(0, 3));
+  EXPECT_EQ(forest.count(), 1u);
+  EXPECT_EQ(forest.find(0), forest.find(2));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind forest(2);
+  EXPECT_THROW(forest.find(2), Error);
+}
+
+TEST(ConnectedComponents, PathAndIsland) {
+  NeighborhoodGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  // 3 and 4 isolated.
+  EXPECT_EQ(connected_components(g), 3u);
+}
+
+TEST(ComponentLabels, ConsistentPartition) {
+  NeighborhoodGraph g(6);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  const auto labels = component_labels(g);
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[2], labels[4]);
+  EXPECT_EQ(labels[1], labels[3]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[1]);
+  const auto max_label = *std::max_element(labels.begin(), labels.end());
+  EXPECT_EQ(max_label, 2u);  // labels are dense in [0, #components)
+}
+
+class Betti0FastCrossCheck : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Betti0FastCrossCheck, MatchesHomologicalBetti0) {
+  Rng rng(GetParam() * 3 + 7);
+  RandomComplexOptions options;
+  options.num_vertices = 12;
+  options.max_dimension = 2;
+  const auto complex = random_flag_complex(options, rng);
+  EXPECT_EQ(betti0_fast(complex), betti_number(complex, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Betti0FastCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Betti0Fast, SparseVertexIds) {
+  // Vertex ids need not be contiguous.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{10, 20}, Simplex{30}}, true);
+  EXPECT_EQ(betti0_fast(complex), 2u);
+}
+
+TEST(Betti0Fast, EmptyComplexIsZero) {
+  EXPECT_EQ(betti0_fast(SimplicialComplex{}), 0u);
+}
+
+}  // namespace
+}  // namespace qtda

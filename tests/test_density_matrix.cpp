@@ -1,0 +1,189 @@
+// Tests for quantum/density_matrix.hpp: exact mixed-state evolution and
+// agreement with both the pure-state simulator and the trajectory sampler.
+#include "quantum/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/mixed_state.hpp"
+
+namespace qtda {
+namespace {
+
+Circuit random_circuit(std::size_t n, int gates, Rng& rng) {
+  Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const std::size_t q = rng.uniform_index(n);
+    switch (rng.uniform_index(5)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.rx(q, rng.uniform(-3.0, 3.0)); break;
+      case 3: c.rz(q, rng.uniform(-3.0, 3.0)); break;
+      default: {
+        const std::size_t other = (q + 1 + rng.uniform_index(n - 1)) % n;
+        c.cnot(q, other);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+TEST(DensityMatrix, InitialStateIsPureZero) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho.element(0, 0) - Amplitude{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho.element(1, 1)), 0.0, 1e-14);
+}
+
+TEST(DensityMatrix, MaximallyMixedProperties) {
+  const auto rho = DensityMatrix::maximally_mixed(3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0 / 8.0, 1e-14);
+  for (std::uint64_t r = 0; r < 8; ++r)
+    EXPECT_NEAR(rho.element(r, r).real(), 1.0 / 8.0, 1e-14);
+}
+
+TEST(DensityMatrix, FromStatevectorMatchesOuterProduct) {
+  Statevector psi(1);
+  psi.apply_single_qubit(gates::H(), 0);
+  const auto rho = DensityMatrix::from_statevector(psi);
+  for (std::uint64_t r = 0; r < 2; ++r)
+    for (std::uint64_t c = 0; c < 2; ++c)
+      EXPECT_NEAR(std::abs(rho.element(r, c) - Amplitude{0.5, 0.0}), 0.0,
+                  1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
+}
+
+class NoiselessAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NoiselessAgreement, DensityEvolutionMatchesPureState) {
+  Rng rng(GetParam() * 23 + 1);
+  const std::size_t n = 3;
+  const Circuit circuit = random_circuit(n, 25, rng);
+
+  const Statevector psi = run_circuit(circuit);
+  const DensityMatrix rho = run_circuit_density(circuit);
+
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  for (std::uint64_t r = 0; r < psi.dimension(); ++r) {
+    for (std::uint64_t c = 0; c < psi.dimension(); ++c) {
+      const Amplitude expected =
+          psi.amplitude(r) * std::conj(psi.amplitude(c));
+      EXPECT_NEAR(std::abs(rho.element(r, c) - expected), 0.0, 1e-10)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoiselessAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DensityMatrix, PurificationMarginalEqualsMaximallyMixed) {
+  // Fig. 2 check at the density-matrix level: tracing out the ancillas of
+  // the purification leaves exactly I/2^q.
+  const std::size_t q = 2;
+  Circuit prep(2 * q);
+  append_mixed_state_preparation(prep, {0, 1}, {2, 3});
+  const auto rho = run_circuit_density(prep);
+  const auto marginal = rho.marginal_probabilities({2, 3});
+  for (double p : marginal) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingAtFullStrengthMixesOneQubit) {
+  DensityMatrix rho(1);  // pure |0⟩
+  rho.apply_depolarizing(0, 1.0);
+  // (1−p)ρ + p/3(XρX+YρY+ZρZ) at p=1 gives diag(1/3 + ... ) =
+  // diag(1/3, 2/3): X and Y flip, Z keeps.
+  EXPECT_NEAR(rho.element(0, 0).real(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rho.element(1, 1).real(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, RepeatedDepolarizingConvergesToMixed) {
+  DensityMatrix rho(1);
+  for (int i = 0; i < 60; ++i) rho.apply_depolarizing(0, 0.3);
+  EXPECT_NEAR(rho.element(0, 0).real(), 0.5, 1e-6);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-6);
+}
+
+TEST(DensityMatrix, NoiseReducesPurityMonotonically) {
+  Circuit bell(2);
+  bell.h(0);
+  bell.cnot(0, 1);
+  double previous = 1.0;
+  for (double p : {0.01, 0.05, 0.2}) {
+    const auto rho = run_circuit_density(bell, NoiseModel{p, p});
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_LT(rho.purity(), previous);
+    previous = rho.purity();
+  }
+}
+
+TEST(DensityMatrix, TrajectoriesConvergeToExactChannel) {
+  // The Monte-Carlo trajectory sampler is an unbiased estimator of the
+  // exact channel: averaged outcome distributions agree within sampling
+  // error.
+  Circuit circuit(2);
+  circuit.h(0);
+  circuit.cnot(0, 1);
+  circuit.rx(1, 0.7);
+  const NoiseModel noise{0.05, 0.05};
+
+  const auto exact = run_circuit_density(circuit, noise);
+  const auto exact_marginal = exact.marginal_probabilities({0, 1});
+
+  Rng rng(99);
+  const std::size_t trajectories = 4000;
+  std::vector<double> sampled(4, 0.0);
+  for (std::size_t i = 0; i < trajectories; ++i) {
+    const auto psi = run_noisy_trajectory(circuit, noise, rng);
+    const auto probs = psi.marginal_probabilities({0, 1});
+    for (std::size_t m = 0; m < 4; ++m) sampled[m] += probs[m];
+  }
+  for (std::size_t m = 0; m < 4; ++m) {
+    sampled[m] /= static_cast<double>(trajectories);
+    EXPECT_NEAR(sampled[m], exact_marginal[m], 0.03) << "outcome " << m;
+  }
+}
+
+TEST(DensityMatrix, GlobalPhaseCancels) {
+  Circuit c(1);
+  c.h(0);
+  c.add_global_phase(1.234);
+  const auto rho = run_circuit_density(c);
+  const auto pure = DensityMatrix::from_statevector([] {
+    Statevector psi(1);
+    psi.apply_single_qubit(gates::H(), 0);
+    return psi;
+  }());
+  for (std::uint64_t r = 0; r < 2; ++r)
+    for (std::uint64_t col = 0; col < 2; ++col)
+      EXPECT_NEAR(std::abs(rho.element(r, col) - pure.element(r, col)), 0.0,
+                  1e-12);
+}
+
+TEST(DensityMatrix, SampleCountsAreDeterministicGivenSeed) {
+  const auto rho = DensityMatrix::maximally_mixed(2);
+  Rng a(5), b(5);
+  EXPECT_EQ(rho.sample_counts({0, 1}, 100, a),
+            rho.sample_counts({0, 1}, 100, b));
+}
+
+TEST(DensityMatrix, Validation) {
+  EXPECT_THROW(DensityMatrix(0), Error);
+  EXPECT_THROW(DensityMatrix(14), Error);
+  DensityMatrix rho(2);
+  EXPECT_THROW(rho.apply_depolarizing(5, 0.1), Error);
+  EXPECT_THROW(rho.apply_depolarizing(0, 1.5), Error);
+  EXPECT_THROW(rho.element(4, 0), Error);
+}
+
+}  // namespace
+}  // namespace qtda

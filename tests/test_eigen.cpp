@@ -1,0 +1,145 @@
+// Tests for linalg/symmetric_eigen.hpp and linalg/gershgorin.hpp.
+#include "linalg/symmetric_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "linalg/gershgorin.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+namespace {
+
+RealMatrix random_symmetric(std::size_t n, Rng& rng) {
+  RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  RealMatrix d(3, 3);
+  d(0, 0) = 3.0;
+  d(1, 1) = -1.0;
+  d(2, 2) = 2.0;
+  const auto result = symmetric_eigen(d);
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_NEAR(result.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(result.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(result.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const auto values = symmetric_eigenvalues(RealMatrix{{2, 1}, {1, 2}});
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, OneByOne) {
+  const auto values = symmetric_eigenvalues(RealMatrix{{5.0}});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 5.0);
+}
+
+TEST(SymmetricEigen, NonSymmetricThrows) {
+  EXPECT_THROW(symmetric_eigen(RealMatrix{{1, 2}, {3, 4}}), Error);
+  EXPECT_THROW(symmetric_eigen(RealMatrix(2, 3)), Error);
+}
+
+class EigenReconstruction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenReconstruction, FactorizationHolds) {
+  Rng rng(GetParam());
+  const std::size_t n = GetParam();
+  const RealMatrix a = random_symmetric(n, rng);
+  const auto result = symmetric_eigen(a);
+  // A·v_j = λ_j·v_j for each column.
+  for (std::size_t j = 0; j < n; ++j) {
+    RealVector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = result.vectors(i, j);
+    const auto av = matvec(a, v);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[i], result.values[j] * v[i], 1e-8);
+  }
+  // Eigenvalues ascending.
+  EXPECT_TRUE(std::is_sorted(result.values.begin(), result.values.end()));
+  // V orthonormal.
+  const auto vtv = matmul(transpose(result.vectors), result.vectors);
+  EXPECT_LT(max_abs_diff(vtv, RealMatrix::identity(n)), 1e-9);
+  // Trace preserved.
+  double eigen_sum = 0.0;
+  for (double v : result.values) eigen_sum += v;
+  EXPECT_NEAR(eigen_sum, trace(a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstruction,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(SymmetricEigen, PositiveSemidefiniteGram) {
+  Rng rng(99);
+  RealMatrix b(6, 4);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b.data()[i] = rng.uniform(-1.0, 1.0);
+  const auto gram = matmul(transpose(b), b);
+  const auto values = symmetric_eigenvalues(gram);
+  for (double v : values) EXPECT_GE(v, -1e-10);
+}
+
+TEST(CountZeroEigenvalues, RankDeficientMatrix) {
+  // Projector onto span{(1,1)/√2} has eigenvalues {0, 1}.
+  RealMatrix p{{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_EQ(count_zero_eigenvalues(p), 1u);
+}
+
+TEST(CountZeroEigenvalues, ZeroMatrix) {
+  EXPECT_EQ(count_zero_eigenvalues(RealMatrix(4, 4)), 4u);
+}
+
+TEST(CountZeroEigenvalues, FullRankMatrix) {
+  EXPECT_EQ(count_zero_eigenvalues(RealMatrix::identity(5)), 0u);
+}
+
+TEST(Gershgorin, BoundsContainSpectrum) {
+  Rng rng(101);
+  for (int rep = 0; rep < 20; ++rep) {
+    const RealMatrix a = random_symmetric(8, rng);
+    const auto values = symmetric_eigenvalues(a);
+    EXPECT_LE(values.back(), gershgorin_max(a) + 1e-10);
+    EXPECT_GE(values.front(), gershgorin_min(a) - 1e-10);
+  }
+}
+
+TEST(Gershgorin, DiagonalIsExact) {
+  RealMatrix d(2, 2);
+  d(0, 0) = -3.0;
+  d(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(gershgorin_max(d), 7.0);
+  EXPECT_DOUBLE_EQ(gershgorin_min(d), -3.0);
+}
+
+TEST(Gershgorin, WorkedExampleLambdaMax) {
+  // The paper's Δ1 (Eq. 17) has Gershgorin bound 6 (row 4: 2 + |−1|+|−1|+1+|−1|).
+  RealMatrix delta1{{3, 0, 0, 0, 0, 0},  {0, 3, 0, -1, -1, 0},
+                    {0, 0, 3, -1, -1, 0}, {0, -1, -1, 2, 1, -1},
+                    {0, -1, -1, 1, 2, 1}, {0, 0, 0, -1, 1, 2}};
+  EXPECT_DOUBLE_EQ(gershgorin_max(delta1), 6.0);
+}
+
+TEST(Gershgorin, DiscsCount) {
+  EXPECT_EQ(gershgorin_discs(RealMatrix::identity(4)).size(), 4u);
+  EXPECT_THROW(gershgorin_discs(RealMatrix(2, 3)), Error);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,109 @@
+// Tests for topology/filtration.hpp.
+#include "topology/filtration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "topology/betti.hpp"
+#include "topology/random_complex.hpp"
+#include "topology/rips.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Filtration, OrdersByBirthThenDimension) {
+  Filtration f({{Simplex{0, 1}, 2.0},
+                {Simplex{0}, 0.0},
+                {Simplex{1}, 0.0}});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].simplex.dimension(), 0);
+  EXPECT_EQ(f[1].simplex.dimension(), 0);
+  EXPECT_EQ(f[2].simplex, (Simplex{0, 1}));
+  EXPECT_DOUBLE_EQ(f.max_birth(), 2.0);
+}
+
+TEST(Filtration, MissingFaceThrows) {
+  EXPECT_THROW(Filtration({{Simplex{0, 1}, 1.0}, {Simplex{0}, 0.0}}), Error);
+}
+
+TEST(Filtration, FaceAfterCofaceThrows) {
+  // Edge born before its vertex violates the subcomplex property.
+  EXPECT_THROW(Filtration({{Simplex{0}, 0.0},
+                           {Simplex{1}, 5.0},
+                           {Simplex{0, 1}, 1.0}}),
+               Error);
+}
+
+TEST(Filtration, DuplicateSimplexThrows) {
+  EXPECT_THROW(Filtration({{Simplex{0}, 0.0}, {Simplex{0}, 1.0}}), Error);
+}
+
+TEST(Filtration, PositionLookup) {
+  Filtration f({{Simplex{0}, 0.0}, {Simplex{1}, 0.0}, {Simplex{0, 1}, 1.0}});
+  EXPECT_EQ(f.position_of(Simplex{0, 1}), 2u);
+  EXPECT_THROW(f.position_of(Simplex{5}), Error);
+}
+
+TEST(RipsFiltration, BirthValuesAreLongestEdges) {
+  PointCloud cloud({{0.0}, {1.0}, {3.0}});
+  const auto f = rips_filtration(cloud, 10.0, 2);
+  // Vertices at 0; edges at their lengths; triangle at the max edge (3).
+  EXPECT_EQ(f.size(), 7u);
+  double triangle_birth = -1.0;
+  for (const auto& fs : f.entries()) {
+    if (fs.simplex.dimension() == 0) {
+      EXPECT_DOUBLE_EQ(fs.birth, 0.0);
+    }
+    if (fs.simplex == (Simplex{0, 1})) {
+      EXPECT_DOUBLE_EQ(fs.birth, 1.0);
+    }
+    if (fs.simplex == (Simplex{1, 2})) {
+      EXPECT_DOUBLE_EQ(fs.birth, 2.0);
+    }
+    if (fs.simplex == (Simplex{0, 2})) {
+      EXPECT_DOUBLE_EQ(fs.birth, 3.0);
+    }
+    if (fs.simplex.dimension() == 2) triangle_birth = fs.birth;
+  }
+  EXPECT_DOUBLE_EQ(triangle_birth, 3.0);
+}
+
+TEST(RipsFiltration, MaxEpsilonTruncates) {
+  PointCloud cloud({{0.0}, {1.0}, {3.0}});
+  const auto f = rips_filtration(cloud, 1.5, 2);
+  // Only the length-1 edge enters.
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(RipsFiltration, ComplexAtMatchesDirectRips) {
+  Rng rng(41);
+  PointCloud cloud(random_point_cloud(9, 2, rng));
+  const auto f = rips_filtration(cloud, 1.0, 2);
+  for (double eps : {0.2, 0.4, 0.6, 0.8}) {
+    const auto from_filtration = f.complex_at(eps);
+    const auto direct = rips_complex(cloud, eps, 2);
+    for (int k = 0; k <= 2; ++k) {
+      EXPECT_EQ(from_filtration.count(k), direct.count(k))
+          << "eps=" << eps << " k=" << k;
+    }
+  }
+}
+
+TEST(RipsFiltration, PrefixIsAlwaysAComplex) {
+  Rng rng(43);
+  PointCloud cloud(random_point_cloud(8, 3, rng));
+  const auto f = rips_filtration(cloud, 1.2, 2);
+  // Every prefix of the filtration order must be downward closed.
+  std::vector<Simplex> prefix;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    prefix.push_back(f[i].simplex);
+    EXPECT_NO_THROW(SimplicialComplex::from_simplices(prefix, false))
+        << "prefix length " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace qtda

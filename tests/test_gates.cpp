@@ -1,0 +1,99 @@
+// Tests for quantum/gates.hpp: unitarity and algebraic identities.
+#include "quantum/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix_ops.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Gates, AllNamedGatesAreUnitary) {
+  for (const auto& g :
+       {gates::I(), gates::X(), gates::Y(), gates::Z(), gates::H(),
+        gates::S(), gates::Sdg(), gates::T(), gates::Tdg(), gates::RX(0.3),
+        gates::RY(1.1), gates::RZ(-0.7), gates::Phase(2.2)}) {
+    EXPECT_TRUE(is_unitary(g, 1e-12));
+  }
+}
+
+TEST(Gates, PauliAlgebra) {
+  // X² = Y² = Z² = I; XY = iZ.
+  const auto id = ComplexMatrix::identity(2);
+  EXPECT_LT(max_abs_diff(matmul(gates::X(), gates::X()), id), 1e-15);
+  EXPECT_LT(max_abs_diff(matmul(gates::Y(), gates::Y()), id), 1e-15);
+  EXPECT_LT(max_abs_diff(matmul(gates::Z(), gates::Z()), id), 1e-15);
+  const auto xy = matmul(gates::X(), gates::Y());
+  const auto iz = scale(gates::Z(), std::complex<double>(0.0, 1.0));
+  EXPECT_LT(max_abs_diff(xy, iz), 1e-15);
+}
+
+TEST(Gates, HadamardConjugation) {
+  // H·Z·H = X and H·X·H = Z.
+  const auto hzh = matmul(gates::H(), matmul(gates::Z(), gates::H()));
+  EXPECT_LT(max_abs_diff(hzh, gates::X()), 1e-12);
+  const auto hxh = matmul(gates::H(), matmul(gates::X(), gates::H()));
+  EXPECT_LT(max_abs_diff(hxh, gates::Z()), 1e-12);
+}
+
+TEST(Gates, PhaseGateFamilyTowers) {
+  // T² = S, S² = Z.
+  EXPECT_LT(max_abs_diff(matmul(gates::T(), gates::T()), gates::S()), 1e-12);
+  EXPECT_LT(max_abs_diff(matmul(gates::S(), gates::S()), gates::Z()), 1e-12);
+}
+
+TEST(Gates, DaggerPairs) {
+  const auto id = ComplexMatrix::identity(2);
+  EXPECT_LT(max_abs_diff(matmul(gates::S(), gates::Sdg()), id), 1e-15);
+  EXPECT_LT(max_abs_diff(matmul(gates::T(), gates::Tdg()), id), 1e-15);
+}
+
+TEST(Gates, RotationsComposeAdditively) {
+  for (double a : {0.3, -1.2}) {
+    for (double b : {0.9, 2.5}) {
+      EXPECT_LT(max_abs_diff(matmul(gates::RZ(a), gates::RZ(b)),
+                             gates::RZ(a + b)),
+                1e-12);
+      EXPECT_LT(max_abs_diff(matmul(gates::RX(a), gates::RX(b)),
+                             gates::RX(a + b)),
+                1e-12);
+      EXPECT_LT(max_abs_diff(matmul(gates::RY(a), gates::RY(b)),
+                             gates::RY(a + b)),
+                1e-12);
+    }
+  }
+}
+
+TEST(Gates, RotationAtZeroIsIdentity) {
+  const auto id = ComplexMatrix::identity(2);
+  EXPECT_LT(max_abs_diff(gates::RX(0.0), id), 1e-15);
+  EXPECT_LT(max_abs_diff(gates::RY(0.0), id), 1e-15);
+  EXPECT_LT(max_abs_diff(gates::RZ(0.0), id), 1e-15);
+  EXPECT_LT(max_abs_diff(gates::Phase(0.0), id), 1e-15);
+}
+
+TEST(Gates, RXPiIsMinusIX) {
+  const auto expected = scale(gates::X(), std::complex<double>(0.0, -1.0));
+  EXPECT_LT(max_abs_diff(gates::RX(kPi), expected), 1e-12);
+}
+
+TEST(Gates, PhaseVersusRZGlobalPhase) {
+  // P(φ) = e^{iφ/2}·RZ(φ).
+  const auto lhs = gates::Phase(1.3);
+  const auto rhs = scale(gates::RZ(1.3),
+                         std::exp(std::complex<double>(0.0, 1.3 / 2.0)));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-12);
+}
+
+TEST(Gates, RXConjugatesZToY) {
+  // RX(π/2)†·Z·RX(π/2) = Y — the Trotter basis change for Y letters.
+  const auto rx = gates::RX(kPi / 2.0);
+  const auto conj = matmul(adjoint(rx), matmul(gates::Z(), rx));
+  EXPECT_LT(max_abs_diff(conj, gates::Y()), 1e-12);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,150 @@
+// Tests for data/: gearbox generator, features, windowing.
+#include "data/gearbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "data/features.hpp"
+#include "data/windowing.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Gearbox, SignalLengthAndDeterminism) {
+  GearboxSignalOptions options;
+  Rng a(1), b(1);
+  const auto s1 =
+      generate_gearbox_signal(GearboxCondition::kHealthy, 500, options, a);
+  const auto s2 =
+      generate_gearbox_signal(GearboxCondition::kHealthy, 500, options, b);
+  EXPECT_EQ(s1.size(), 500u);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Gearbox, FaultIncreasesImpulsiveness) {
+  // Surface faults add impulses: kurtosis and crest factor rise.
+  GearboxSignalOptions options;
+  Rng rng(2);
+  std::vector<double> healthy_kurtosis, faulty_kurtosis;
+  for (int i = 0; i < 10; ++i) {
+    const auto healthy = generate_gearbox_signal(
+        GearboxCondition::kHealthy, 2048, options, rng);
+    const auto faulty = generate_gearbox_signal(
+        GearboxCondition::kSurfaceFault, 2048, options, rng);
+    healthy_kurtosis.push_back(kurtosis(healthy));
+    faulty_kurtosis.push_back(kurtosis(faulty));
+  }
+  EXPECT_GT(mean(faulty_kurtosis), mean(healthy_kurtosis));
+}
+
+TEST(Gearbox, FaultIncreasesRms) {
+  GearboxSignalOptions options;
+  Rng rng(3);
+  const auto healthy =
+      generate_gearbox_signal(GearboxCondition::kHealthy, 4096, options, rng);
+  const auto faulty = generate_gearbox_signal(GearboxCondition::kSurfaceFault,
+                                              4096, options, rng);
+  EXPECT_GT(rms(faulty), rms(healthy));
+}
+
+TEST(Features, SixFeaturesInOrder) {
+  const std::vector<double> signal{1.0, -1.0, 1.0, -1.0};
+  const auto f = condition_monitoring_features(signal);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // mean |x|
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // RMS
+  EXPECT_NEAR(f[5], 1.0, 1e-12);  // crest = peak/RMS
+}
+
+TEST(Features, TooShortSignalThrows) {
+  EXPECT_THROW(condition_monitoring_features({1.0, 2.0}), Error);
+}
+
+TEST(Features, PointCloudHasFourConsecutiveTriples) {
+  const std::vector<double> f{1, 2, 3, 4, 5, 6};
+  const auto cloud = feature_point_cloud(f);
+  ASSERT_EQ(cloud.size(), 4u);
+  EXPECT_EQ(cloud.dimension(), 3u);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[2], 3.0);
+  EXPECT_DOUBLE_EQ(cloud.point(3)[0], 4.0);
+  EXPECT_DOUBLE_EQ(cloud.point(3)[2], 6.0);
+  EXPECT_THROW(feature_point_cloud({1, 2, 3}), Error);
+}
+
+TEST(GearboxDataset, PaperShape) {
+  // 255 samples, 51 healthy — the AutoFuse processed-set shape.
+  GearboxSignalOptions options;
+  Rng rng(4);
+  const auto samples =
+      generate_gearbox_feature_dataset(255, 51, 512, options, rng);
+  EXPECT_EQ(samples.size(), 255u);
+  std::size_t healthy = 0;
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.features.size(), 6u);
+    healthy += s.label == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(healthy, 51u);
+}
+
+TEST(GearboxDataset, ClassesAreStatisticallySeparated) {
+  GearboxSignalOptions options;
+  Rng rng(5);
+  const auto samples =
+      generate_gearbox_feature_dataset(60, 30, 1024, options, rng);
+  // Mean RMS (feature 1) separates the classes.
+  std::vector<double> healthy_rms, faulty_rms;
+  for (const auto& s : samples)
+    (s.label == 0 ? healthy_rms : faulty_rms).push_back(s.features[1]);
+  EXPECT_GT(mean(faulty_rms), mean(healthy_rms) + stddev(healthy_rms));
+}
+
+TEST(Windowing, SplitDropsRemainder) {
+  std::vector<double> series(1050, 0.0);
+  const auto windows = split_windows(series, 500);
+  EXPECT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].size(), 500u);
+}
+
+TEST(Windowing, SplitPreservesOrder) {
+  std::vector<double> series{1, 2, 3, 4, 5, 6};
+  const auto windows = split_windows(series, 2);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(windows[2][1], 6.0);
+}
+
+TEST(Windowing, SampleWithoutReplacementIsDistinct) {
+  std::vector<double> series(5000);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = static_cast<double>(i);
+  Rng rng(6);
+  const auto sampled = sample_windows(series, 500, 5, rng);
+  EXPECT_EQ(sampled.size(), 5u);
+  // First elements are multiples of 500, all distinct.
+  std::vector<double> firsts;
+  for (const auto& w : sampled) firsts.push_back(w[0]);
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_TRUE(std::adjacent_find(firsts.begin(), firsts.end()) ==
+              firsts.end());
+}
+
+TEST(Windowing, SampleWithReplacementWhenCountExceeds) {
+  std::vector<double> series(1000, 1.0);
+  Rng rng(7);
+  const auto sampled = sample_windows(series, 500, 10, rng);
+  EXPECT_EQ(sampled.size(), 10u);
+}
+
+TEST(Windowing, TooShortSeriesThrows) {
+  Rng rng(8);
+  EXPECT_THROW(sample_windows(std::vector<double>(10, 0.0), 50, 1, rng),
+               Error);
+}
+
+}  // namespace
+}  // namespace qtda

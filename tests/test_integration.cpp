@@ -1,0 +1,158 @@
+// Cross-module integration tests: miniature versions of the paper's
+// experiments wired exactly like the bench harnesses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/betti_estimator.hpp"
+#include "core/pipeline.hpp"
+#include "data/features.hpp"
+#include "data/gearbox.hpp"
+#include "data/windowing.hpp"
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "ml/takens.hpp"
+#include "topology/betti.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Integration, MiniFig3ErrorShrinksWithResources) {
+  // A reduced Fig. 3 cell: average |β̃ − β| over random complexes must
+  // decrease from the weakest setting (1 precision qubit, 100 shots) to the
+  // strongest (8 precision qubits, 10^5 shots).
+  Rng rng(42);
+  std::vector<double> weak_errors, strong_errors;
+  for (int rep = 0; rep < 8; ++rep) {
+    RandomComplexOptions complex_options;
+    complex_options.num_vertices = 6;
+    complex_options.max_dimension = 2;
+    const auto complex = random_flag_complex(complex_options, rng);
+    if (complex.count(1) == 0) continue;
+    const auto classical = betti_number(complex, 1);
+
+    EstimatorOptions weak;
+    weak.precision_qubits = 1;
+    weak.shots = 100;
+    weak.seed = 1000 + rep;
+    const auto weak_estimate = estimate_betti(complex, 1, weak);
+    weak_errors.push_back(std::abs(weak_estimate.estimated_betti -
+                                   static_cast<double>(classical)));
+
+    EstimatorOptions strong;
+    strong.precision_qubits = 8;
+    strong.shots = 100000;
+    strong.seed = 2000 + rep;
+    const auto strong_estimate = estimate_betti(complex, 1, strong);
+    strong_errors.push_back(std::abs(strong_estimate.estimated_betti -
+                                     static_cast<double>(classical)));
+  }
+  ASSERT_FALSE(weak_errors.empty());
+  EXPECT_LT(mean(strong_errors), mean(weak_errors));
+  EXPECT_LT(mean(strong_errors), 0.25);
+}
+
+TEST(Integration, GearboxFeatureClassificationBeatsChance) {
+  // Miniature Table 1: synthetic gearbox features → 4-point cloud → Betti
+  // features → logistic regression.  Validation accuracy must beat chance
+  // decisively.
+  GearboxSignalOptions signal_options;
+  Rng rng(7);
+  const auto samples =
+      generate_gearbox_feature_dataset(60, 20, 512, signal_options, rng);
+
+  // Per-sample point cloud → exact Betti features at a feature-scaled ε.
+  Dataset dataset;
+  for (const auto& sample : samples) {
+    const auto cloud = feature_point_cloud(sample.features);
+    // ε relative to the cloud's own scale keeps the graph non-trivial.
+    const auto d = cloud.distance_matrix();
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < d.rows(); ++i)
+      for (std::size_t j = i + 1; j < d.cols(); ++j)
+        dmax = std::max(dmax, d(i, j));
+    const double eps = 0.6 * dmax;
+    const auto betti = extract_exact_betti(cloud, eps, {0, 1});
+    dataset.add({static_cast<double>(betti[0]),
+                 static_cast<double>(betti[1]), dmax},
+                sample.label);
+  }
+
+  Rng split_rng(11);
+  const auto split = stratified_split(dataset, 0.5, split_rng);
+  StandardScaler scaler;
+  scaler.fit(split.train.features);
+  Dataset train{scaler.transform(split.train.features), split.train.labels};
+  Dataset val{scaler.transform(split.validation.features),
+              split.validation.labels};
+  LogisticRegression model;
+  model.fit(train);
+  const double val_accuracy =
+      accuracy(val.labels, model.predict_all(val.features));
+  EXPECT_GT(val_accuracy, 0.65);
+}
+
+TEST(Integration, TimeSeriesPipelineEndToEnd) {
+  // Section 5 first pipeline: 500-sample windows → Takens embedding →
+  // Rips → Betti estimate.  Just assert the plumbing produces features of
+  // the right shape and the loop count is bounded.
+  GearboxSignalOptions signal_options;
+  Rng rng(13);
+  const auto signal = generate_gearbox_signal(GearboxCondition::kHealthy,
+                                              2000, signal_options, rng);
+  const auto windows = split_windows(signal, 500);
+  ASSERT_EQ(windows.size(), 4u);
+
+  TakensOptions takens_options;
+  takens_options.dimension = 3;
+  takens_options.delay = 2;
+  takens_options.stride = 25;  // ~20 embedded points per window
+  const auto cloud = takens_embedding(windows[0], takens_options);
+  EXPECT_LE(cloud.size(), 20u);
+
+  PipelineOptions pipeline_options;
+  // Feature scale: half the cloud's diameter.
+  double dmax = 0.0;
+  const auto d = cloud.distance_matrix();
+  for (std::size_t i = 0; i < d.rows(); ++i)
+    for (std::size_t j = i + 1; j < d.cols(); ++j)
+      dmax = std::max(dmax, d(i, j));
+  pipeline_options.epsilon = 0.4 * dmax;
+  pipeline_options.dimensions = {0, 1};
+  pipeline_options.estimator.precision_qubits = 6;
+  pipeline_options.estimator.shots = 4000;
+  const auto features = extract_betti_features(cloud, pipeline_options);
+  ASSERT_EQ(features.estimated.size(), 2u);
+  EXPECT_GE(features.estimated[0], 0.0);
+  EXPECT_GE(features.estimated[1], 0.0);
+  // The quantum estimate tracks the classical value to within a loose bound.
+  EXPECT_NEAR(features.estimated[0],
+              static_cast<double>(features.exact[0]), 1.5);
+}
+
+TEST(Integration, EstimatedFeaturesCorrelateWithExactAcrossScales) {
+  // Fig. 4's mechanism: as ε sweeps, the estimated and exact Betti numbers
+  // must move together (high rank correlation proxy: Pearson on values).
+  Rng rng(17);
+  PointCloud cloud(random_point_cloud(10, 2, rng));
+  std::vector<double> exact_curve, estimated_curve;
+  for (double eps = 0.2; eps <= 0.8; eps += 0.1) {
+    PipelineOptions options;
+    options.epsilon = eps;
+    options.dimensions = {0};
+    options.estimator.precision_qubits = 8;
+    options.estimator.shots = 50000;
+    const auto features = extract_betti_features(cloud, options);
+    exact_curve.push_back(static_cast<double>(features.exact[0]));
+    estimated_curve.push_back(features.estimated[0]);
+  }
+  EXPECT_GT(pearson_correlation(exact_curve, estimated_curve), 0.9);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,152 @@
+// Tests for ml/knn.hpp and ml/cross_validation.hpp.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+
+namespace qtda {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, Rng& rng) {
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({-separation + rng.normal(0.0, 0.5),
+              -separation + rng.normal(0.0, 0.5)},
+             0);
+    data.add({separation + rng.normal(0.0, 0.5),
+              separation + rng.normal(0.0, 0.5)},
+             1);
+  }
+  return data;
+}
+
+TEST(Knn, NearestNeighbourOnExactPoints) {
+  Dataset data;
+  data.add({0.0, 0.0}, 0);
+  data.add({1.0, 1.0}, 1);
+  KnnClassifier knn(1);
+  knn.fit(data);
+  EXPECT_EQ(knn.predict({0.1, 0.1}), 0);
+  EXPECT_EQ(knn.predict({0.9, 0.8}), 1);
+}
+
+TEST(Knn, MajorityVoteOverK) {
+  Dataset data;
+  data.add({0.0}, 0);
+  data.add({0.2}, 0);
+  data.add({0.4}, 1);
+  KnnClassifier knn(3);
+  knn.fit(data);
+  // All three points vote; majority label is 0.
+  EXPECT_EQ(knn.predict({0.1}), 0);
+  EXPECT_NEAR(knn.predict_probability({0.1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Knn, TieFallsBackToNearestNeighbour) {
+  Dataset data;
+  data.add({0.0}, 0);
+  data.add({1.0}, 1);
+  KnnClassifier knn(2);
+  knn.fit(data);
+  EXPECT_EQ(knn.predict({0.2}), 0);  // tie at k=2; nearest is label 0
+  EXPECT_EQ(knn.predict({0.8}), 1);
+}
+
+TEST(Knn, KLargerThanDatasetUsesAll) {
+  Dataset data;
+  data.add({0.0}, 1);
+  data.add({1.0}, 1);
+  KnnClassifier knn(10);
+  knn.fit(data);
+  EXPECT_EQ(knn.predict({5.0}), 1);
+}
+
+TEST(Knn, SeparableBlobsClassifyPerfectly) {
+  Rng rng(3);
+  const Dataset data = blobs(40, 3.0, rng);
+  KnnClassifier knn(5);
+  knn.fit(data);
+  EXPECT_DOUBLE_EQ(accuracy(data.labels, knn.predict_all(data.features)),
+                   1.0);
+}
+
+TEST(Knn, Validation) {
+  EXPECT_THROW(KnnClassifier(0), Error);
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.predict({1.0}), Error);  // not fitted
+  Dataset data;
+  data.add({1.0, 2.0}, 0);
+  data.add({1.0, 3.0}, 1);
+  knn.fit(data);
+  EXPECT_THROW(knn.predict({1.0}), Error);  // width mismatch
+}
+
+TEST(CrossValidation, FoldsPartitionTheData) {
+  Rng rng(5);
+  const Dataset data = blobs(20, 2.0, rng);
+  std::size_t total_validation = 0;
+  const auto result = stratified_k_fold(
+      data, 4,
+      [&](const Dataset& train, const Dataset& validation) {
+        total_validation += validation.size();
+        EXPECT_EQ(train.size() + validation.size(), data.size());
+        // Stratification: both classes present in both parts.
+        EXPECT_GT(train.positive_count(), 0u);
+        EXPECT_GT(validation.positive_count(), 0u);
+        EXPECT_LT(train.positive_count(), train.size());
+        EXPECT_LT(validation.positive_count(), validation.size());
+        return 1.0;
+      },
+      rng);
+  EXPECT_EQ(result.fold_scores.size(), 4u);
+  EXPECT_EQ(total_validation, data.size());
+  EXPECT_DOUBLE_EQ(result.mean_score, 1.0);
+  EXPECT_DOUBLE_EQ(result.stddev_score, 0.0);
+}
+
+TEST(CrossValidation, SeparableDataScoresHigh) {
+  Rng rng(7);
+  const Dataset data = blobs(30, 3.0, rng);
+  const auto result = stratified_k_fold(
+      data, 5,
+      [](const Dataset& train, const Dataset& validation) {
+        LogisticRegression model;
+        model.fit(train);
+        return accuracy(validation.labels,
+                        model.predict_all(validation.features));
+      },
+      rng);
+  EXPECT_GT(result.mean_score, 0.95);
+}
+
+TEST(CrossValidation, KnnAndLogisticBothWork) {
+  Rng rng(9);
+  const Dataset data = blobs(25, 2.5, rng);
+  const auto knn_result = stratified_k_fold(
+      data, 5,
+      [](const Dataset& train, const Dataset& validation) {
+        KnnClassifier model(3);
+        model.fit(train);
+        return accuracy(validation.labels,
+                        model.predict_all(validation.features));
+      },
+      rng);
+  EXPECT_GT(knn_result.mean_score, 0.9);
+}
+
+TEST(CrossValidation, Validation) {
+  Rng rng(11);
+  Dataset tiny;
+  tiny.add({0.0}, 0);
+  tiny.add({1.0}, 1);
+  const auto evaluator = [](const Dataset&, const Dataset&) { return 0.0; };
+  EXPECT_THROW(stratified_k_fold(tiny, 1, evaluator, rng), Error);
+  EXPECT_THROW(stratified_k_fold(tiny, 3, evaluator, rng), Error);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,184 @@
+// Tests for topology/laplacian.hpp and topology/betti.hpp.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "topology/betti.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/random_complex.hpp"
+#include "topology/rips.hpp"
+
+namespace qtda {
+namespace {
+
+SimplicialComplex circle(std::size_t n) {
+  // Cycle graph C_n as a 1-dimensional complex (a topological circle).
+  std::vector<Simplex> simplices;
+  for (VertexId i = 0; i < n; ++i)
+    simplices.push_back(Simplex{i, static_cast<VertexId>((i + 1) % n)});
+  return SimplicialComplex::from_simplices(simplices, true);
+}
+
+SimplicialComplex octahedron_sphere() {
+  // The boundary of the octahedron: a triangulated 2-sphere.
+  // Vertices 0/1 are poles, 2–5 the equator square.
+  std::vector<Simplex> simplices;
+  const VertexId equator[4] = {2, 3, 4, 5};
+  for (int i = 0; i < 4; ++i) {
+    const VertexId a = equator[i];
+    const VertexId b = equator[(i + 1) % 4];
+    simplices.push_back(Simplex{0, a, b});
+    simplices.push_back(Simplex{1, a, b});
+  }
+  return SimplicialComplex::from_simplices(simplices, true);
+}
+
+TEST(Betti, CircleHasOneLoop) {
+  const auto complex = circle(8);
+  EXPECT_EQ(betti_number(complex, 0), 1u);
+  EXPECT_EQ(betti_number(complex, 1), 1u);
+}
+
+TEST(Betti, TwoComponents) {
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{2, 3}}, true);
+  EXPECT_EQ(betti_number(complex, 0), 2u);
+  EXPECT_EQ(betti_number(complex, 1), 0u);
+}
+
+TEST(Betti, FilledTriangleIsContractible) {
+  const auto complex =
+      SimplicialComplex::from_simplices({Simplex{0, 1, 2}}, true);
+  EXPECT_EQ(betti_number(complex, 0), 1u);
+  EXPECT_EQ(betti_number(complex, 1), 0u);
+  EXPECT_EQ(betti_number(complex, 2), 0u);
+}
+
+TEST(Betti, SphereHasTwoDimensionalHole) {
+  const auto sphere = octahedron_sphere();
+  EXPECT_EQ(betti_number(sphere, 0), 1u);
+  EXPECT_EQ(betti_number(sphere, 1), 0u);
+  EXPECT_EQ(betti_number(sphere, 2), 1u);
+}
+
+TEST(Betti, WedgeOfTwoCircles) {
+  // Two triangles sharing vertex 0: β0 = 1, β1 = 2.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}, Simplex{0, 3},
+       Simplex{3, 4}, Simplex{0, 4}},
+      true);
+  EXPECT_EQ(betti_number(complex, 0), 1u);
+  EXPECT_EQ(betti_number(complex, 1), 2u);
+}
+
+TEST(Betti, IsolatedVerticesCountComponents) {
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0}, Simplex{1}, Simplex{2}}, false);
+  EXPECT_EQ(betti_number(complex, 0), 3u);
+}
+
+TEST(Betti, EmptyDimensionIsZero) {
+  const auto complex =
+      SimplicialComplex::from_simplices({Simplex{0}}, false);
+  EXPECT_EQ(betti_number(complex, 1), 0u);
+  EXPECT_EQ(betti_number(complex, 5), 0u);
+}
+
+TEST(Laplacian, IsSymmetricPositiveSemidefinite) {
+  Rng rng(5);
+  RandomComplexOptions options;
+  options.num_vertices = 8;
+  options.max_dimension = 2;
+  const auto complex = random_flag_complex(options, rng);
+  for (int k = 0; k <= 1; ++k) {
+    if (complex.count(k) == 0) continue;
+    const auto laplacian = combinatorial_laplacian(complex, k);
+    EXPECT_TRUE(is_symmetric(laplacian, 1e-12));
+    const auto values = symmetric_eigenvalues(laplacian);
+    for (double v : values) EXPECT_GE(v, -1e-9);
+  }
+}
+
+TEST(Laplacian, DownPlusUpDecomposition) {
+  const auto complex = circle(5);
+  const auto down = down_laplacian(complex, 1);
+  const auto up = up_laplacian(complex, 1);
+  const auto full = combinatorial_laplacian(complex, 1);
+  EXPECT_LT(max_abs_diff(add(down, up), full), 1e-12);
+}
+
+TEST(Laplacian, Degree0LaplacianIsGraphLaplacian) {
+  // Δ_0 = ∂1·∂1ᵀ is the graph Laplacian: degree on the diagonal, −1 for
+  // edges.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{1, 2}}, true);
+  const auto l0 = combinatorial_laplacian(complex, 0);
+  EXPECT_DOUBLE_EQ(l0(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l0(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(l0(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(l0(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(l0(0, 2), 0.0);
+}
+
+class BettiCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BettiCrossCheck, RankAndLaplacianRoutesAgree) {
+  Rng rng(GetParam() * 7 + 1);
+  RandomComplexOptions options;
+  options.num_vertices = 9;
+  options.max_dimension = 3;
+  const auto complex = random_flag_complex(options, rng);
+  for (int k = 0; k <= 2; ++k) {
+    if (complex.count(k) == 0) continue;
+    EXPECT_EQ(betti_number(complex, k),
+              betti_number_via_laplacian(complex, k))
+        << "k=" << k << " seed=" << GetParam();
+  }
+}
+
+TEST_P(BettiCrossCheck, EulerCharacteristicMatchesAlternatingBetti) {
+  // χ = Σ (−1)^k β_k holds when the complex's top dimension is included.
+  Rng rng(GetParam() * 11 + 3);
+  RandomComplexOptions options;
+  options.num_vertices = 7;
+  options.max_dimension = 6;  // full clique expansion: no truncation
+  const auto complex = random_flag_complex(options, rng);
+  long long alternating = 0;
+  for (int k = 0; k <= complex.max_dimension(); ++k) {
+    const auto term = static_cast<long long>(betti_number(complex, k));
+    alternating += (k % 2 == 0) ? term : -term;
+  }
+  EXPECT_EQ(alternating, complex.euler_characteristic());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BettiCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Betti, BatchMatchesIndividual) {
+  const auto complex = circle(6);
+  const auto all = betti_numbers(complex, 2);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], betti_number(complex, 0));
+  EXPECT_EQ(all[1], betti_number(complex, 1));
+  EXPECT_EQ(all[2], betti_number(complex, 2));
+}
+
+TEST(Betti, RipsCircleFromPointCloud) {
+  // Points on a circle of radius 1; small ε links neighbours only.
+  std::vector<std::vector<double>> points;
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(n);
+    points.push_back({std::cos(angle), std::sin(angle)});
+  }
+  PointCloud cloud(points);
+  // Chord to the nearest neighbour is 2·sin(π/12) ≈ 0.5176.
+  const auto complex = rips_complex(cloud, 0.6, 2);
+  EXPECT_EQ(betti_number(complex, 0), 1u);
+  EXPECT_EQ(betti_number(complex, 1), 1u);
+}
+
+}  // namespace
+}  // namespace qtda

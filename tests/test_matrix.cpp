@@ -1,0 +1,163 @@
+// Tests for linalg/dense_matrix.hpp and linalg/matrix_ops.hpp.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/error.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialized) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+}
+
+TEST(DenseMatrix, InitializerList) {
+  RealMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RealMatrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(DenseMatrix, Identity) {
+  const auto id = RealMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, Equality) {
+  RealMatrix a{{1.0, 2.0}};
+  RealMatrix b{{1.0, 2.0}};
+  RealMatrix c{{1.0, 3.0}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixOps, MatmulKnownProduct) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  RealMatrix b{{5, 6}, {7, 8}};
+  const auto c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixOps, MatmulShapeMismatchThrows) {
+  RealMatrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(MatrixOps, MatmulIdentityIsNoop) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(matmul(a, RealMatrix::identity(2)) == a);
+  EXPECT_TRUE(matmul(RealMatrix::identity(2), a) == a);
+}
+
+TEST(MatrixOps, MatvecKnown) {
+  RealMatrix a{{1, 2}, {3, 4}};
+  const auto y = matvec(a, RealVector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixOps, TransposeRoundTrip) {
+  RealMatrix a{{1, 2, 3}, {4, 5, 6}};
+  const auto t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_TRUE(transpose(t) == a);
+}
+
+TEST(MatrixOps, AdjointConjugates) {
+  ComplexMatrix a(1, 2);
+  a(0, 0) = {1.0, 2.0};
+  a(0, 1) = {3.0, -4.0};
+  const auto t = adjoint(a);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t(0, 0), std::complex<double>(1.0, -2.0));
+  EXPECT_EQ(t(1, 0), std::complex<double>(3.0, 4.0));
+}
+
+TEST(MatrixOps, AddSubtractScale) {
+  RealMatrix a{{1, 2}};
+  RealMatrix b{{3, 5}};
+  EXPECT_TRUE(add(a, b) == (RealMatrix{{4, 7}}));
+  EXPECT_TRUE(subtract(b, a) == (RealMatrix{{2, 3}}));
+  EXPECT_TRUE(scale(a, 2.0) == (RealMatrix{{2, 4}}));
+}
+
+TEST(MatrixOps, KroneckerShapeAndValues) {
+  ComplexMatrix a{{std::complex<double>(0.0, 0.0), std::complex<double>(1.0, 0.0)},
+                  {std::complex<double>(1.0, 0.0), std::complex<double>(0.0, 0.0)}};
+  const auto id = ComplexMatrix::identity(2);
+  const auto k = kronecker(a, id);  // X ⊗ I
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k(0, 2), std::complex<double>(1.0, 0.0));
+  EXPECT_EQ(k(1, 3), std::complex<double>(1.0, 0.0));
+  EXPECT_EQ(k(2, 0), std::complex<double>(1.0, 0.0));
+  EXPECT_EQ(k(0, 1), std::complex<double>(0.0, 0.0));
+}
+
+TEST(MatrixOps, FrobeniusNorm) {
+  RealMatrix a{{3, 4}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(MatrixOps, MaxAbsDiff) {
+  RealMatrix a{{1, 2}}, b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(MatrixOps, SymmetryPredicate) {
+  EXPECT_TRUE(is_symmetric(RealMatrix{{1, 2}, {2, 3}}));
+  EXPECT_FALSE(is_symmetric(RealMatrix{{1, 2}, {2.1, 3}}, 1e-3));
+  EXPECT_FALSE(is_symmetric(RealMatrix(2, 3)));
+}
+
+TEST(MatrixOps, HermitianPredicate) {
+  ComplexMatrix h(2, 2);
+  h(0, 0) = 1.0;
+  h(1, 1) = 2.0;
+  h(0, 1) = {0.0, 1.0};
+  h(1, 0) = {0.0, -1.0};
+  EXPECT_TRUE(is_hermitian(h));
+  h(1, 0) = {0.0, 1.0};
+  EXPECT_FALSE(is_hermitian(h));
+}
+
+TEST(MatrixOps, UnitaryPredicate) {
+  ComplexMatrix h(2, 2);
+  const double s = 1.0 / std::sqrt(2.0);
+  h(0, 0) = s;
+  h(0, 1) = s;
+  h(1, 0) = s;
+  h(1, 1) = -s;
+  EXPECT_TRUE(is_unitary(h));
+  h(1, 1) = s;
+  EXPECT_FALSE(is_unitary(h));
+}
+
+TEST(MatrixOps, Trace) {
+  EXPECT_DOUBLE_EQ(trace(RealMatrix{{1, 9}, {9, 2}}), 3.0);
+  EXPECT_THROW(trace(RealMatrix(2, 3)), Error);
+}
+
+TEST(MatrixOps, ToComplexPreservesValues) {
+  const auto c = to_complex(RealMatrix{{1, -2}});
+  EXPECT_EQ(c(0, 0), std::complex<double>(1.0, 0.0));
+  EXPECT_EQ(c(0, 1), std::complex<double>(-2.0, 0.0));
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,106 @@
+// Tests for linalg/matrix_exp.hpp.
+#include "linalg/matrix_exp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/random.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+namespace {
+
+RealMatrix random_symmetric(std::size_t n, Rng& rng) {
+  RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(MatrixExp, ZeroHamiltonianGivesIdentity) {
+  const auto u = unitary_exp(RealMatrix(3, 3));
+  EXPECT_LT(max_abs_diff(u, ComplexMatrix::identity(3)), 1e-12);
+}
+
+TEST(MatrixExp, ScalarCase) {
+  // e^{i·2·1.5} on a 1×1 "matrix".
+  const auto u = unitary_exp(RealMatrix{{2.0}}, 1.5);
+  EXPECT_NEAR(u(0, 0).real(), std::cos(3.0), 1e-12);
+  EXPECT_NEAR(u(0, 0).imag(), std::sin(3.0), 1e-12);
+}
+
+TEST(MatrixExp, PauliZKnownForm) {
+  // H = Z → e^{iθZ} = diag(e^{iθ}, e^{−iθ}).
+  RealMatrix z{{1.0, 0.0}, {0.0, -1.0}};
+  const double theta = 0.7;
+  const auto u = unitary_exp(z, theta);
+  EXPECT_NEAR(u(0, 0).real(), std::cos(theta), 1e-12);
+  EXPECT_NEAR(u(0, 0).imag(), std::sin(theta), 1e-12);
+  EXPECT_NEAR(u(1, 1).real(), std::cos(theta), 1e-12);
+  EXPECT_NEAR(u(1, 1).imag(), -std::sin(theta), 1e-12);
+  EXPECT_NEAR(std::abs(u(0, 1)), 0.0, 1e-12);
+}
+
+TEST(MatrixExp, PauliXKnownForm) {
+  // e^{iθX} = cosθ·I + i·sinθ·X.
+  RealMatrix x{{0.0, 1.0}, {1.0, 0.0}};
+  const double theta = 1.1;
+  const auto u = unitary_exp(x, theta);
+  EXPECT_NEAR(u(0, 0).real(), std::cos(theta), 1e-12);
+  EXPECT_NEAR(u(0, 1).imag(), std::sin(theta), 1e-12);
+  EXPECT_NEAR(u(1, 0).imag(), std::sin(theta), 1e-12);
+}
+
+class UnitaryExpProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnitaryExpProperties, ResultIsUnitary) {
+  Rng rng(GetParam() * 13 + 1);
+  const auto h = random_symmetric(GetParam(), rng);
+  EXPECT_TRUE(is_unitary(unitary_exp(h), 1e-9));
+}
+
+TEST_P(UnitaryExpProperties, PowersCompose) {
+  Rng rng(GetParam() * 17 + 3);
+  const auto h = random_symmetric(GetParam(), rng);
+  const HamiltonianExponential exp_h(h);
+  // U(2) == U(1)·U(1), U(4) == U(2)·U(2).
+  const auto u1 = exp_h.unitary(1.0);
+  const auto u2 = exp_h.unitary(2.0);
+  const auto u4 = exp_h.unitary(4.0);
+  EXPECT_LT(max_abs_diff(u2, matmul(u1, u1)), 1e-9);
+  EXPECT_LT(max_abs_diff(u4, matmul(u2, u2)), 1e-9);
+}
+
+TEST_P(UnitaryExpProperties, InverseIsNegativeScale) {
+  Rng rng(GetParam() * 19 + 5);
+  const auto h = random_symmetric(GetParam(), rng);
+  const HamiltonianExponential exp_h(h);
+  const auto product = matmul(exp_h.unitary(1.0), exp_h.unitary(-1.0));
+  EXPECT_LT(max_abs_diff(product, ComplexMatrix::identity(GetParam())),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UnitaryExpProperties,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(MatrixExp, EigenvaluesExposedAscending) {
+  RealMatrix d(2, 2);
+  d(0, 0) = 2.0;
+  d(1, 1) = -1.0;
+  const HamiltonianExponential exp_h(d);
+  ASSERT_EQ(exp_h.eigenvalues().size(), 2u);
+  EXPECT_NEAR(exp_h.eigenvalues()[0], -1.0, 1e-12);
+  EXPECT_NEAR(exp_h.eigenvalues()[1], 2.0, 1e-12);
+  EXPECT_EQ(exp_h.dimension(), 2u);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,86 @@
+// Tests for quantum/mixed_state.hpp.
+#include "quantum/mixed_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/gates.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(MixedState, SizeMismatchThrows) {
+  Circuit c(3);
+  EXPECT_THROW(append_mixed_state_preparation(c, {0, 1}, {2}), Error);
+}
+
+TEST(MixedState, ProducesBellPairsPerQubit) {
+  // One ancilla/system pair → Bell state: marginal on the system is I/2.
+  Circuit c(2);
+  append_mixed_state_preparation(c, {0}, {1});
+  const auto state = run_circuit(c);
+  EXPECT_NEAR(state.probability(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(state.probability(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(state.probability(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(state.probability(0b10), 0.0, 1e-12);
+}
+
+class MixedStateMarginal : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MixedStateMarginal, SystemMarginalIsUniform) {
+  // Tracing out the ancillas must leave I/2^q on the system register.
+  const std::size_t q = GetParam();
+  Circuit c(2 * q);
+  std::vector<std::size_t> ancillas(q), systems(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    ancillas[i] = i;
+    systems[i] = q + i;
+  }
+  append_mixed_state_preparation(c, ancillas, systems);
+  const auto state = run_circuit(c);
+  const auto marginal = state.marginal_probabilities(systems);
+  const double expected = 1.0 / static_cast<double>(1ULL << q);
+  for (double p : marginal) EXPECT_NEAR(p, expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MixedStateMarginal,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MixedState, SystemMeasurementsAreClassicallyCorrelatedWithAncillas) {
+  // After the purification, ancilla and system registers are perfectly
+  // correlated in the computational basis.
+  const std::size_t q = 3;
+  Circuit c(2 * q);
+  std::vector<std::size_t> ancillas{0, 1, 2}, systems{3, 4, 5};
+  append_mixed_state_preparation(c, ancillas, systems);
+  const auto state = run_circuit(c);
+  const auto joint = state.probabilities();
+  for (std::uint64_t idx = 0; idx < joint.size(); ++idx) {
+    const std::uint64_t ancilla_bits = idx >> q;
+    const std::uint64_t system_bits = idx & ((1ULL << q) - 1);
+    if (ancilla_bits != system_bits) {
+      EXPECT_NEAR(joint[idx], 0.0, 1e-12);
+    } else {
+      EXPECT_NEAR(joint[idx], 1.0 / 8.0, 1e-12);
+    }
+  }
+}
+
+TEST(MixedState, CommutesWithLaterSystemUnitary) {
+  // Applying a unitary to the maximally mixed system keeps the marginal
+  // uniform (UρU† = ρ for ρ ∝ I) — the property the estimator relies on.
+  const std::size_t q = 2;
+  Circuit c(2 * q);
+  append_mixed_state_preparation(c, {0, 1}, {2, 3});
+  c.h(2);
+  c.t(3);
+  c.cnot(2, 3);
+  const auto state = run_circuit(c);
+  const auto marginal = state.marginal_probabilities({2, 3});
+  for (double p : marginal) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,180 @@
+// Tests for ml/: dataset, scaler, logistic regression, metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+
+namespace qtda {
+namespace {
+
+Dataset separable_blobs(std::size_t per_class, Rng& rng) {
+  // Class 0 near (−2, −2), class 1 near (+2, +2): linearly separable.
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({-2.0 + rng.normal(0.0, 0.4), -2.0 + rng.normal(0.0, 0.4)}, 0);
+    data.add({2.0 + rng.normal(0.0, 0.4), 2.0 + rng.normal(0.0, 0.4)}, 1);
+  }
+  return data;
+}
+
+TEST(Dataset, AddValidatesShape) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  EXPECT_THROW(d.add({1.0}, 1), Error);
+  EXPECT_THROW(d.add({1.0, 2.0}, 2), Error);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.feature_count(), 2u);
+}
+
+TEST(Dataset, PositiveCount) {
+  Dataset d;
+  d.add({0.0}, 1);
+  d.add({0.0}, 0);
+  d.add({0.0}, 1);
+  EXPECT_EQ(d.positive_count(), 2u);
+}
+
+TEST(TrainValSplit, SizesMatchFraction) {
+  Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, i % 2);
+  const auto split = train_val_split(d, 0.2, rng);
+  EXPECT_EQ(split.train.size(), 20u);
+  EXPECT_EQ(split.validation.size(), 80u);
+}
+
+TEST(TrainValSplit, PartitionIsExact) {
+  Rng rng(2);
+  Dataset d;
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 0);
+  const auto split = train_val_split(d, 0.25, rng);
+  std::vector<double> seen;
+  for (const auto& row : split.train.features) seen.push_back(row[0]);
+  for (const auto& row : split.validation.features) seen.push_back(row[0]);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+TEST(TrainValSplit, InvalidFractionThrows) {
+  Rng rng(3);
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  EXPECT_THROW(train_val_split(d, 0.0, rng), Error);
+  EXPECT_THROW(train_val_split(d, 1.0, rng), Error);
+}
+
+TEST(StratifiedSplit, PreservesClassRatio) {
+  Rng rng(4);
+  Dataset d;
+  for (int i = 0; i < 40; ++i) d.add({0.0}, 0);
+  for (int i = 0; i < 10; ++i) d.add({1.0}, 1);
+  const auto split = stratified_split(d, 0.2, rng);
+  EXPECT_EQ(split.train.positive_count(), 2u);
+  EXPECT_EQ(split.train.size(), 10u);
+  EXPECT_EQ(split.validation.positive_count(), 8u);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  StandardScaler scaler;
+  scaler.fit({{0.0, 10.0}, {2.0, 20.0}, {4.0, 30.0}});
+  const auto out = scaler.transform({{2.0, 20.0}});
+  EXPECT_NEAR(out[0][0], 0.0, 1e-12);
+  EXPECT_NEAR(out[0][1], 0.0, 1e-12);
+  const auto hi = scaler.transform_row({4.0, 30.0});
+  EXPECT_GT(hi[0], 1.0);
+  EXPECT_NEAR(hi[0], hi[1], 1e-12);
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  StandardScaler scaler;
+  scaler.fit({{5.0}, {5.0}, {5.0}});
+  EXPECT_NEAR(scaler.transform_row({5.0})[0], 0.0, 1e-12);
+}
+
+TEST(Scaler, UnfittedThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform_row({1.0}), Error);
+}
+
+TEST(LogisticRegression, LearnsSeparableBlobs) {
+  Rng rng(5);
+  const Dataset data = separable_blobs(50, rng);
+  LogisticRegression model;
+  model.fit(data);
+  const auto predictions = model.predict_all(data.features);
+  EXPECT_DOUBLE_EQ(accuracy(data.labels, predictions), 1.0);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreCalibratedDirectionally) {
+  Rng rng(6);
+  const Dataset data = separable_blobs(50, rng);
+  LogisticRegression model;
+  model.fit(data);
+  EXPECT_LT(model.predict_probability({-2.0, -2.0}), 0.1);
+  EXPECT_GT(model.predict_probability({2.0, 2.0}), 0.9);
+}
+
+TEST(LogisticRegression, LossDecreasesDuringTraining) {
+  Rng rng(7);
+  const Dataset data = separable_blobs(30, rng);
+  LogisticRegression model({0.5, 1e-4, 1, 1e-12});  // one iteration
+  model.fit(data);
+  const double one_step_loss = model.loss(data);
+  LogisticRegression trained;  // full training
+  trained.fit(data);
+  EXPECT_LT(trained.loss(data), one_step_loss);
+}
+
+TEST(LogisticRegression, WidthMismatchThrows) {
+  Rng rng(8);
+  const Dataset data = separable_blobs(5, rng);
+  LogisticRegression model;
+  model.fit(data);
+  EXPECT_THROW(model.predict_probability({1.0}), Error);
+}
+
+TEST(LogisticRegression, EmptyDatasetThrows) {
+  LogisticRegression model;
+  EXPECT_THROW(model.fit(Dataset{}), Error);
+}
+
+TEST(Metrics, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1, 0}, {1, 0, 0, 0}), 0.75);
+  EXPECT_THROW(accuracy({}, {}), Error);
+  EXPECT_THROW(accuracy({1}, {1, 0}), Error);
+}
+
+TEST(Metrics, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(mean_absolute_error({1.0, 2.0}, {1.5, 1.0}), 0.75);
+}
+
+TEST(Metrics, ConfusionMatrixCounts) {
+  const auto m = confusion_matrix({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(m.true_positive, 2u);
+  EXPECT_EQ(m.false_negative, 1u);
+  EXPECT_EQ(m.true_negative, 1u);
+  EXPECT_EQ(m.false_positive, 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(m.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(m.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ConfusionMatrixDegenerate) {
+  const auto m = confusion_matrix({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,165 @@
+// Tests for quantum/optimizer.hpp.
+#include "quantum/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Optimizer, CancelsAdjacentHadamards) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  OptimizerReport report;
+  const Circuit out = optimize_circuit(c, &report);
+  EXPECT_EQ(out.gate_count(), 0u);
+  EXPECT_EQ(report.cancelled_pairs, 1u);
+}
+
+TEST(Optimizer, CancelsAdjacentCnots) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  c.cnot(0, 1);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimizer, DoesNotCancelAcrossInterveningGate) {
+  Circuit c(2);
+  c.h(0);
+  c.cnot(0, 1);  // touches qubit 0 between the Hadamards
+  c.h(0);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.gate_count(), 3u);
+}
+
+TEST(Optimizer, CancelsThroughIndependentWires) {
+  // A gate on another qubit does not block cancellation.
+  Circuit c(2);
+  c.h(0);
+  c.x(1);
+  c.h(0);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_EQ(out.gates()[0].kind, GateKind::kX);
+}
+
+TEST(Optimizer, MergesRotations) {
+  Circuit c(1);
+  c.rz(0, 0.3);
+  c.rz(0, 0.5);
+  OptimizerReport report;
+  const Circuit out = optimize_circuit(c, &report);
+  ASSERT_EQ(out.gate_count(), 1u);
+  EXPECT_NEAR(out.gates()[0].parameter, 0.8, 1e-15);
+  EXPECT_EQ(report.merged_rotations, 1u);
+}
+
+TEST(Optimizer, MergedRotationsCancelToNothing) {
+  Circuit c(1);
+  c.rx(0, 1.1);
+  c.rx(0, -1.1);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimizer, DropsZeroRotations) {
+  Circuit c(2);
+  c.rz(0, 0.0);
+  c.rx(1, 4.0 * kPi);  // full period
+  OptimizerReport report;
+  const Circuit out = optimize_circuit(c, &report);
+  EXPECT_EQ(out.gate_count(), 0u);
+  EXPECT_EQ(report.dropped_rotations, 2u);
+}
+
+TEST(Optimizer, SAndSdgCancel) {
+  Circuit c(1);
+  c.s(0);
+  c.sdg(0);
+  EXPECT_EQ(optimize_circuit(c).gate_count(), 0u);
+}
+
+TEST(Optimizer, ControlledGatesNeedMatchingWires) {
+  Circuit c(3);
+  c.cnot(0, 1);
+  c.cnot(2, 1);  // same target, different control: must not cancel
+  EXPECT_EQ(optimize_circuit(c).gate_count(), 2u);
+}
+
+TEST(Optimizer, FixpointCascades) {
+  // X H H X → X X (after inner pair cancels) → nothing.
+  Circuit c(1);
+  c.x(0);
+  c.h(0);
+  c.h(0);
+  c.x(0);
+  EXPECT_EQ(optimize_circuit(c).gate_count(), 0u);
+}
+
+TEST(Optimizer, ReportsDepthReduction) {
+  Circuit c(1);
+  for (int i = 0; i < 10; ++i) c.rz(0, 0.1);
+  OptimizerReport report;
+  const Circuit out = optimize_circuit(c, &report);
+  EXPECT_EQ(report.gates_before, 10u);
+  EXPECT_EQ(report.gates_after, 1u);
+  EXPECT_EQ(report.depth_before, 10u);
+  EXPECT_EQ(report.depth_after, 1u);
+  EXPECT_NEAR(out.gates()[0].parameter, 1.0, 1e-12);
+}
+
+class OptimizerSemantics : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerSemantics, PreservesCircuitAction) {
+  // Random circuits: optimized and original produce identical states.
+  Rng rng(GetParam() * 31 + 7);
+  const std::size_t n = 3;
+  Circuit c(n);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t q = rng.uniform_index(n);
+    switch (rng.uniform_index(7)) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.s(q); break;
+      case 3: c.sdg(q); break;
+      case 4: c.rz(q, rng.uniform(-3.0, 3.0)); break;
+      case 5: c.rx(q, rng.uniform(-3.0, 3.0)); break;
+      default: {
+        const std::size_t other = (q + 1 + rng.uniform_index(n - 1)) % n;
+        c.cnot(q, other);
+        break;
+      }
+    }
+  }
+  const Circuit optimized = optimize_circuit(c);
+  EXPECT_LE(optimized.gate_count(), c.gate_count());
+  const auto before = run_circuit(c);
+  const auto after = run_circuit(optimized);
+  for (std::uint64_t i = 0; i < before.dimension(); ++i) {
+    EXPECT_NEAR(std::abs(before.amplitude(i) - after.amplitude(i)), 0.0,
+                1e-10)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSemantics,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Optimizer, PreservesGlobalPhase) {
+  Circuit c(1);
+  c.add_global_phase(0.5);
+  c.h(0);
+  c.h(0);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_DOUBLE_EQ(out.global_phase(), 0.5);
+}
+
+}  // namespace
+}  // namespace qtda

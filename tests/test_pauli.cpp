@@ -1,0 +1,168 @@
+// Tests for quantum/pauli.hpp.
+#include "quantum/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "quantum/gates.hpp"
+
+namespace qtda {
+namespace {
+
+RealMatrix random_symmetric(std::size_t n, Rng& rng) {
+  RealMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(PauliString, ParseAndPrint) {
+  PauliString p("ZIXY");
+  EXPECT_EQ(p.num_qubits(), 4u);
+  EXPECT_EQ(p.kind(0), PauliKind::Z);
+  EXPECT_EQ(p.kind(1), PauliKind::I);
+  EXPECT_EQ(p.kind(2), PauliKind::X);
+  EXPECT_EQ(p.kind(3), PauliKind::Y);
+  EXPECT_EQ(p.to_string(), "ZIXY");
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_THROW(PauliString("AB"), Error);
+  EXPECT_THROW(PauliString(""), Error);
+}
+
+TEST(PauliString, IdentityDetection) {
+  EXPECT_TRUE(PauliString("III").is_identity());
+  EXPECT_FALSE(PauliString("IXI").is_identity());
+}
+
+TEST(PauliString, MatrixMatchesKroneckerProducts) {
+  // "XZ" must equal X ⊗ Z under the MSB-first convention.
+  const auto xz = PauliString("XZ").matrix();
+  const auto reference = kronecker(gates::X(), gates::Z());
+  EXPECT_LT(max_abs_diff(xz, reference), 1e-15);
+
+  const auto yxi = PauliString("YXI").matrix();
+  const auto ref3 =
+      kronecker(gates::Y(), kronecker(gates::X(), gates::I()));
+  EXPECT_LT(max_abs_diff(yxi, ref3), 1e-15);
+}
+
+TEST(PauliString, FlipMaskAndPhaseReconstructMatrix) {
+  // The sparse application (flip_mask + phase_for) must agree with the
+  // dense matrix on every basis state.
+  for (const char* letters : {"X", "Y", "Z", "XY", "ZY", "YXZ", "IYI"}) {
+    PauliString p(letters);
+    const auto m = p.matrix();
+    const std::uint64_t dim = 1ULL << p.num_qubits();
+    for (std::uint64_t ket = 0; ket < dim; ++ket) {
+      const std::uint64_t bra = ket ^ p.flip_mask();
+      for (std::uint64_t row = 0; row < dim; ++row) {
+        const auto expected =
+            row == bra ? p.phase_for(ket) : std::complex<double>{};
+        EXPECT_NEAR(std::abs(m(row, ket) - expected), 0.0, 1e-15)
+            << letters << " ket=" << ket << " row=" << row;
+      }
+    }
+  }
+}
+
+TEST(PauliString, PauliMatricesAreInvolutions) {
+  for (const char* letters : {"X", "ZZ", "XYZ"}) {
+    const auto m = PauliString(letters).matrix();
+    const auto m2 = matmul(m, m);
+    EXPECT_LT(max_abs_diff(m2, ComplexMatrix::identity(m.rows())), 1e-12);
+  }
+}
+
+TEST(PauliSum, MatrixOfWeightedSum) {
+  // 0.5·X + 2·Z = [[2, 0.5], [0.5, −2]].
+  PauliSum sum({{0.5, PauliString("X")}, {2.0, PauliString("Z")}});
+  const auto m = sum.matrix();
+  EXPECT_NEAR(m(0, 0).real(), 2.0, 1e-15);
+  EXPECT_NEAR(m(0, 1).real(), 0.5, 1e-15);
+  EXPECT_NEAR(m(1, 0).real(), 0.5, 1e-15);
+  EXPECT_NEAR(m(1, 1).real(), -2.0, 1e-15);
+}
+
+TEST(PauliSum, CoefficientLookup) {
+  PauliSum sum({{1.5, PauliString("XI")}, {-0.25, PauliString("ZZ")}});
+  EXPECT_DOUBLE_EQ(sum.coefficient_of("XI"), 1.5);
+  EXPECT_DOUBLE_EQ(sum.coefficient_of("ZZ"), -0.25);
+  EXPECT_DOUBLE_EQ(sum.coefficient_of("YY"), 0.0);
+}
+
+TEST(PauliDecompose, SingleQubitKnownDecompositions) {
+  // H = [[a+d, b], [b, a−d]] decomposes with aI + bX + dZ.
+  RealMatrix h{{3.0, 0.5}, {0.5, 1.0}};
+  const auto sum = pauli_decompose(h);
+  EXPECT_NEAR(sum.coefficient_of("I"), 2.0, 1e-12);
+  EXPECT_NEAR(sum.coefficient_of("X"), 0.5, 1e-12);
+  EXPECT_NEAR(sum.coefficient_of("Z"), 1.0, 1e-12);
+  EXPECT_NEAR(sum.coefficient_of("Y"), 0.0, 1e-12);
+}
+
+TEST(PauliDecompose, ComplexHermitianUsesY) {
+  ComplexMatrix h(2, 2);
+  h(0, 1) = {0.0, -1.0};
+  h(1, 0) = {0.0, 1.0};  // = Y
+  const auto sum = pauli_decompose(h);
+  EXPECT_NEAR(sum.coefficient_of("Y"), 1.0, 1e-12);
+  EXPECT_EQ(sum.size(), 1u);
+}
+
+class DecomposeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecomposeRoundTrip, SumMatrixEqualsInput) {
+  Rng rng(GetParam() * 3 + 1);
+  const std::size_t n = GetParam();
+  const auto h = random_symmetric(std::size_t{1} << n, rng);
+  const auto sum = pauli_decompose(h);
+  const auto reconstructed = sum.matrix();
+  EXPECT_LT(max_abs_diff(reconstructed, to_complex(h)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qubits, DecomposeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PauliDecompose, IdentityCoefficientIsTraceOverDim) {
+  Rng rng(17);
+  const auto h = random_symmetric(8, rng);
+  const auto sum = pauli_decompose(h);
+  EXPECT_NEAR(sum.coefficient_of("III"), trace(h) / 8.0, 1e-12);
+}
+
+TEST(PauliDecompose, RequiresPowerOfTwo) {
+  EXPECT_THROW(pauli_decompose(RealMatrix::identity(3)), Error);
+  EXPECT_THROW(pauli_decompose(RealMatrix::identity(6)), Error);
+}
+
+TEST(PauliDecompose, RequiresHermitian) {
+  RealMatrix a{{0.0, 1.0}, {0.0, 0.0}};
+  EXPECT_THROW(pauli_decompose(a), Error);
+}
+
+TEST(PauliDecompose, ToleranceDropsSmallTerms) {
+  RealMatrix h{{1.0, 1e-14}, {1e-14, 1.0}};
+  const auto sum = pauli_decompose(h, 1e-10);
+  EXPECT_EQ(sum.size(), 1u);  // only the identity survives
+  EXPECT_NEAR(sum.coefficient_of("I"), 1.0, 1e-12);
+}
+
+TEST(PauliSum, SortedIsDeterministic) {
+  PauliSum sum({{1.0, PauliString("ZI")}, {2.0, PauliString("IX")}});
+  const auto sorted = sum.sorted();
+  EXPECT_EQ(sorted.terms()[0].string.to_string(), "IX");
+  EXPECT_EQ(sorted.terms()[1].string.to_string(), "ZI");
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,149 @@
+// Tests for topology/persistence.hpp.
+#include "topology/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "topology/betti.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+Filtration circle_filtration(std::size_t n) {
+  // Points on the unit circle, filtration capped below the second-neighbour
+  // chord 2·sin(2π/n): only the n-cycle enters, so exactly one loop is born
+  // (at the nearest-neighbour chord) and stays essential.
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(n);
+    points.push_back({std::cos(angle), std::sin(angle)});
+  }
+  const double cap = 1.8 * std::sin(2.0 * M_PI / static_cast<double>(n));
+  return rips_filtration(PointCloud(points), cap, 2);
+}
+
+TEST(Persistence, SingleVertexIsEssential) {
+  const Filtration f({{Simplex{0}, 0.0}});
+  const auto diagram = compute_persistence(f);
+  ASSERT_EQ(diagram.pairs().size(), 1u);
+  EXPECT_TRUE(diagram.pairs()[0].essential);
+  EXPECT_EQ(diagram.pairs()[0].dimension, 0);
+  EXPECT_EQ(diagram.essential_count(0), 1u);
+}
+
+TEST(Persistence, EdgeMergesTwoComponents) {
+  const Filtration f(
+      {{Simplex{0}, 0.0}, {Simplex{1}, 0.0}, {Simplex{0, 1}, 1.0}});
+  const auto diagram = compute_persistence(f);
+  // One essential component; one component born at 0 dies at 1.
+  EXPECT_EQ(diagram.essential_count(0), 1u);
+  const auto h0 = diagram.pairs_in_dimension(0);
+  ASSERT_EQ(h0.size(), 2u);
+  bool found_dying = false;
+  for (const auto& p : h0) {
+    if (!p.essential) {
+      EXPECT_DOUBLE_EQ(p.birth, 0.0);
+      EXPECT_DOUBLE_EQ(p.death, 1.0);
+      found_dying = true;
+    }
+  }
+  EXPECT_TRUE(found_dying);
+}
+
+TEST(Persistence, HollowTriangleLoopIsEssentialIn1d) {
+  const Filtration f({{Simplex{0}, 0.0},
+                      {Simplex{1}, 0.0},
+                      {Simplex{2}, 0.0},
+                      {Simplex{0, 1}, 1.0},
+                      {Simplex{1, 2}, 1.0},
+                      {Simplex{0, 2}, 1.0}});
+  const auto diagram = compute_persistence(f);
+  EXPECT_EQ(diagram.essential_count(1), 1u);
+  EXPECT_EQ(diagram.essential_count(0), 1u);
+}
+
+TEST(Persistence, FilledTriangleKillsLoop) {
+  const Filtration f({{Simplex{0}, 0.0},
+                      {Simplex{1}, 0.0},
+                      {Simplex{2}, 0.0},
+                      {Simplex{0, 1}, 1.0},
+                      {Simplex{1, 2}, 1.0},
+                      {Simplex{0, 2}, 1.0},
+                      {Simplex{0, 1, 2}, 2.0}});
+  const auto diagram = compute_persistence(f);
+  EXPECT_EQ(diagram.essential_count(1), 0u);
+  const auto h1 = diagram.pairs_in_dimension(1);
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_DOUBLE_EQ(h1[0].birth, 1.0);
+  EXPECT_DOUBLE_EQ(h1[0].death, 2.0);
+  EXPECT_DOUBLE_EQ(h1[0].persistence(), 1.0);
+}
+
+TEST(Persistence, CircleLoopBirthScale) {
+  const std::size_t n = 10;
+  const auto diagram = compute_persistence(circle_filtration(n));
+  EXPECT_EQ(diagram.essential_count(0), 1u);
+  EXPECT_EQ(diagram.essential_count(1), 1u);
+  // The loop is born when the last nearest-neighbour chord arrives.
+  const double chord = 2.0 * std::sin(M_PI / static_cast<double>(n));
+  bool found = false;
+  for (const auto& p : diagram.pairs_in_dimension(1)) {
+    if (p.essential) {
+      EXPECT_NEAR(p.birth, chord, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class PersistentBettiMatchesDirect
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PersistentBettiMatchesDirect, BettiAtEqualsClassicalBetti) {
+  // β_k(ε) from the diagram must equal the classical Betti number of the
+  // subcomplex at ε, at every scale — a strong end-to-end property.
+  Rng rng(GetParam() * 5 + 2);
+  PointCloud cloud(random_point_cloud(9, 2, rng));
+  const auto filtration = rips_filtration(cloud, 0.9, 2);
+  const auto diagram = compute_persistence(filtration);
+  for (double eps : {0.1, 0.25, 0.4, 0.55, 0.7, 0.85}) {
+    const auto complex = filtration.complex_at(eps);
+    for (int k = 0; k <= 1; ++k) {
+      const std::size_t classical =
+          complex.count(k) == 0 ? 0 : betti_number(complex, k);
+      EXPECT_EQ(diagram.betti_at(k, eps), classical)
+          << "seed=" << GetParam() << " eps=" << eps << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistentBettiMatchesDirect,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Persistence, PersistentBettiIsMonotoneInD) {
+  Rng rng(91);
+  PointCloud cloud(random_point_cloud(8, 2, rng));
+  const auto diagram =
+      compute_persistence(rips_filtration(cloud, 1.0, 2));
+  // β^{b,d} can only shrink as d grows (classes die, none are added).
+  for (double b : {0.3, 0.5}) {
+    std::size_t previous = diagram.persistent_betti(0, b, b);
+    for (double d = b + 0.1; d <= 1.0; d += 0.1) {
+      const std::size_t current = diagram.persistent_betti(0, b, d);
+      EXPECT_LE(current, previous);
+      previous = current;
+    }
+  }
+}
+
+TEST(Persistence, PersistentBettiValidation) {
+  const auto diagram = compute_persistence(Filtration({{Simplex{0}, 0.0}}));
+  EXPECT_THROW(diagram.persistent_betti(0, 1.0, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,174 @@
+// Tests for topology/persistent_laplacian.hpp and the quantum persistent
+// Betti estimator (core/persistent_estimator.hpp).
+#include "topology/persistent_laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "core/persistent_estimator.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "linalg/pseudo_inverse.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/persistence.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(PseudoInverse, DiagonalWithZeroEigenvalue) {
+  RealMatrix d(2, 2);
+  d(0, 0) = 4.0;  // d(1,1) = 0
+  const auto pinv = pseudo_inverse_symmetric(d);
+  EXPECT_NEAR(pinv(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(pinv(1, 1), 0.0, 1e-12);
+}
+
+TEST(PseudoInverse, PenroseConditions) {
+  Rng rng(3);
+  // Rank-deficient PSD matrix A = BᵀB with thin B.
+  RealMatrix b(2, 4);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b.data()[i] = rng.uniform(-1.0, 1.0);
+  const auto a = matmul(transpose(b), b);  // 4×4, rank ≤ 2
+  const auto pinv = pseudo_inverse_symmetric(a);
+  // A·A⁺·A = A and A⁺·A·A⁺ = A⁺.
+  EXPECT_LT(max_abs_diff(matmul(a, matmul(pinv, a)), a), 1e-9);
+  EXPECT_LT(max_abs_diff(matmul(pinv, matmul(a, pinv)), pinv), 1e-9);
+  // A·A⁺ symmetric.
+  const auto proj = matmul(a, pinv);
+  EXPECT_TRUE(is_symmetric(proj, 1e-9));
+}
+
+SimplicialComplex hollow_triangle() {
+  return SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}}, true);
+}
+
+SimplicialComplex filled_triangle() {
+  return SimplicialComplex::from_simplices({Simplex{0, 1, 2}}, true);
+}
+
+TEST(PersistentLaplacian, EqualPairReducesToOrdinaryLaplacian) {
+  const auto complex = hollow_triangle();
+  const auto persistent = persistent_laplacian(complex, complex, 1);
+  const auto ordinary = combinatorial_laplacian(complex, 1);
+  EXPECT_LT(max_abs_diff(persistent, ordinary), 1e-12);
+}
+
+TEST(PersistentLaplacian, DyingLoopHasTrivialKernel) {
+  // K = hollow triangle (β1 = 1), L = filled triangle: the loop dies, so
+  // β1^{K,L} = 0 and the persistent Laplacian has no kernel.
+  EXPECT_EQ(persistent_betti_via_laplacian(hollow_triangle(),
+                                           filled_triangle(), 1),
+            0u);
+  // While the ordinary β1 of K is 1.
+  EXPECT_EQ(count_zero_eigenvalues(
+                combinatorial_laplacian(hollow_triangle(), 1)),
+            1u);
+}
+
+TEST(PersistentLaplacian, MergingComponents) {
+  // K: two vertices, no edges (β0 = 2).  L: an edge joins them.
+  // β0^{K,L} = 1 — the two components map to one class.
+  const auto k = SimplicialComplex::from_simplices(
+      {Simplex{0}, Simplex{1}}, false);
+  const auto l =
+      SimplicialComplex::from_simplices({Simplex{0, 1}}, true);
+  EXPECT_EQ(persistent_betti_via_laplacian(k, l, 0), 1u);
+}
+
+TEST(PersistentLaplacian, NotASubcomplexThrows) {
+  const auto k = SimplicialComplex::from_simplices(
+      {Simplex{0, 3}}, true);
+  EXPECT_THROW(persistent_laplacian(k, filled_triangle(), 1), Error);
+}
+
+TEST(PersistentLaplacian, IsSymmetricPositiveSemidefinite) {
+  Rng rng(7);
+  PointCloud cloud(random_point_cloud(8, 2, rng));
+  const auto filtration = rips_filtration(cloud, 0.9, 2);
+  for (const auto& [b, d] : {std::pair{0.3, 0.5}, std::pair{0.4, 0.8}}) {
+    const auto sub = filtration.complex_at(b);
+    if (sub.count(1) == 0) continue;
+    const auto laplacian =
+        persistent_laplacian(filtration, 1, b, d);
+    EXPECT_TRUE(is_symmetric(laplacian, 1e-9));
+    for (double v : symmetric_eigenvalues(laplacian))
+      EXPECT_GE(v, -1e-8);
+  }
+}
+
+class PersistentBettiAgainstDiagram
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PersistentBettiAgainstDiagram, LaplacianNullityMatchesReduction) {
+  // The central theorem, verified empirically: nullity(Δ_k^{b,d}) equals
+  // the persistent Betti number from the matrix-reduction algorithm, for
+  // random point clouds and grids of scale pairs, k ∈ {0, 1}.
+  Rng rng(GetParam() * 11 + 5);
+  PointCloud cloud(random_point_cloud(8, 2, rng));
+  const auto filtration = rips_filtration(cloud, 1.0, 2);
+  const auto diagram = compute_persistence(filtration);
+  for (double b : {0.25, 0.45, 0.65}) {
+    for (double d : {0.0, 0.15, 0.3}) {
+      const double death = b + d;
+      const auto sub = filtration.complex_at(b);
+      for (int k = 0; k <= 1; ++k) {
+        if (sub.count(k) == 0) continue;
+        const auto via_laplacian = persistent_betti_via_laplacian(
+            sub, filtration.complex_at(death), k);
+        const auto via_reduction = diagram.persistent_betti(k, b, death);
+        EXPECT_EQ(via_laplacian, via_reduction)
+            << "seed=" << GetParam() << " b=" << b << " d=" << death
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistentBettiAgainstDiagram,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(QuantumPersistentBetti, EstimatesTheDyingLoop) {
+  // Quantum route: β1^{K,L} = 0 for hollow → filled triangle, while the
+  // ordinary quantum estimate of β1(K) is 1.
+  EstimatorOptions options;
+  options.precision_qubits = 9;
+  options.shots = 100000;
+  const auto persistent = estimate_persistent_betti(
+      hollow_triangle(), filled_triangle(), 1, options);
+  EXPECT_EQ(persistent.rounded_betti, 0u);
+  const auto ordinary = estimate_betti(hollow_triangle(), 1, options);
+  EXPECT_EQ(ordinary.rounded_betti, 1u);
+}
+
+TEST(QuantumPersistentBetti, MatchesClassicalOnRandomFiltration) {
+  Rng rng(13);
+  PointCloud cloud(random_point_cloud(7, 2, rng));
+  const auto filtration = rips_filtration(cloud, 0.8, 2);
+  const double b = 0.4, d = 0.6;
+  const auto sub = filtration.complex_at(b);
+  if (sub.count(1) == 0) GTEST_SKIP() << "no edges at b";
+  EstimatorOptions options;
+  options.precision_qubits = 9;
+  options.shots = 200000;
+  const auto estimate =
+      estimate_persistent_betti(filtration, 1, b, d, options);
+  const auto classical = persistent_betti_via_laplacian(
+      sub, filtration.complex_at(d), 1);
+  EXPECT_EQ(estimate.rounded_betti, classical);
+}
+
+TEST(QuantumPersistentBetti, EmptyDimensionGivesZero) {
+  EstimatorOptions options;
+  const auto k = SimplicialComplex::from_simplices({Simplex{0}}, false);
+  const auto estimate = estimate_persistent_betti(k, k, 1, options);
+  EXPECT_EQ(estimate.rounded_betti, 0u);
+}
+
+}  // namespace
+}  // namespace qtda

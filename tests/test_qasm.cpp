@@ -1,0 +1,115 @@
+// Tests for quantum/qasm.hpp.
+#include "quantum/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/betti_estimator.hpp"
+#include "quantum/trotter.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Qasm, HeaderAndRegisters) {
+  Circuit c(2);
+  c.h(0);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(Qasm, NamedGateMnemonics) {
+  Circuit c(3);
+  c.x(0);
+  c.sdg(1);
+  c.tdg(2);
+  c.rz(0, 0.5);
+  c.phase(1, 0.25);
+  c.cnot(0, 1);
+  c.cz(1, 2);
+  c.controlled_phase(0, 2, 1.5);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("x q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("sdg q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("tdg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("rz(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("u1(0.25) q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("cz q[1],q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("cu1(1.5) q[0],q[2];"), std::string::npos);
+}
+
+TEST(Qasm, ToffoliAndOptions) {
+  Circuit c(3);
+  Gate toffoli;
+  toffoli.kind = GateKind::kX;
+  toffoli.targets = {2};
+  toffoli.controls = {0, 1};
+  c.append(toffoli);
+  QasmOptions options;
+  options.register_name = "wires";
+  options.include_measurements = false;
+  const std::string qasm = to_qasm(c, options);
+  EXPECT_NE(qasm.find("ccx wires[0],wires[1],wires[2];"), std::string::npos);
+  EXPECT_EQ(qasm.find("measure"), std::string::npos);
+  EXPECT_EQ(qasm.find("creg"), std::string::npos);
+}
+
+TEST(Qasm, GlobalPhaseComment) {
+  Circuit c(1);
+  c.add_global_phase(0.75);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("// global phase: 0.75"), std::string::npos);
+}
+
+TEST(Qasm, DenseUnitaryRejected) {
+  Circuit c(2);
+  c.unitary(ComplexMatrix::identity(4), {0, 1});
+  EXPECT_THROW(to_qasm(c), Error);
+}
+
+TEST(Qasm, TooManyControlsRejected) {
+  Circuit c(4);
+  Gate g;
+  g.kind = GateKind::kH;
+  g.targets = {3};
+  g.controls = {0, 1, 2};
+  c.append(g);
+  EXPECT_THROW(to_qasm(c), Error);
+}
+
+TEST(Qasm, TrotterizedQtdaCircuitExports) {
+  // The paper's full Trotterized QPE circuit must serialize: every gate it
+  // contains (H, RX, RZ, P, CX, CCX, controlled rotations) has a QASM form.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}}, true);
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitTrotter;
+  options.precision_qubits = 2;
+  options.trotter = {1, 1};
+  const Circuit circuit =
+      build_qtda_circuit(combinatorial_laplacian(complex, 1), options);
+  const std::string qasm = to_qasm(circuit);
+  EXPECT_NE(qasm.find("qreg q[6];"), std::string::npos);  // 2 + 2 + 2
+  // Rough size sanity: one line per gate plus header + measurements.
+  std::size_t lines = 0;
+  for (char ch : qasm)
+    if (ch == '\n') ++lines;
+  EXPECT_GE(lines, circuit.gate_count());
+}
+
+TEST(Qasm, AngleRoundTripPrecision) {
+  Circuit c(1);
+  c.rz(0, 1.0 / 3.0);
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("rz(0.33333333333333331) q[0];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,154 @@
+// Tests for quantum/qpe.hpp: wiring, exact phases, Fejér statistics.
+#include "quantum/qpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "quantum/executor.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+namespace {
+
+/// Diagonal single-qubit unitary with eigenphase θ on |1⟩.
+ComplexMatrix phase_unitary(double theta, std::uint64_t power) {
+  ComplexMatrix u(2, 2);
+  u(0, 0) = 1.0;
+  const double angle = kTwoPi * theta * static_cast<double>(power);
+  u(1, 1) = Amplitude{std::cos(angle), std::sin(angle)};
+  return u;
+}
+
+TEST(QpeLayout, WireBlocks) {
+  QpeLayout layout{3, 2, 2};
+  EXPECT_EQ(layout.total(), 7u);
+  EXPECT_EQ(layout.precision_wires(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(layout.system_wires(), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(layout.ancilla_wires(), (std::vector<std::size_t>{5, 6}));
+}
+
+class ExactPhase : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactPhase, TBitPhaseIsMeasuredDeterministically) {
+  // θ = m/2^t is representable: QPE returns m with probability 1.
+  const std::size_t t = 3;
+  const std::uint64_t m = GetParam();
+  const double theta = static_cast<double>(m) / 8.0;
+  QpeLayout layout{t, 1, 0};
+  Circuit qpe = build_qpe_circuit_dense(
+      layout, [&](std::uint64_t power) { return phase_unitary(theta, power); });
+
+  // Prepend eigenstate preparation |1⟩ on the system wire.
+  Circuit circuit(layout.total());
+  circuit.x(layout.system_wires()[0]);
+  circuit.append_circuit(qpe);
+
+  const auto state = run_circuit(circuit);
+  const auto marginal = state.marginal_probabilities(layout.precision_wires());
+  for (std::uint64_t outcome = 0; outcome < 8; ++outcome) {
+    EXPECT_NEAR(marginal[outcome], outcome == m ? 1.0 : 0.0, 1e-9)
+        << "m=" << m << " outcome=" << outcome;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, ExactPhase,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Qpe, ZeroEigenvectorGivesZeroOutcome) {
+  // The |0⟩ eigenstate of the diagonal unitary has phase 0.
+  QpeLayout layout{4, 1, 0};
+  Circuit qpe = build_qpe_circuit_dense(layout, [&](std::uint64_t power) {
+    return phase_unitary(0.37, power);  // phase only on |1⟩
+  });
+  const auto state = run_circuit(qpe);  // system stays |0⟩
+  const auto marginal = state.marginal_probabilities(layout.precision_wires());
+  EXPECT_NEAR(marginal[0], 1.0, 1e-9);
+}
+
+class FejerDistribution : public ::testing::TestWithParam<double> {};
+
+TEST_P(FejerDistribution, CircuitMatchesClosedForm) {
+  // For a non-representable phase the outcome distribution must equal the
+  // Fejér kernel — validates both the circuit wiring and the formula.
+  const double theta = GetParam();
+  const std::size_t t = 3;
+  QpeLayout layout{t, 1, 0};
+  Circuit qpe = build_qpe_circuit_dense(
+      layout, [&](std::uint64_t power) { return phase_unitary(theta, power); });
+  Circuit circuit(layout.total());
+  circuit.x(layout.system_wires()[0]);
+  circuit.append_circuit(qpe);
+  const auto state = run_circuit(circuit);
+  const auto marginal = state.marginal_probabilities(layout.precision_wires());
+  double total = 0.0;
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    EXPECT_NEAR(marginal[m], qpe_outcome_probability(theta, m, t), 1e-9)
+        << "theta=" << theta << " m=" << m;
+    total += marginal[m];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, FejerDistribution,
+                         ::testing::Values(0.1, 0.23, 0.375, 0.41, 0.77,
+                                           0.961));
+
+TEST(QpeOutcomeProbability, ExactZeroPhase) {
+  EXPECT_DOUBLE_EQ(qpe_zero_probability(0.0, 5), 1.0);
+  EXPECT_NEAR(qpe_zero_probability(1.0, 5), 1.0, 1e-12);  // periodic
+}
+
+TEST(QpeOutcomeProbability, HalfPhaseIsRejected) {
+  // θ = 1/2 is exactly representable: Pr[0] = 0.
+  EXPECT_NEAR(qpe_zero_probability(0.5, 3), 0.0, 1e-12);
+}
+
+TEST(QpeOutcomeProbability, SumsToOne) {
+  for (double theta : {0.1, 0.33, 0.49, 0.8}) {
+    for (std::size_t t : {1u, 2u, 4u, 6u}) {
+      double total = 0.0;
+      for (std::uint64_t m = 0; m < (1ULL << t); ++m)
+        total += qpe_outcome_probability(theta, m, t);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "theta=" << theta << " t=" << t;
+    }
+  }
+}
+
+TEST(QpeOutcomeProbability, MorePrecisionSharpensRejection) {
+  // For fixed θ away from 0, Pr[0] decreases as t grows.
+  const double theta = 0.2;
+  double previous = 1.0;
+  for (std::size_t t = 1; t <= 8; ++t) {
+    const double p = qpe_zero_probability(theta, t);
+    EXPECT_LE(p, previous + 1e-12);
+    previous = p;
+  }
+  EXPECT_LT(previous, 0.01);
+}
+
+TEST(Qpe, TwoQubitSystemWithDiagonalUnitary) {
+  // System of 2 qubits: eigenphase of |11⟩ is measured when prepared.
+  const double theta = 0.25;
+  QpeLayout layout{2, 2, 0};
+  const auto power_matrix = [&](std::uint64_t power) {
+    ComplexMatrix u = ComplexMatrix::identity(4);
+    const double angle = kTwoPi * theta * static_cast<double>(power);
+    u(3, 3) = Amplitude{std::cos(angle), std::sin(angle)};
+    return u;
+  };
+  Circuit qpe = build_qpe_circuit_dense(layout, power_matrix);
+  Circuit circuit(layout.total());
+  circuit.x(layout.system_wires()[0]);
+  circuit.x(layout.system_wires()[1]);
+  circuit.append_circuit(qpe);
+  const auto state = run_circuit(circuit);
+  const auto marginal = state.marginal_probabilities(layout.precision_wires());
+  // θ = 0.25 on 2 precision qubits is outcome m = 1.
+  EXPECT_NEAR(marginal[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qtda

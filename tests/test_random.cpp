@@ -1,0 +1,217 @@
+// Tests for common/random.hpp: determinism, distribution moments, splitting.
+#include "common/random.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qtda {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() != b.next()) ++differences;
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexIsRoughlyUniform) {
+  Rng rng(19);
+  const std::uint64_t buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(buckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MatchesTheory) {
+  const auto [n, p] = GetParam();
+  Rng rng(43 + n);
+  const int reps = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto k = static_cast<double>(rng.binomial(n, p));
+    EXPECT_LE(k, static_cast<double>(n));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  const double expect_mean = static_cast<double>(n) * p;
+  const double expect_var = expect_mean * (1.0 - p);
+  const double mean_tol = 6.0 * std::sqrt(expect_var / reps) + 1e-9;
+  EXPECT_NEAR(mean, expect_mean, std::max(mean_tol, 0.02 * expect_mean));
+  if (expect_var > 1.0) {
+    EXPECT_NEAR(var / expect_var, 1.0, 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialMoments,
+    ::testing::Values(BinomialCase{10, 0.5}, BinomialCase{100, 0.1},
+                      BinomialCase{1000, 0.01}, BinomialCase{1000, 0.9},
+                      BinomialCase{100000, 0.001},
+                      BinomialCase{1000000, 0.1},
+                      BinomialCase{1000000, 0.0001}));
+
+TEST(Rng, BinomialDegenerateCases) {
+  Rng rng(47);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(53);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() != b.next()) ++diff;
+  EXPECT_GT(diff, 60);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(59), p2(59);
+  Rng a = p1.split(5);
+  Rng b = p2.split(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(61);
+  for (std::size_t n : {1u, 2u, 10u, 100u}) {
+    auto perm = rng.permutation(n);
+    std::sort(perm.begin(), perm.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(67);
+  std::vector<int> v{1, 2, 2, 3, 5, 8};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace qtda

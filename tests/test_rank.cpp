@@ -1,0 +1,100 @@
+// Tests for linalg/rank.hpp.
+#include "linalg/rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "linalg/matrix_ops.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Rank, ZeroAndIdentity) {
+  EXPECT_EQ(rank(RealMatrix(3, 3)), 0u);
+  EXPECT_EQ(rank(RealMatrix::identity(4)), 4u);
+  EXPECT_EQ(rank(RealMatrix(0, 0)), 0u);
+}
+
+TEST(Rank, RectangularFullRank) {
+  RealMatrix a{{1, 0, 0}, {0, 1, 0}};
+  EXPECT_EQ(rank(a), 2u);
+  EXPECT_EQ(rank(transpose(a)), 2u);
+}
+
+TEST(Rank, LinearlyDependentRows) {
+  RealMatrix a{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  EXPECT_EQ(rank(a), 2u);
+}
+
+TEST(Rank, NullityComplement) {
+  RealMatrix a{{1, 2, 3}, {2, 4, 6}};
+  EXPECT_EQ(rank(a), 1u);
+  EXPECT_EQ(nullity(a), 2u);
+}
+
+class RandomLowRank : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomLowRank, ProductRankIsInnerDimension) {
+  const std::size_t r = GetParam();
+  Rng rng(1000 + r);
+  const std::size_t m = 10, n = 12;
+  RealMatrix left(m, r), right(r, n);
+  for (std::size_t i = 0; i < left.size(); ++i)
+    left.data()[i] = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < right.size(); ++i)
+    right.data()[i] = rng.uniform(-1.0, 1.0);
+  // Random continuous matrices are full rank a.s., so rank(L·R) = r.
+  EXPECT_EQ(rank(matmul(left, right)), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RandomLowRank,
+                         ::testing::Values(1, 2, 3, 5, 7, 10));
+
+TEST(RankModP, MatchesDoubleRankOnIntegerMatrices) {
+  Rng rng(77);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t m = 6, n = 8;
+    RealMatrix a(m, n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a.data()[i] = static_cast<double>(rng.uniform_int(-2, 2));
+    EXPECT_EQ(rank(a), rank_mod_p(a)) << "rep " << rep;
+  }
+}
+
+TEST(RankModP, NonIntegerThrows) {
+  RealMatrix a{{0.5}};
+  EXPECT_THROW(rank_mod_p(a), Error);
+}
+
+TEST(RankModP, BoundaryLikeMatrix) {
+  // The paper's ∂2 column (Eq. 15) has rank 1.
+  RealMatrix d2{{1}, {-1}, {1}, {0}, {0}, {0}};
+  EXPECT_EQ(rank(d2), 1u);
+  EXPECT_EQ(rank_mod_p(d2), 1u);
+}
+
+TEST(Rank, ToleranceSeparatesNoiseFromSignal) {
+  RealMatrix a{{1.0, 0.0}, {0.0, 1e-14}};
+  EXPECT_EQ(rank(a, 1e-10), 1u);   // tiny entry below threshold
+  EXPECT_EQ(rank(a, 1e-16), 2u);   // tight tolerance keeps it
+}
+
+TEST(Rank, SparseOverloadMatchesDense) {
+  const auto sparse = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}});
+  EXPECT_EQ(rank(sparse), rank(sparse.to_dense()));
+}
+
+TEST(Rank, RankOfTransposeEqualsRank) {
+  Rng rng(88);
+  for (int rep = 0; rep < 10; ++rep) {
+    RealMatrix a(5, 7);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a.data()[i] = static_cast<double>(rng.uniform_int(-1, 1));
+    EXPECT_EQ(rank(a), rank(transpose(a)));
+  }
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,185 @@
+// Tests for topology/rips.hpp and topology/point_cloud.hpp.
+#include "topology/rips.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "topology/random_complex.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(PointCloud, DistanceIsEuclidean) {
+  PointCloud cloud({{0.0, 0.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(cloud.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(cloud.distance(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cloud.distance(0, 0), 0.0);
+}
+
+TEST(PointCloud, DistanceMatrixSymmetric) {
+  Rng rng(3);
+  PointCloud cloud(random_point_cloud(6, 3, rng));
+  const auto d = cloud.distance_matrix();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+  }
+}
+
+TEST(PointCloud, MismatchedDimensionThrows) {
+  EXPECT_THROW(PointCloud({{1.0}, {1.0, 2.0}}), Error);
+  PointCloud cloud({{1.0, 2.0}});
+  EXPECT_THROW(cloud.add_point({1.0}), Error);
+}
+
+TEST(NeighborhoodGraph, EdgesWithinEpsilon) {
+  PointCloud cloud({{0.0}, {1.0}, {3.0}});
+  const auto g = NeighborhoodGraph::from_point_cloud(cloud, 1.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(NeighborhoodGraph, BoundaryInclusive) {
+  // d = ε exactly is connected (paper: d ≤ ε).
+  PointCloud cloud({{0.0}, {2.0}});
+  const auto g = NeighborhoodGraph::from_point_cloud(cloud, 2.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(NeighborhoodGraph, SelfLoopThrows) {
+  NeighborhoodGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+}
+
+TEST(NeighborhoodGraph, LowerNeighbors) {
+  NeighborhoodGraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto lower = g.lower_neighbors(2);
+  ASSERT_EQ(lower.size(), 2u);
+  EXPECT_EQ(lower[0], 0u);
+  EXPECT_EQ(lower[1], 1u);
+  EXPECT_TRUE(g.lower_neighbors(0).empty());
+}
+
+TEST(FlagComplex, TriangleBecomesTwoSimplex) {
+  NeighborhoodGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto complex = flag_complex(g, 2);
+  EXPECT_EQ(complex.count(0), 3u);
+  EXPECT_EQ(complex.count(1), 3u);
+  EXPECT_EQ(complex.count(2), 1u);
+}
+
+TEST(FlagComplex, PathHasNoTriangle) {
+  NeighborhoodGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto complex = flag_complex(g, 2);
+  EXPECT_EQ(complex.count(1), 2u);
+  EXPECT_EQ(complex.count(2), 0u);
+}
+
+TEST(FlagComplex, MaxDimensionCapsExpansion) {
+  // Complete graph K4 has a tetrahedron, capped at dimension 2.
+  NeighborhoodGraph g(4);
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  const auto capped = flag_complex(g, 2);
+  EXPECT_EQ(capped.count(2), 4u);  // all four triangles
+  EXPECT_EQ(capped.count(3), 0u);
+  const auto full = flag_complex(g, 3);
+  EXPECT_EQ(full.count(3), 1u);
+}
+
+TEST(FlagComplex, IsolatedVerticesSurvive) {
+  NeighborhoodGraph g(5);
+  g.add_edge(0, 1);
+  const auto complex = flag_complex(g, 2);
+  EXPECT_EQ(complex.count(0), 5u);
+  EXPECT_EQ(complex.count(1), 1u);
+}
+
+TEST(RipsComplex, SquareWithDiagonalThreshold) {
+  // Unit square: side 1, diagonal √2.
+  PointCloud cloud({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const auto sides_only = rips_complex(cloud, 1.0, 2);
+  EXPECT_EQ(sides_only.count(1), 4u);
+  EXPECT_EQ(sides_only.count(2), 0u);
+  const auto with_diagonals = rips_complex(cloud, std::sqrt(2.0) + 1e-9, 2);
+  EXPECT_EQ(with_diagonals.count(1), 6u);
+  EXPECT_EQ(with_diagonals.count(2), 4u);
+}
+
+TEST(RipsComplex, EveryCliqueAppearsExactlyOnce) {
+  // Property check on a random graph: the number of k-simplices equals the
+  // number of (k+1)-cliques counted by brute force.
+  Rng rng(17);
+  const std::size_t n = 8;
+  NeighborhoodGraph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(0.5)) g.add_edge(u, v);
+  const auto complex = flag_complex(g, 3);
+
+  // Brute force triangles.
+  std::size_t triangles = 0;
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      for (VertexId c = b + 1; c < n; ++c)
+        if (g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c))
+          ++triangles;
+  EXPECT_EQ(complex.count(2), triangles);
+
+  // Brute force tetrahedra.
+  std::size_t tets = 0;
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      for (VertexId c = b + 1; c < n; ++c)
+        for (VertexId d = c + 1; d < n; ++d)
+          if (g.has_edge(a, b) && g.has_edge(a, c) && g.has_edge(a, d) &&
+              g.has_edge(b, c) && g.has_edge(b, d) && g.has_edge(c, d))
+            ++tets;
+  EXPECT_EQ(complex.count(3), tets);
+}
+
+TEST(RipsComplex, ComplexIsDownwardClosed) {
+  Rng rng(23);
+  PointCloud cloud(random_point_cloud(10, 2, rng));
+  const auto complex = rips_complex(cloud, 0.5, 3);
+  EXPECT_FALSE(complex.find_missing_face().has_value());
+}
+
+TEST(RandomFlagComplex, RespectsVertexCountAndDimension) {
+  Rng rng(29);
+  RandomComplexOptions options;
+  options.num_vertices = 12;
+  options.max_dimension = 2;
+  const auto complex = random_flag_complex(options, rng);
+  EXPECT_EQ(complex.count(0), 12u);
+  EXPECT_LE(complex.max_dimension(), 2);
+}
+
+TEST(RandomFlagComplex, EdgeProbabilityExtremes) {
+  Rng rng(31);
+  RandomComplexOptions empty_options;
+  empty_options.num_vertices = 6;
+  empty_options.edge_probability = 0.0;
+  EXPECT_EQ(random_flag_complex(empty_options, rng).count(1), 0u);
+
+  RandomComplexOptions full_options;
+  full_options.num_vertices = 6;
+  full_options.edge_probability = 1.0;
+  EXPECT_EQ(random_flag_complex(full_options, rng).count(1), 15u);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,96 @@
+// Tests for topology/simplex.hpp.
+#include "topology/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Simplex, SortsVertices) {
+  Simplex s{3, 1, 2};
+  ASSERT_EQ(s.vertex_count(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 2u);
+  EXPECT_EQ(s[2], 3u);
+  EXPECT_EQ(s.dimension(), 2);
+}
+
+TEST(Simplex, DuplicateVertexThrows) {
+  EXPECT_THROW((Simplex{1, 1}), Error);
+}
+
+TEST(Simplex, DimensionOfVertexIsZero) {
+  EXPECT_EQ((Simplex{7}).dimension(), 0);
+}
+
+TEST(Simplex, FaceWithoutDropsCorrectVertex) {
+  Simplex s{1, 2, 3};
+  EXPECT_EQ(s.face_without(0), (Simplex{2, 3}));
+  EXPECT_EQ(s.face_without(1), (Simplex{1, 3}));
+  EXPECT_EQ(s.face_without(2), (Simplex{1, 2}));
+  EXPECT_THROW(s.face_without(3), Error);
+}
+
+TEST(Simplex, FacetsEnumeration) {
+  Simplex s{0, 1, 2, 3};
+  const auto facets = s.facets();
+  ASSERT_EQ(facets.size(), 4u);
+  for (const auto& f : facets) {
+    EXPECT_EQ(f.dimension(), 2);
+    EXPECT_TRUE(s.has_face(f));
+  }
+}
+
+TEST(Simplex, VertexFacetsAreEmptySimplicesList) {
+  // facets() of a 0-simplex would be empty simplices; the library returns
+  // one empty-vertex simplex per convention — verify it has dimension -1.
+  Simplex v{4};
+  const auto facets = v.facets();
+  ASSERT_EQ(facets.size(), 1u);
+  EXPECT_EQ(facets[0].dimension(), -1);
+}
+
+TEST(Simplex, HasFaceSubsets) {
+  Simplex s{1, 3, 5};
+  EXPECT_TRUE(s.has_face(Simplex{1}));
+  EXPECT_TRUE(s.has_face(Simplex{3, 5}));
+  EXPECT_TRUE(s.has_face(Simplex{1, 3, 5}));
+  EXPECT_FALSE(s.has_face(Simplex{2}));
+  EXPECT_FALSE(s.has_face(Simplex{1, 2}));
+}
+
+TEST(Simplex, ContainsVertex) {
+  Simplex s{2, 4, 8};
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(Simplex, LexicographicOrder) {
+  EXPECT_LT((Simplex{1, 2}), (Simplex{1, 3}));
+  EXPECT_LT((Simplex{1}), (Simplex{1, 2}));  // prefix orders first
+  EXPECT_LT((Simplex{1, 9}), (Simplex{2, 3}));
+}
+
+TEST(Simplex, EqualityAndHash) {
+  Simplex a{1, 2, 3};
+  Simplex b{3, 2, 1};
+  EXPECT_EQ(a, b);
+  SimplexHash h;
+  EXPECT_EQ(h(a), h(b));
+  std::unordered_set<Simplex, SimplexHash> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Simplex, ToString) {
+  EXPECT_EQ((Simplex{1, 2, 3}).to_string(), "{1,2,3}");
+  EXPECT_EQ((Simplex{9}).to_string(), "{9}");
+}
+
+}  // namespace
+}  // namespace qtda

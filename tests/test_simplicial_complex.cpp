@@ -1,0 +1,105 @@
+// Tests for topology/simplicial_complex.hpp.
+#include "topology/simplicial_complex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qtda {
+namespace {
+
+SimplicialComplex filled_triangle() {
+  return SimplicialComplex::from_simplices({Simplex{0, 1, 2}},
+                                           /*close_downward=*/true);
+}
+
+TEST(SimplicialComplex, DownwardClosureGeneratesFaces) {
+  const auto complex = filled_triangle();
+  EXPECT_EQ(complex.count(0), 3u);
+  EXPECT_EQ(complex.count(1), 3u);
+  EXPECT_EQ(complex.count(2), 1u);
+  EXPECT_EQ(complex.max_dimension(), 2);
+  EXPECT_EQ(complex.total_count(), 7u);
+}
+
+TEST(SimplicialComplex, UnclosedInputThrows) {
+  EXPECT_THROW(SimplicialComplex::from_simplices({Simplex{0, 1}},
+                                                 /*close_downward=*/false),
+               Error);
+}
+
+TEST(SimplicialComplex, ClosedInputAccepted) {
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0}, Simplex{1}, Simplex{0, 1}}, /*close_downward=*/false);
+  EXPECT_EQ(complex.count(0), 2u);
+  EXPECT_EQ(complex.count(1), 1u);
+  EXPECT_FALSE(complex.find_missing_face().has_value());
+}
+
+TEST(SimplicialComplex, SimplicesSortedLexicographically) {
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{2, 3}, Simplex{1, 2}, Simplex{1, 3}}, true);
+  const auto& edges = complex.simplices(1);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Simplex{1, 2}));
+  EXPECT_EQ(edges[1], (Simplex{1, 3}));
+  EXPECT_EQ(edges[2], (Simplex{2, 3}));
+}
+
+TEST(SimplicialComplex, IndexOfMatchesPosition) {
+  const auto complex = filled_triangle();
+  const auto& edges = complex.simplices(1);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    EXPECT_EQ(complex.index_of(edges[i]), i);
+  EXPECT_FALSE(complex.index_of(Simplex{0, 9}).has_value());
+}
+
+TEST(SimplicialComplex, ContainsMembership) {
+  const auto complex = filled_triangle();
+  EXPECT_TRUE(complex.contains(Simplex{0, 1, 2}));
+  EXPECT_TRUE(complex.contains(Simplex{1, 2}));
+  EXPECT_FALSE(complex.contains(Simplex{0, 3}));
+}
+
+TEST(SimplicialComplex, DuplicateInsertIsIdempotent) {
+  SimplicialComplex complex;
+  complex.insert_with_faces(Simplex{0, 1});
+  complex.insert_with_faces(Simplex{0, 1});
+  EXPECT_EQ(complex.count(1), 1u);
+  EXPECT_EQ(complex.count(0), 2u);
+}
+
+TEST(SimplicialComplex, OutOfRangeDimensionIsEmpty) {
+  const auto complex = filled_triangle();
+  EXPECT_EQ(complex.count(5), 0u);
+  EXPECT_TRUE(complex.simplices(5).empty());
+  EXPECT_EQ(complex.count(-1), 0u);
+}
+
+TEST(SimplicialComplex, EmptyComplex) {
+  SimplicialComplex complex;
+  EXPECT_EQ(complex.max_dimension(), -1);
+  EXPECT_EQ(complex.total_count(), 0u);
+  EXPECT_EQ(complex.euler_characteristic(), 0);
+}
+
+TEST(SimplicialComplex, EulerCharacteristic) {
+  // Filled triangle: 3 − 3 + 1 = 1 (contractible).
+  EXPECT_EQ(filled_triangle().euler_characteristic(), 1);
+  // Hollow triangle (circle): 3 − 3 = 0.
+  const auto hollow = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}}, true);
+  EXPECT_EQ(hollow.euler_characteristic(), 0);
+}
+
+TEST(SimplicialComplex, PaperWorkedExampleCounts) {
+  // K from Eq. (13): 5 vertices, 6 edges, 1 triangle.
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{1, 2, 3}, Simplex{3, 4}, Simplex{3, 5}, Simplex{4, 5}}, true);
+  EXPECT_EQ(complex.count(0), 5u);
+  EXPECT_EQ(complex.count(1), 6u);
+  EXPECT_EQ(complex.count(2), 1u);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,138 @@
+// Tests for common/stats.hpp.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+  // Sample {2, 4}: mean 3, var = ((1)+(1))/(2-1) = 2.
+  EXPECT_DOUBLE_EQ(variance({2.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), std::sqrt(2.0));
+}
+
+TEST(Stats, QuantileMatchesNumpyType7) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileValidation) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, FiveNumberSummaryBasics) {
+  const auto s = five_number_summary({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_EQ(s.outliers, 0u);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 9.0);
+}
+
+TEST(Stats, FiveNumberSummaryDetectsOutlier) {
+  // 100 is far beyond q3 + 1.5 IQR of the base sample.
+  const auto s = five_number_summary({1, 2, 3, 4, 5, 6, 7, 8, 100});
+  EXPECT_EQ(s.outliers, 1u);
+  EXPECT_LT(s.whisker_high, 100.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, FiveNumberSummarySingleton) {
+  const auto s = five_number_summary({2.5});
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(Stats, PearsonCorrelationExtremes) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  const std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Stats, SkewnessSymmetricIsZero) {
+  EXPECT_NEAR(skewness({-2, -1, 0, 1, 2}), 0.0, 1e-12);
+}
+
+TEST(Stats, SkewnessSignOfTails) {
+  EXPECT_GT(skewness({0, 0, 0, 0, 10}), 0.0);
+  EXPECT_LT(skewness({0, 10, 10, 10, 10}), 0.0);
+}
+
+TEST(Stats, KurtosisOfNormalSample) {
+  Rng rng(3);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(kurtosis(xs), 3.0, 0.1);
+}
+
+TEST(Stats, KurtosisHeavyTails) {
+  // A sample with a large outlier has kurtosis well above 3.
+  std::vector<double> xs(100, 0.0);
+  for (std::size_t i = 0; i < 50; ++i) xs[i] = (i % 2) ? 1.0 : -1.0;
+  xs[99] = 20.0;
+  EXPECT_GT(kurtosis(xs), 10.0);
+}
+
+TEST(Stats, RmsKnownValues) {
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms({-2.0, 2.0}), 2.0);
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, QuantilesAreMonotoneInQ) {
+  Rng rng(71);
+  std::vector<double> xs(501);
+  for (double& x : xs) x = rng.normal();
+  const double q = GetParam();
+  EXPECT_LE(quantile(xs, q * 0.5), quantile(xs, q));
+  EXPECT_LE(quantile(xs, q), quantile(xs, 0.5 + q * 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotone,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace qtda

@@ -1,0 +1,93 @@
+// Tests for ml/takens.hpp.
+#include "ml/takens.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qtda {
+namespace {
+
+TEST(Takens, OutputSizeFormula) {
+  TakensOptions options{3, 2, 1};  // span (3−1)·2 = 4
+  EXPECT_EQ(takens_output_size(10, options), 6u);
+  EXPECT_EQ(takens_output_size(5, options), 1u);
+  EXPECT_EQ(takens_output_size(4, options), 0u);
+}
+
+TEST(Takens, EmbedsCoordinatesCorrectly) {
+  const std::vector<double> series{0, 1, 2, 3, 4, 5};
+  TakensOptions options{3, 1, 1};
+  const auto cloud = takens_embedding(series, options);
+  ASSERT_EQ(cloud.size(), 4u);
+  EXPECT_EQ(cloud.dimension(), 3u);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[1], 1.0);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[2], 2.0);
+  EXPECT_DOUBLE_EQ(cloud.point(3)[0], 3.0);
+  EXPECT_DOUBLE_EQ(cloud.point(3)[2], 5.0);
+}
+
+TEST(Takens, DelayPicksSpacedSamples) {
+  const std::vector<double> series{0, 10, 20, 30, 40, 50, 60};
+  TakensOptions options{2, 3, 1};
+  const auto cloud = takens_embedding(series, options);
+  ASSERT_EQ(cloud.size(), 4u);
+  EXPECT_DOUBLE_EQ(cloud.point(0)[1], 30.0);
+  EXPECT_DOUBLE_EQ(cloud.point(1)[1], 40.0);
+}
+
+TEST(Takens, StrideSubsamples) {
+  std::vector<double> series(100);
+  for (std::size_t i = 0; i < 100; ++i) series[i] = static_cast<double>(i);
+  TakensOptions options{2, 1, 10};
+  const auto cloud = takens_embedding(series, options);
+  EXPECT_EQ(cloud.size(), 10u);
+  EXPECT_DOUBLE_EQ(cloud.point(1)[0], 10.0);
+}
+
+TEST(Takens, TooShortSeriesThrows) {
+  TakensOptions options{5, 3, 1};
+  EXPECT_THROW(takens_embedding({1.0, 2.0, 3.0}, options), Error);
+}
+
+TEST(Takens, ParameterValidation) {
+  const std::vector<double> series(10, 0.0);
+  EXPECT_THROW(takens_embedding(series, {0, 1, 1}), Error);
+  EXPECT_THROW(takens_embedding(series, {2, 0, 1}), Error);
+  EXPECT_THROW(takens_embedding(series, {2, 1, 0}), Error);
+}
+
+TEST(Takens, SinusoidEmbedsToClosedLoop) {
+  // A pure sinusoid delay-embedded in 2-D with a quarter-period delay is a
+  // circle: max and min radius from the centroid are nearly equal.
+  const std::size_t period = 40;
+  std::vector<double> series(400);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = std::sin(2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(period));
+  TakensOptions options{2, period / 4, 1};
+  const auto cloud = takens_embedding(series, options);
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    cx += cloud.point(i)[0];
+    cy += cloud.point(i)[1];
+  }
+  cx /= static_cast<double>(cloud.size());
+  cy /= static_cast<double>(cloud.size());
+  double rmin = 1e9, rmax = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const double dx = cloud.point(i)[0] - cx;
+    const double dy = cloud.point(i)[1] - cy;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+  }
+  EXPECT_NEAR(rmin, rmax, 0.05);
+  EXPECT_NEAR(rmax, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace qtda
