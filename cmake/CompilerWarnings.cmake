@@ -1,0 +1,20 @@
+# Defines the qtda_warnings interface target carrying the project-wide
+# diagnostic flags.  The tree currently compiles clean under the full set, so
+# QTDA_WERROR=ON is safe for CI even though it defaults to OFF for developers.
+add_library(qtda_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(qtda_warnings INTERFACE
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow)
+  if(QTDA_WERROR)
+    target_compile_options(qtda_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(qtda_warnings INTERFACE /W4)
+  if(QTDA_WERROR)
+    target_compile_options(qtda_warnings INTERFACE /WX)
+  endif()
+endif()

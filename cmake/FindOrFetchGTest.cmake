@@ -1,0 +1,29 @@
+# Provides GTest::gtest / GTest::gtest_main.
+#
+# Prefers the system GoogleTest (baked into the CI/dev image, so the tier-1
+# verify works fully offline); falls back to FetchContent for machines that
+# have network access but no googletest package.
+find_package(GTest QUIET)
+
+if(NOT GTest_FOUND)
+  message(STATUS "System GoogleTest not found; fetching v1.14.0")
+  include(FetchContent)
+  set(_qtda_gtest_args "")
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.24)
+    list(APPEND _qtda_gtest_args DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  endif()
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    ${_qtda_gtest_args})
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  # Recent googletest defines the GTest:: aliases itself; only fill gaps.
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,19 @@
+# Defines qtda_sanitizers, an interface target carrying ASan+UBSan
+# instrumentation when QTDA_SANITIZE=ON (empty otherwise).  Kept separate from
+# qtda_warnings so diagnostics and instrumentation stay independently
+# composable; intended for Debug builds, and the CI sanitizer job runs the
+# whole test suite under it.
+add_library(qtda_sanitizers INTERFACE)
+
+if(QTDA_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(qtda_sanitizers INTERFACE
+      -fsanitize=address,undefined
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+    target_link_options(qtda_sanitizers INTERFACE
+      -fsanitize=address,undefined)
+  else()
+    message(WARNING "QTDA_SANITIZE is only supported with GCC/Clang")
+  endif()
+endif()

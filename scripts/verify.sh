@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verify, exactly as ROADMAP.md specifies it, from a clean tree.
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+rm -rf build
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
