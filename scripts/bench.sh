@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Runs every bench_micro_* Google-Benchmark binary with JSON output and
+# merges the results into BENCH_micro.json (one top-level key per binary),
+# seeding the perf trajectory that future PRs compare against.
+#
+# Usage: scripts/bench.sh
+#   QTDA_BENCH_BUILD_DIR  build directory (default: build-bench; configured
+#                         with -DQTDA_BUILD_BENCH=ON if absent)
+#   QTDA_BENCH_MIN_TIME   --benchmark_min_time value (default: 0.05)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${QTDA_BENCH_BUILD_DIR:-build-bench}
+MIN_TIME=${QTDA_BENCH_MIN_TIME:-0.05}
+OUT=BENCH_micro.json
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S . -DQTDA_BUILD_BENCH=ON
+fi
+cmake --build "$BUILD_DIR" -j
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+found=0
+first=1
+printf '{\n' > "$OUT"
+for bench in "$BUILD_DIR"/bench/bench_micro_*; do
+  [ -x "$bench" ] || continue
+  found=1
+  name=$(basename "$bench")
+  echo "running $name ..."
+  "$bench" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$tmp/$name.json"
+  [ "$first" -eq 1 ] || printf ',\n' >> "$OUT"
+  first=0
+  printf '"%s": ' "$name" >> "$OUT"
+  cat "$tmp/$name.json" >> "$OUT"
+done
+printf '\n}\n' >> "$OUT"
+
+if [ "$found" -eq 0 ]; then
+  echo "no bench_micro_* binaries found in $BUILD_DIR/bench;" \
+       "is Google Benchmark installed?" >&2
+  exit 1
+fi
+echo "wrote $OUT"

@@ -7,6 +7,14 @@
 
 namespace qtda {
 
+namespace {
+/// True on threads owned by a ThreadPool.  parallel_for{,_chunked} from
+/// inside a pool task would block a worker waiting on sub-tasks that only
+/// other (possibly all-blocked) workers can run — a deadlock.  Nested calls
+/// therefore degrade to serial execution.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
 std::size_t hardware_concurrency() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);
@@ -45,6 +53,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -80,7 +89,7 @@ void parallel_for_chunked(
   const std::size_t n = end - begin;
   ThreadPool& pool = ThreadPool::shared();
   const std::size_t workers = pool.size();
-  if (n < min_parallel_size || workers <= 1) {
+  if (n < min_parallel_size || workers <= 1 || t_inside_pool_worker) {
     body(begin, end);
     return;
   }

@@ -9,6 +9,7 @@
 /// random complex per worker in the Fig. 3 sweep).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -59,7 +60,9 @@ class ThreadPool {
 /// Runs body(i) for i in [begin, end) across the shared pool, blocking until
 /// completion.  Work is split into contiguous chunks, one per worker, which
 /// is the right grain for the memory-bound kernels in this library.  Runs
-/// serially when the range is small or the pool has one thread.
+/// serially when the range is small or the pool has one thread.  Safe to
+/// call from inside a pool task: nested invocations run serially instead of
+/// deadlocking the pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t min_parallel_size = 1024);
@@ -71,9 +74,47 @@ void parallel_for_chunked(
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_parallel_size = 1024);
 
-/// Parallel sum-reduction of body(i) over [begin, end).
+/// Parallel sum-reduction of body(i) over [begin, end).  The chunk partials
+/// are merged in completion order, so the floating-point result can jitter
+/// between runs; use parallel_reduce_ordered where reproducibility matters.
 double parallel_reduce_sum(std::size_t begin, std::size_t end,
                            const std::function<double(std::size_t)>& body,
                            std::size_t min_parallel_size = 1024);
+
+/// Deterministic parallel reduction into \p result: [begin, end) is split
+/// into a fixed number of contiguous chunks (at most the pool size),
+/// `body(i, partial)` accumulates each chunk into its own partial
+/// (initialized to \p identity), and the partials are merged into \p result
+/// with `merge(result, partial)` in chunk order.  Because both the split
+/// and the merge order are fixed functions of the pool size, the result is
+/// reproducible run-to-run on a given machine — the property the sampling
+/// cumulative sums need — unlike parallel_reduce_sum's arrival-order merge.
+template <typename Partial, typename Body, typename Merge>
+void parallel_reduce_ordered(std::size_t begin, std::size_t end,
+                             Partial& result, const Partial& identity,
+                             Body&& body, Merge&& merge,
+                             std::size_t min_parallel_size = 1024) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks =
+      n < min_parallel_size
+          ? 1
+          : std::min(ThreadPool::shared().size(), static_cast<std::size_t>(n));
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i, result);
+    return;
+  }
+  const std::size_t span = (n + chunks - 1) / chunks;
+  std::vector<Partial> partials(chunks, identity);
+  parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = begin + c * span;
+        const std::size_t hi = std::min(end, lo + span);
+        for (std::size_t i = lo; i < hi; ++i) body(i, partials[c]);
+      },
+      /*min_parallel_size=*/1);
+  for (const Partial& partial : partials) merge(result, partial);
+}
 
 }  // namespace qtda

@@ -1,10 +1,11 @@
 #include "core/betti_estimator.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
+#include "linalg/expm_multiply.hpp"
 #include "linalg/matrix_exp.hpp"
-#include "quantum/executor.hpp"
 #include "quantum/mixed_state.hpp"
 #include "quantum/pauli.hpp"
 #include "quantum/qpe.hpp"
@@ -14,20 +15,29 @@ namespace qtda {
 
 namespace {
 
+QpeLayout make_layout(const EstimatorOptions& options,
+                      std::size_t system_qubits, bool with_purification) {
+  QpeLayout layout;
+  layout.precision_qubits = options.precision_qubits;
+  layout.system_qubits = system_qubits;
+  layout.ancilla_qubits = with_purification ? system_qubits : 0;
+  return layout;
+}
+
 /// Builds the full QPE circuit (state prep + network) for the given scaled
-/// Hamiltonian.  For the purification mode the register is t + q + q wide;
-/// for sampled-basis it is t + q and the system register is initialized by
-/// the caller per shot.
+/// Hamiltonian with a dense oracle (kCircuitExact) or Trotterized fragments
+/// (kCircuitTrotter).  For the purification mode the register is t + q + q
+/// wide; for sampled-basis it is t + q and the system register is
+/// initialized by the caller per shot.
 Circuit build_estimator_circuit(const ScaledHamiltonian& scaled,
                                 const EstimatorOptions& options,
                                 bool with_purification) {
-  QpeLayout layout;
-  layout.precision_qubits = options.precision_qubits;
-  layout.system_qubits = scaled.num_qubits;
-  layout.ancilla_qubits = with_purification ? scaled.num_qubits : 0;
+  const QpeLayout layout =
+      make_layout(options, scaled.num_qubits, with_purification);
   QTDA_REQUIRE(layout.total() <= 26,
                "register of " << layout.total()
-                              << " qubits exceeds the simulator budget");
+                              << " qubits exceeds the dense-oracle budget; "
+                                 "use EstimatorBackend::kCircuitSparse");
 
   Circuit circuit(layout.total());
   if (with_purification) {
@@ -65,24 +75,165 @@ Circuit build_estimator_circuit(const ScaledHamiltonian& scaled,
   return circuit;
 }
 
+/// Sparse-oracle variant: the controlled powers are matrix-free operator
+/// gates applying exp(i·p·H) by Chebyshev expansion — no 2^q×2^q matrix is
+/// ever formed, so the budget is the state-vector width itself.
+Circuit build_estimator_circuit_sparse(const SparseScaledHamiltonian& scaled,
+                                       const EstimatorOptions& options,
+                                       bool with_purification) {
+  const QpeLayout layout =
+      make_layout(options, scaled.num_qubits, with_purification);
+  QTDA_REQUIRE(layout.total() <= 30,
+               "register of " << layout.total()
+                              << " qubits exceeds the state-vector budget");
+
+  Circuit circuit(layout.total());
+  if (with_purification) {
+    append_mixed_state_preparation(circuit, layout.ancilla_wires(),
+                                   layout.system_wires());
+  }
+  // All t controlled powers share one CSR copy of H; each operator owns
+  // only its Chebyshev coefficients.
+  const auto shared_h = std::make_shared<const SparseMatrix>(scaled.matrix);
+  circuit.append_circuit(build_qpe_circuit_sparse(
+      layout, [&](std::uint64_t power) -> std::shared_ptr<const LinearOperator> {
+        return std::make_shared<SparseExpOperator>(
+            shared_h, static_cast<double>(power), scaled.spectrum_min(),
+            scaled.spectrum_max());
+      }));
+  return circuit;
+}
+
+/// Executes the prepared circuit through the configured simulator backend
+/// and fills the shot-dependent fields of the estimate.  Shared by the
+/// exact, sparse and Trotter paths.
+void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
+                              const QpeLayout& layout,
+                              const EstimatorOptions& options, bool purify,
+                              Rng& rng) {
+  estimate.total_qubits = circuit.num_qubits();
+  estimate.circuit_gates = circuit.gate_count();
+  estimate.circuit_depth = circuit.depth();
+
+  const std::vector<std::size_t> measured = layout.precision_wires();
+  const std::unique_ptr<SimulatorBackend> backend =
+      make_simulator(options.simulator, circuit.num_qubits());
+
+  // One noisy trajectory: per-gate stochastic depolarizing events, matching
+  // run_noisy_trajectory's RNG consumption order.
+  const auto run_noisy = [&](std::uint64_t initial, Rng& traj_rng) {
+    backend->prepare_basis_state(initial);
+    for (const Gate& gate : circuit.gates()) {
+      backend->apply_gate(gate);
+      const bool multi = gate.targets.size() + gate.controls.size() >= 2;
+      const double p = multi ? options.noise.two_qubit_error
+                             : options.noise.single_qubit_error;
+      if (p <= 0.0) continue;
+      for (std::size_t q : gate.targets)
+        backend->apply_depolarizing(q, p, traj_rng);
+      for (std::size_t q : gate.controls)
+        backend->apply_depolarizing(q, p, traj_rng);
+    }
+  };
+
+  if (purify) {
+    if (options.noise.is_noiseless()) {
+      backend->prepare_basis_state(0);
+      backend->apply_circuit(circuit);
+      estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
+    } else {
+      std::uint64_t zeros = 0;
+      for (std::size_t shot = 0; shot < options.shots; ++shot) {
+        run_noisy(0, rng);
+        zeros += backend->sample(measured, 1, rng)[0];
+      }
+      estimate.zero_counts = zeros;
+    }
+    return;
+  }
+
+  // Sampled-basis mixture: distribute shots uniformly over the 2^q basis
+  // states, then run one evolution per occupied state.
+  const std::uint64_t dim = std::uint64_t{1} << layout.system_qubits;
+  const std::vector<double> uniform(dim, 1.0);
+  const auto shots_per_state = multinomial_sample(uniform, options.shots, rng);
+  const std::size_t shift =
+      circuit.num_qubits() - layout.precision_qubits - layout.system_qubits;
+  std::uint64_t zeros = 0;
+  for (std::uint64_t basis = 0; basis < dim; ++basis) {
+    const std::uint64_t s = shots_per_state[basis];
+    if (s == 0) continue;
+    // System register holds |basis⟩: it occupies wires [t, t+q) which are
+    // the top bits below the precision block.
+    const std::uint64_t initial = basis << shift;
+    if (options.noise.is_noiseless()) {
+      backend->prepare_basis_state(initial);
+      backend->apply_circuit(circuit);
+      zeros += backend->sample(measured, s, rng)[0];
+    } else {
+      for (std::uint64_t shot = 0; shot < s; ++shot) {
+        Rng traj_rng = rng.split(shot * dim + basis);
+        run_noisy(initial, traj_rng);
+        zeros += backend->sample(measured, 1, rng)[0];
+      }
+    }
+  }
+  estimate.zero_counts = zeros;
+}
+
+/// Finalizes p̂(0) → β̃ from the accumulated zero counts.
+void finalize_estimate(BettiEstimate& estimate,
+                       const EstimatorOptions& options, std::uint64_t dim) {
+  estimate.zero_probability = static_cast<double>(estimate.zero_counts) /
+                              static_cast<double>(options.shots);
+  estimate.estimated_betti =
+      static_cast<double>(dim) * estimate.zero_probability;
+  estimate.rounded_betti = static_cast<std::size_t>(
+      std::llround(std::max(estimate.estimated_betti, 0.0)));
+}
+
+void validate_options(const EstimatorOptions& options) {
+  QTDA_REQUIRE(options.shots > 0, "estimator needs at least one shot");
+  QTDA_REQUIRE(options.precision_qubits >= 1,
+               "estimator needs at least one precision qubit");
+}
+
+SparseMatrix dense_to_sparse(const RealMatrix& m) {
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (m(i, j) != 0.0) triplets.push_back({i, j, m(i, j)});
+  return SparseMatrix::from_triplets(m.rows(), m.cols(), std::move(triplets));
+}
+
 }  // namespace
 
 Circuit build_qtda_circuit(const RealMatrix& laplacian,
                            const EstimatorOptions& options) {
   QTDA_REQUIRE(options.backend != EstimatorBackend::kAnalytic,
                "the analytic backend has no circuit; pick a circuit backend");
-  const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
   const double delta = options.delta > 0.0 ? options.delta : default_delta();
-  const ScaledHamiltonian scaled = rescale_laplacian(padded, delta);
   const bool purify = options.mixed_state == MixedStateMode::kPurification;
+  if (options.backend == EstimatorBackend::kCircuitSparse) {
+    const SparsePaddedLaplacian padded =
+        pad_laplacian_sparse(dense_to_sparse(laplacian), options.padding);
+    return build_estimator_circuit_sparse(
+        rescale_laplacian_sparse(padded, delta), options, purify);
+  }
+  const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
+  const ScaledHamiltonian scaled = rescale_laplacian(padded, delta);
   return build_estimator_circuit(scaled, options, purify);
 }
 
 BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
                                             const EstimatorOptions& options) {
-  QTDA_REQUIRE(options.shots > 0, "estimator needs at least one shot");
-  QTDA_REQUIRE(options.precision_qubits >= 1,
-               "estimator needs at least one precision qubit");
+  if (options.backend == EstimatorBackend::kCircuitSparse) {
+    // The sparse entry point is the native path; converting a small dense
+    // Laplacian costs nothing next to the simulation.
+    return estimate_betti_from_sparse_laplacian(dense_to_sparse(laplacian),
+                                                options);
+  }
+  validate_options(options);
 
   const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
   const double delta = options.delta > 0.0 ? options.delta : default_delta();
@@ -104,96 +255,61 @@ BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
 
   Rng rng(options.seed);
   const std::uint64_t dim = std::uint64_t{1} << scaled.num_qubits;
+  const bool purify = options.mixed_state == MixedStateMode::kPurification;
 
-  switch (options.backend) {
-    case EstimatorBackend::kAnalytic: {
-      estimate.zero_counts = sample_zero_counts(
-          estimate.exact_zero_probability, options.shots, rng);
-      estimate.total_qubits =
-          options.precision_qubits + scaled.num_qubits +
-          (options.mixed_state == MixedStateMode::kPurification
-               ? scaled.num_qubits
-               : 0);
-      break;
-    }
-    case EstimatorBackend::kCircuitExact:
-    case EstimatorBackend::kCircuitTrotter: {
-      const bool purify =
-          options.mixed_state == MixedStateMode::kPurification;
-      const Circuit circuit =
-          build_estimator_circuit(scaled, options, purify);
-      estimate.total_qubits = circuit.num_qubits();
-      estimate.circuit_gates = circuit.gate_count();
-      estimate.circuit_depth = circuit.depth();
+  if (options.backend == EstimatorBackend::kAnalytic) {
+    estimate.zero_counts = sample_zero_counts(
+        estimate.exact_zero_probability, options.shots, rng);
+    estimate.total_qubits = options.precision_qubits + scaled.num_qubits +
+                            (purify ? scaled.num_qubits : 0);
+  } else {
+    const Circuit circuit = build_estimator_circuit(scaled, options, purify);
+    const QpeLayout layout = make_layout(options, scaled.num_qubits, purify);
+    execute_circuit_estimate(estimate, circuit, layout, options, purify, rng);
+  }
+  finalize_estimate(estimate, options, dim);
+  return estimate;
+}
 
-      QpeLayout layout;
-      layout.precision_qubits = options.precision_qubits;
-      layout.system_qubits = scaled.num_qubits;
-      layout.ancilla_qubits = purify ? scaled.num_qubits : 0;
-      const std::vector<std::size_t> measured = layout.precision_wires();
+BettiEstimate estimate_betti_from_sparse_laplacian(
+    const SparseMatrix& laplacian, const EstimatorOptions& options) {
+  if (options.backend != EstimatorBackend::kCircuitSparse) {
+    // The other backends need the dense matrix anyway (eigensolve / Pauli
+    // decomposition), so densify up front.
+    return estimate_betti_from_laplacian(laplacian.to_dense(), options);
+  }
+  validate_options(options);
 
-      if (purify) {
-        const auto counts =
-            options.noise.is_noiseless()
-                ? sample_circuit(circuit, measured, options.shots, rng)
-                : sample_circuit_noisy(circuit, measured, options.shots,
-                                       options.noise, rng);
-        estimate.zero_counts = counts[0];
-      } else {
-        // Sampled-basis mixture: distribute shots uniformly over the 2^q
-        // basis states, then run one evolution per occupied state.
-        const std::vector<double> uniform(dim, 1.0);
-        const auto shots_per_state =
-            multinomial_sample(uniform, options.shots, rng);
-        std::uint64_t zeros = 0;
-        for (std::uint64_t basis = 0; basis < dim; ++basis) {
-          const std::uint64_t s = shots_per_state[basis];
-          if (s == 0) continue;
-          // System register holds |basis⟩: it occupies wires
-          // [t, t+q) which are the top bits below the precision block.
-          const std::uint64_t initial =
-              basis << (circuit.num_qubits() - options.precision_qubits -
-                        scaled.num_qubits);
-          if (options.noise.is_noiseless()) {
-            Statevector state(circuit.num_qubits());
-            state.set_basis_state(initial);
-            state.apply_circuit(circuit);
-            const auto counts = state.sample_counts(measured, s, rng);
-            zeros += counts[0];
-          } else {
-            for (std::uint64_t shot = 0; shot < s; ++shot) {
-              Statevector noisy(circuit.num_qubits());
-              noisy.set_basis_state(initial);
-              Rng traj_rng = rng.split(shot * dim + basis);
-              for (const Gate& gate : circuit.gates()) {
-                noisy.apply_gate(gate);
-                const bool multi =
-                    gate.targets.size() + gate.controls.size() >= 2;
-                const double p = multi ? options.noise.two_qubit_error
-                                       : options.noise.single_qubit_error;
-                if (p <= 0.0) continue;
-                for (std::size_t q : gate.targets)
-                  maybe_apply_depolarizing(noisy, q, p, traj_rng);
-                for (std::size_t q : gate.controls)
-                  maybe_apply_depolarizing(noisy, q, p, traj_rng);
-              }
-              const auto counts = noisy.sample_counts(measured, 1, rng);
-              zeros += counts[0];
-            }
-          }
-        }
-        estimate.zero_counts = zeros;
-      }
-      break;
-    }
+  const SparsePaddedLaplacian padded =
+      pad_laplacian_sparse(laplacian, options.padding);
+  const double delta = options.delta > 0.0 ? options.delta : default_delta();
+  const SparseScaledHamiltonian scaled =
+      rescale_laplacian_sparse(padded, delta);
+
+  BettiEstimate estimate;
+  estimate.shots = options.shots;
+  estimate.system_qubits = scaled.num_qubits;
+  estimate.precision_qubits = options.precision_qubits;
+  estimate.lambda_max = scaled.lambda_max;
+  estimate.delta = delta;
+
+  const std::uint64_t dim = std::uint64_t{1} << scaled.num_qubits;
+  if (dim <= options.exact_reference_max_dim) {
+    // Diagnostic dense eigensolve, feasible only at small q; the estimate
+    // itself is matrix-free.
+    const RealVector eigenvalues =
+        symmetric_eigenvalues(scaled.matrix.to_dense());
+    estimate.exact_zero_probability =
+        analytic_zero_probability(eigenvalues, options.precision_qubits);
   }
 
-  estimate.zero_probability = static_cast<double>(estimate.zero_counts) /
-                              static_cast<double>(options.shots);
-  estimate.estimated_betti =
-      static_cast<double>(dim) * estimate.zero_probability;
-  estimate.rounded_betti = static_cast<std::size_t>(
-      std::llround(std::max(estimate.estimated_betti, 0.0)));
+  Rng rng(options.seed);
+  const bool purify = options.mixed_state == MixedStateMode::kPurification;
+  const Circuit circuit =
+      build_estimator_circuit_sparse(scaled, options, purify);
+  const QpeLayout layout = make_layout(options, scaled.num_qubits, purify);
+  execute_circuit_estimate(estimate, circuit, layout, options, purify, rng);
+  finalize_estimate(estimate, options, dim);
   return estimate;
 }
 
@@ -204,6 +320,11 @@ BettiEstimate estimate_betti(const SimplicialComplex& complex, int k,
     empty.shots = options.shots;
     empty.precision_qubits = options.precision_qubits;
     return empty;
+  }
+  if (options.backend == EstimatorBackend::kCircuitSparse) {
+    // CSR end to end: the dense |S_k|×|S_k| Laplacian is never formed.
+    return estimate_betti_from_sparse_laplacian(
+        sparse_combinatorial_laplacian(complex, k), options);
   }
   return estimate_betti_from_laplacian(combinatorial_laplacian(complex, k),
                                        options);

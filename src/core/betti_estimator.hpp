@@ -2,7 +2,7 @@
 /// \brief The paper's QTDA algorithm: Betti numbers from QPE statistics.
 ///
 /// Pipeline (paper §3): Δ_k → pad (Eq. 7) → rescale (Eq. 8–9) → QPE on the
-/// maximally mixed state → β̃ = 2^q·p(0) (Eq. 10–11).  Three interchangeable
+/// maximally mixed state → β̃ = 2^q·p(0) (Eq. 10–11).  Four interchangeable
 /// backends execute the QPE stage:
 ///
 ///  * kAnalytic       — exact p(0) via the Fejér-kernel average plus a
@@ -10,9 +10,18 @@
 ///                      exact circuit; used for the large Fig. 3 sweeps.
 ///  * kCircuitExact   — full state-vector QPE (Fig. 6) with dense controlled
 ///                      U^{2^j} oracles and genuine multinomial shots.
+///  * kCircuitSparse  — same network, but the controlled powers act on the
+///                      system register matrix-free: Δ̃_k stays in CSR end to
+///                      end and exp(i·p·H) is applied by Chebyshev expansion
+///                      (linalg/expm_multiply.hpp).  No 2^q×2^q matrix is
+///                      formed, pushing feasible system sizes far past the
+///                      dense oracle's ceiling.
 ///  * kCircuitTrotter — same network with U synthesized gate-by-gate from
 ///                      the Pauli decomposition (Fig. 7), exposing Trotter
 ///                      error and circuit depth; supports the noise model.
+///
+/// Circuit execution is routed through the pluggable SimulatorBackend
+/// interface (quantum/backend.hpp), selected by EstimatorOptions::simulator.
 ///
 /// Mixed-state input comes either from the purification circuit (Fig. 2,
 /// q extra ancillas) or from per-shot sampling of uniformly random basis
@@ -26,6 +35,8 @@
 #include "core/analytic_qpe.hpp"
 #include "core/padding.hpp"
 #include "core/scaling.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "quantum/backend.hpp"
 #include "quantum/circuit.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/trotter.hpp"
@@ -34,7 +45,12 @@
 namespace qtda {
 
 /// Execution backend of the QPE stage.
-enum class EstimatorBackend { kAnalytic, kCircuitExact, kCircuitTrotter };
+enum class EstimatorBackend {
+  kAnalytic,
+  kCircuitExact,
+  kCircuitSparse,
+  kCircuitTrotter,
+};
 
 /// How the maximally mixed system register is realised.
 enum class MixedStateMode {
@@ -48,6 +64,7 @@ struct EstimatorOptions {
   std::size_t shots = 1000;          ///< α
   double delta = 0.0;                ///< 0 → default_delta(); Appendix A uses λ̃max
   EstimatorBackend backend = EstimatorBackend::kAnalytic;
+  SimulatorKind simulator = SimulatorKind::kStatevector;  ///< engine
   MixedStateMode mixed_state = MixedStateMode::kPurification;
   PaddingScheme padding = PaddingScheme::kIdentityHalfLambdaMax;
   /// Trotter configuration for kCircuitTrotter; `steps` counts splitting
@@ -56,6 +73,10 @@ struct EstimatorOptions {
   TrotterOptions trotter;
   NoiseModel noise;                  ///< only honoured by circuit backends
   std::uint64_t seed = 42;           ///< shot-sampling RNG seed
+  /// kCircuitSparse only: skip the dense eigensolve that fills
+  /// exact_zero_probability once 2^q exceeds this (the estimate itself
+  /// never needs it; the reference value is a diagnostic).
+  std::size_t exact_reference_max_dim = 4096;
 };
 
 /// Outcome of one estimate.
@@ -79,7 +100,8 @@ struct BettiEstimate {
 /// mixed-state mode asks for it, plus the Fig. 6 QPE network) for a given
 /// Laplacian — exposed for circuit-level studies: depth accounting, the
 /// optimizer, and exact density-matrix noise analysis.  Requires a circuit
-/// backend in `options.backend`.
+/// backend in `options.backend`; with kCircuitSparse the controlled powers
+/// are matrix-free operator gates.
 Circuit build_qtda_circuit(const RealMatrix& laplacian,
                            const EstimatorOptions& options);
 
@@ -87,8 +109,15 @@ Circuit build_qtda_circuit(const RealMatrix& laplacian,
 BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
                                             const EstimatorOptions& options);
 
-/// Estimates β̃_k of a simplicial complex (builds Δ_k internally).  Returns
-/// an exact zero estimate when the complex has no k-simplices.
+/// Estimates β̃_k from a sparse combinatorial Laplacian.  With
+/// kCircuitSparse the Laplacian is never densified; other backends densify
+/// internally (they need the dense matrix anyway).
+BettiEstimate estimate_betti_from_sparse_laplacian(
+    const SparseMatrix& laplacian, const EstimatorOptions& options);
+
+/// Estimates β̃_k of a simplicial complex (builds Δ_k internally — in CSR
+/// throughout for kCircuitSparse).  Returns an exact zero estimate when the
+/// complex has no k-simplices.
 BettiEstimate estimate_betti(const SimplicialComplex& complex, int k,
                              const EstimatorOptions& options);
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 
 namespace qtda {
 
@@ -36,5 +37,22 @@ struct PaddedLaplacian {
 PaddedLaplacian pad_laplacian(const RealMatrix& laplacian,
                               PaddingScheme scheme =
                                   PaddingScheme::kIdentityHalfLambdaMax);
+
+/// Sparse counterpart of PaddedLaplacian: Δ̃ stays in CSR, so the padding
+/// block contributes only 2^q − |S_k| diagonal entries instead of a dense
+/// 2^q×2^q matrix.  Feeds the matrix-free QPE oracle.
+struct SparsePaddedLaplacian {
+  SparseMatrix matrix = SparseMatrix(0, 0);  ///< 2^q × 2^q padded operator Δ̃
+  std::size_t num_qubits = 0;    ///< q = ⌈log2 |S_k|⌉ (min 1)
+  std::size_t original_dim = 0;  ///< |S_k|
+  double lambda_max = 0.0;  ///< Gershgorin bound λ̃max of the original Δ
+  PaddingScheme scheme = PaddingScheme::kIdentityHalfLambdaMax;
+};
+
+/// Sparse padding with identical semantics to pad_laplacian (same q,
+/// λ̃max, and ghost-eigenvalue placement).
+SparsePaddedLaplacian pad_laplacian_sparse(
+    const SparseMatrix& laplacian,
+    PaddingScheme scheme = PaddingScheme::kIdentityHalfLambdaMax);
 
 }  // namespace qtda

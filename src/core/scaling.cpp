@@ -26,4 +26,22 @@ ScaledHamiltonian rescale_laplacian(const PaddedLaplacian& padded,
   return out;
 }
 
+double SparseScaledHamiltonian::eigenvalue_to_phase(double lambda) const {
+  return lambda * scale / kTwoPi;
+}
+
+SparseScaledHamiltonian rescale_laplacian_sparse(
+    const SparsePaddedLaplacian& padded, double delta) {
+  QTDA_REQUIRE(delta > 0.0 && delta <= kTwoPi,
+               "delta must lie in (0, 2π], got " << delta);
+  SparseScaledHamiltonian out;
+  out.delta = delta;
+  out.lambda_max = padded.lambda_max;
+  out.scale = delta / padded.lambda_max;
+  out.num_qubits = padded.num_qubits;
+  out.original_dim = padded.original_dim;
+  out.matrix = padded.matrix.scaled(out.scale);
+  return out;
+}
+
 }  // namespace qtda

@@ -34,4 +34,29 @@ double default_delta();
 ScaledHamiltonian rescale_laplacian(const PaddedLaplacian& padded,
                                     double delta = default_delta());
 
+/// Sparse counterpart: H stays in CSR for the matrix-free exponential
+/// action.  Because the Laplacian is PSD and Gershgorin-bounded by λ̃max,
+/// the scaled spectrum is certified inside [0, δ] with no eigensolve —
+/// exactly the bounds the Chebyshev expansion needs.
+struct SparseScaledHamiltonian {
+  SparseMatrix matrix = SparseMatrix(0, 0);  ///< H, acting on num_qubits qubits
+  double delta = 0.0;       ///< δ used
+  double scale = 0.0;       ///< δ/λ̃max
+  std::size_t num_qubits = 0;
+  std::size_t original_dim = 0;
+  double lambda_max = 0.0;
+
+  /// Certified spectral bounds of H (inputs to the Chebyshev oracle).
+  double spectrum_min() const { return 0.0; }
+  double spectrum_max() const { return delta; }
+
+  /// Maps an eigenvalue λ of the *original* Laplacian to the QPE phase
+  /// θ = λ·scale/2π ∈ [0, 1).
+  double eigenvalue_to_phase(double lambda) const;
+};
+
+/// Rescales a sparse padded Laplacian.  \p delta must lie in (0, 2π].
+SparseScaledHamiltonian rescale_laplacian_sparse(
+    const SparsePaddedLaplacian& padded, double delta = default_delta());
+
 }  // namespace qtda

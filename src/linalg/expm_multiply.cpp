@@ -1,0 +1,175 @@
+#include "linalg/expm_multiply.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Expansion order covering |J_k(z)|: the Bessel tail turns superexponential
+/// past k ≈ z, with a transition region of width O(z^{1/3}).
+std::size_t chebyshev_order(double z) {
+  const double az = std::abs(z);
+  return static_cast<std::size_t>(std::ceil(az)) +
+         static_cast<std::size_t>(12.0 * std::cbrt(az + 1.0)) + 25;
+}
+
+}  // namespace
+
+std::vector<double> bessel_j_sequence(std::size_t n, double z) {
+  QTDA_REQUIRE(z >= 0.0, "bessel_j_sequence needs z >= 0");
+  std::vector<double> j(n + 1, 0.0);
+  if (z == 0.0) {
+    j[0] = 1.0;  // J_k(0) = δ_{k0}
+    return j;
+  }
+  // Miller's algorithm: run the (unstable-upward, stable-downward) recurrence
+  // J_{k−1} = (2k/z)·J_k − J_{k+1} from a start index safely past both n and
+  // the turning point k ≈ z, then normalize with J_0 + 2·Σ J_{2i} = 1.
+  const std::size_t start =
+      std::max(n, static_cast<std::size_t>(std::ceil(z))) +
+      static_cast<std::size_t>(12.0 * std::cbrt(z + 1.0)) + 30;
+  double g_above = 0.0;   // g_{k+1}
+  double g_k = 1e-30;     // g_start (arbitrary seed)
+  double even_sum = 0.0;  // Σ g_{2i}, i ≥ 1
+  if (start % 2 == 0) even_sum += g_k;
+  if (start <= n) j[start] = g_k;
+  for (std::size_t k = start; k >= 1; --k) {
+    const double g_below = (2.0 * static_cast<double>(k) / z) * g_k - g_above;
+    g_above = g_k;
+    g_k = g_below;
+    if (std::abs(g_k) > 1e250) {  // rescale before overflow
+      constexpr double kScale = 1e-250;
+      g_k *= kScale;
+      g_above *= kScale;
+      even_sum *= kScale;
+      for (double& v : j) v *= kScale;
+    }
+    const std::size_t idx = k - 1;
+    if (idx <= n) j[idx] = g_k;
+    if (idx >= 1 && idx % 2 == 0) even_sum += g_k;
+  }
+  const double norm = g_k + 2.0 * even_sum;  // g_k now holds g_0
+  QTDA_REQUIRE(norm != 0.0, "Bessel normalization degenerated");
+  for (double& v : j) v /= norm;
+  return j;
+}
+
+SparseExpOperator::SparseExpOperator(SparseMatrix a, double theta,
+                                     double lambda_min, double lambda_max,
+                                     const ExpmOptions& options)
+    : SparseExpOperator(std::make_shared<const SparseMatrix>(std::move(a)),
+                        theta, lambda_min, lambda_max, options) {}
+
+SparseExpOperator::SparseExpOperator(std::shared_ptr<const SparseMatrix> a,
+                                     double theta, double lambda_min,
+                                     double lambda_max,
+                                     const ExpmOptions& options)
+    : a_(std::move(a)), theta_(theta) {
+  QTDA_REQUIRE(a_ != nullptr, "exponential action needs a matrix");
+  QTDA_REQUIRE(a_->rows() == a_->cols() && a_->rows() > 0,
+               "exponential action needs a non-empty square matrix");
+  QTDA_REQUIRE(lambda_max >= lambda_min, "spectral bounds out of order");
+  center_ = 0.5 * (lambda_max + lambda_min);
+  half_width_ = 0.5 * (lambda_max - lambda_min);
+
+  const double z = theta_ * half_width_;
+  const double az = std::abs(z);
+  const std::vector<double> bessel =
+      bessel_j_sequence(chebyshev_order(az), az);
+  // Truncate the tail only — below k ≈ z the coefficients oscillate through
+  // small values without having decayed.
+  std::size_t last = 0;
+  for (std::size_t k = 0; k < bessel.size(); ++k)
+    if (std::abs(bessel[k]) > options.tolerance) last = k;
+
+  const std::complex<double> phase{std::cos(theta_ * center_),
+                                   std::sin(theta_ * center_)};
+  coefficients_.resize(last + 1);
+  // i^k cycles (1, i, −1, −i); J_k(−z) = (−1)^k J_k(z) folds the sign of z in.
+  std::complex<double> ik{1.0, 0.0};
+  const std::complex<double> i_unit =
+      z >= 0.0 ? std::complex<double>{0.0, 1.0}
+               : std::complex<double>{0.0, -1.0};
+  for (std::size_t k = 0; k <= last; ++k) {
+    const double weight = (k == 0 ? 1.0 : 2.0) * bessel[k];
+    coefficients_[k] = weight * ik * phase;
+    ik *= i_unit;
+  }
+}
+
+void SparseExpOperator::apply_serial(
+    const std::complex<double>* x, std::complex<double>* y,
+    std::vector<std::complex<double>>& t_prev,
+    std::vector<std::complex<double>>& t_cur,
+    std::vector<std::complex<double>>& scratch, bool parallel_matvec) const {
+  const std::size_t n = a_->rows();
+  const std::complex<double> a0 = coefficients_[0];
+  for (std::size_t i = 0; i < n; ++i) y[i] = a0 * x[i];
+  if (coefficients_.size() == 1) return;
+
+  const double inv_h = 1.0 / half_width_;  // ≥ 2 terms ⇒ z ≠ 0 ⇒ h > 0
+  // T_0·x = x, T_1·x = B·x with B = (A − c·I)/h.
+  t_prev.assign(x, x + n);
+  a_->multiply(x, t_cur.data(), parallel_matvec);
+  for (std::size_t i = 0; i < n; ++i)
+    t_cur[i] = (t_cur[i] - center_ * x[i]) * inv_h;
+  const std::complex<double> a1 = coefficients_[1];
+  for (std::size_t i = 0; i < n; ++i) y[i] += a1 * t_cur[i];
+
+  for (std::size_t k = 2; k < coefficients_.size(); ++k) {
+    // T_{k} = 2B·T_{k−1} − T_{k−2}, overwriting the oldest buffer.
+    a_->multiply(t_cur.data(), scratch.data(), parallel_matvec);
+    const std::complex<double> ak = coefficients_[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::complex<double> next =
+          2.0 * (scratch[i] - center_ * t_cur[i]) * inv_h - t_prev[i];
+      t_prev[i] = next;
+      y[i] += ak * next;
+    }
+    t_prev.swap(t_cur);
+  }
+}
+
+void SparseExpOperator::apply(const std::complex<double>* x,
+                              std::complex<double>* y) const {
+  std::vector<std::complex<double>> t_prev(a_->rows()), t_cur(a_->rows()),
+      scratch(a_->rows());
+  apply_serial(x, y, t_prev, t_cur, scratch, /*parallel_matvec=*/true);
+}
+
+void SparseExpOperator::apply_batch(const std::complex<double>* x,
+                                    std::complex<double>* y,
+                                    std::size_t count) const {
+  if (count == 1) {
+    apply(x, y);  // single block: parallelize inside the matvec instead
+    return;
+  }
+  const std::size_t d = a_->rows();
+  // One Chebyshev recurrence per block; workers reuse one workspace per
+  // chunk.  Matvecs stay serial — nesting on the shared pool would deadlock.
+  parallel_for_chunked(
+      0, count,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::complex<double>> t_prev(d), t_cur(d), scratch(d);
+        for (std::size_t b = lo; b < hi; ++b)
+          apply_serial(x + b * d, y + b * d, t_prev, t_cur, scratch,
+                       /*parallel_matvec=*/false);
+      },
+      /*min_parallel_size=*/2);
+}
+
+ComplexVector expm_multiply(const SparseMatrix& a, double theta,
+                            const ComplexVector& x, double lambda_min,
+                            double lambda_max, const ExpmOptions& options) {
+  QTDA_REQUIRE(x.size() == a.cols(), "expm_multiply shape mismatch");
+  const SparseExpOperator op(a, theta, lambda_min, lambda_max, options);
+  ComplexVector y(x.size());
+  op.apply(x.data(), y.data());
+  return y;
+}
+
+}  // namespace qtda

@@ -36,4 +36,47 @@ double gershgorin_min(const RealMatrix& a) {
   return best;
 }
 
+namespace {
+
+/// Disc of one CSR row: stored off-diagonals contribute to the radius,
+/// a stored diagonal (if any) is the center.
+GershgorinDisc sparse_row_disc(const SparseMatrix& a, std::size_t row) {
+  GershgorinDisc disc{0.0, 0.0};
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  for (std::size_t k = offsets[row]; k < offsets[row + 1]; ++k) {
+    if (cols[k] == row) {
+      disc.center = vals[k];
+    } else {
+      disc.radius += std::abs(vals[k]);
+    }
+  }
+  return disc;
+}
+
+}  // namespace
+
+double gershgorin_max(const SparseMatrix& a) {
+  QTDA_REQUIRE(a.rows() == a.cols() && a.rows() > 0,
+               "Gershgorin bound needs a non-empty square matrix");
+  double best = -1e300;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const GershgorinDisc d = sparse_row_disc(a, i);
+    best = std::max(best, d.center + d.radius);
+  }
+  return best;
+}
+
+double gershgorin_min(const SparseMatrix& a) {
+  QTDA_REQUIRE(a.rows() == a.cols() && a.rows() > 0,
+               "Gershgorin bound needs a non-empty square matrix");
+  double best = 1e300;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const GershgorinDisc d = sparse_row_disc(a, i);
+    best = std::min(best, d.center - d.radius);
+  }
+  return best;
+}
+
 }  // namespace qtda

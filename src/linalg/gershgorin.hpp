@@ -8,6 +8,7 @@
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 
 namespace qtda {
 
@@ -16,6 +17,11 @@ double gershgorin_max(const RealMatrix& a);
 
 /// Lower Gershgorin bound: min over rows of center − radius.
 double gershgorin_min(const RealMatrix& a);
+
+/// Sparse overloads: one CSR pass, never densifying (the sparse QPE path
+/// needs λ̃max of Laplacians whose dense form would not fit in memory).
+double gershgorin_max(const SparseMatrix& a);
+double gershgorin_min(const SparseMatrix& a);
 
 /// One Gershgorin disc.
 struct GershgorinDisc {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace qtda {
 
@@ -69,6 +70,33 @@ RealVector SparseMatrix::multiply_transposed(const RealVector& x) const {
   return y;
 }
 
+ComplexVector SparseMatrix::multiply(const ComplexVector& x) const {
+  QTDA_REQUIRE(x.size() == cols_, "sparse matvec shape mismatch");
+  ComplexVector y(rows_);
+  multiply(x.data(), y.data());
+  return y;
+}
+
+void SparseMatrix::multiply(const std::complex<double>* x,
+                            std::complex<double>* y, bool parallel) const {
+  const std::size_t* offsets = row_offsets_.data();
+  const std::size_t* cols = col_indices_.data();
+  const double* vals = values_.data();
+  const auto rows_body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      std::complex<double> acc{};
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+        acc += vals[k] * x[cols[k]];
+      y[r] = acc;
+    }
+  };
+  if (parallel) {
+    parallel_for_chunked(0, rows_, rows_body, /*min_parallel_size=*/4096);
+  } else {
+    rows_body(0, rows_);
+  }
+}
+
 RealMatrix SparseMatrix::gram() const {
   // (AᵀA)(i,j) = Σ_r A(r,i)·A(r,j): accumulate per-row outer products.
   RealMatrix g(cols_, cols_);
@@ -87,6 +115,33 @@ RealMatrix SparseMatrix::outer_gram() const {
   return transposed().gram();
 }
 
+SparseMatrix SparseMatrix::gram_sparse() const {
+  // Same per-row outer-product accumulation as gram(), but into triplets so
+  // the |S_k|×|S_k| Laplacian never materializes densely.  Boundary
+  // operators have k+1 nonzeros per column, so the triplet count stays
+  // near-linear in the simplex count.
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k1 = row_offsets_[r]; k1 < row_offsets_[r + 1]; ++k1) {
+      for (std::size_t k2 = row_offsets_[r]; k2 < row_offsets_[r + 1]; ++k2) {
+        triplets.push_back(
+            {col_indices_[k1], col_indices_[k2], values_[k1] * values_[k2]});
+      }
+    }
+  }
+  return from_triplets(cols_, cols_, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::outer_gram_sparse() const {
+  return transposed().gram_sparse();
+}
+
+SparseMatrix SparseMatrix::scaled(double factor) const {
+  SparseMatrix out = *this;
+  for (double& v : out.values_) v *= factor;
+  return out;
+}
+
 RealMatrix SparseMatrix::to_dense() const {
   RealMatrix d(rows_, cols_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -102,6 +157,24 @@ SparseMatrix SparseMatrix::transposed() const {
     for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
       triplets.push_back({col_indices_[k], r, values_[k]});
   return from_triplets(cols_, rows_, std::move(triplets));
+}
+
+SparseMatrix sparse_add(const SparseMatrix& a, const SparseMatrix& b) {
+  QTDA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "sparse_add shape mismatch: " << a.rows() << 'x' << a.cols()
+                                             << " vs " << b.rows() << 'x'
+                                             << b.cols());
+  std::vector<Triplet> triplets;
+  triplets.reserve(a.nonzeros() + b.nonzeros());
+  for (const SparseMatrix* m : {&a, &b}) {
+    const auto& offsets = m->row_offsets();
+    const auto& cols = m->col_indices();
+    const auto& vals = m->values();
+    for (std::size_t r = 0; r < m->rows(); ++r)
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+        triplets.push_back({r, cols[k], vals[k]});
+  }
+  return SparseMatrix::from_triplets(a.rows(), a.cols(), std::move(triplets));
 }
 
 }  // namespace qtda

@@ -2,10 +2,13 @@
 /// \brief Compressed sparse row matrix for boundary operators.
 ///
 /// Boundary operators ∂_k have exactly k+1 nonzeros per column, so the
-/// Laplacian assembly (∂† ∂ products) is done sparsely and only the final
-/// Laplacian is densified for the eigensolver.
+/// whole Δ_k = ∂†∂ + ∂∂† chain can stay sparse end to end: symmetric CSR
+/// products assemble the Laplacian without densifying, and the complex
+/// matvec feeds the matrix-free exp(iθΔ̃) oracle of the sparse QPE path.
+/// Dense copies remain available for the small-case eigensolver.
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <vector>
 
@@ -39,10 +42,28 @@ class SparseMatrix {
   /// y = Aᵀ·x.
   RealVector multiply_transposed(const RealVector& x) const;
 
+  /// y = A·x over complex vectors (A is real): the hot kernel of the
+  /// matrix-free exponential action.  Parallelized across rows for large
+  /// matrices.
+  ComplexVector multiply(const ComplexVector& x) const;
+  /// Raw-pointer core of the complex matvec; \p x and \p y are length
+  /// cols()/rows() buffers that must not alias.  \p parallel enables the
+  /// shared-pool row split (callers already inside a pool task pass false).
+  void multiply(const std::complex<double>* x, std::complex<double>* y,
+                bool parallel = true) const;
+
   /// Dense Aᵀ·A (size cols×cols).
   RealMatrix gram() const;
   /// Dense A·Aᵀ (size rows×rows).
   RealMatrix outer_gram() const;
+
+  /// Sparse Aᵀ·A (size cols×cols) without densifying.
+  SparseMatrix gram_sparse() const;
+  /// Sparse A·Aᵀ (size rows×rows) without densifying.
+  SparseMatrix outer_gram_sparse() const;
+
+  /// Copy with every stored value multiplied by \p factor.
+  SparseMatrix scaled(double factor) const;
 
   /// Dense copy.
   RealMatrix to_dense() const;
@@ -62,5 +83,9 @@ class SparseMatrix {
   std::vector<std::size_t> col_indices_;
   std::vector<double> values_;
 };
+
+/// C = A + B (shapes must match); structural zeros produced by cancellation
+/// are dropped.
+SparseMatrix sparse_add(const SparseMatrix& a, const SparseMatrix& b);
 
 }  // namespace qtda

@@ -1,0 +1,62 @@
+#include "quantum/backend.hpp"
+
+#include "common/error.hpp"
+#include "quantum/noise.hpp"
+
+namespace qtda {
+
+std::string simulator_kind_name(SimulatorKind kind) {
+  switch (kind) {
+    case SimulatorKind::kStatevector: return "statevector";
+  }
+  return "?";
+}
+
+StatevectorBackend::StatevectorBackend(std::size_t num_qubits)
+    : state_(num_qubits) {}
+
+void StatevectorBackend::prepare_basis_state(std::uint64_t index) {
+  state_.set_basis_state(index);
+}
+
+void StatevectorBackend::apply_gate(const Gate& gate) {
+  state_.apply_gate(gate);
+}
+
+void StatevectorBackend::apply_circuit(const Circuit& circuit) {
+  state_.apply_circuit(circuit);
+}
+
+void StatevectorBackend::apply_operator(
+    const LinearOperator& op, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
+  state_.apply_operator(op, targets, controls);
+}
+
+void StatevectorBackend::apply_depolarizing(std::size_t qubit,
+                                            double probability, Rng& rng) {
+  maybe_apply_depolarizing(state_, qubit, probability, rng);
+}
+
+std::vector<double> StatevectorBackend::marginal_probabilities(
+    const std::vector<std::size_t>& qubits) const {
+  return state_.marginal_probabilities(qubits);
+}
+
+std::vector<std::uint64_t> StatevectorBackend::sample(
+    const std::vector<std::size_t>& qubits, std::size_t shots,
+    Rng& rng) const {
+  return state_.sample_counts(qubits, shots, rng);
+}
+
+std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
+                                                 std::size_t num_qubits) {
+  switch (kind) {
+    case SimulatorKind::kStatevector:
+      return std::make_unique<StatevectorBackend>(num_qubits);
+  }
+  QTDA_REQUIRE(false, "unknown simulator kind");
+  return nullptr;
+}
+
+}  // namespace qtda

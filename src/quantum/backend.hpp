@@ -1,0 +1,104 @@
+/// \file backend.hpp
+/// \brief Pluggable simulator backends.
+///
+/// The estimator and pipeline drive simulations through this interface
+/// instead of a concrete Statevector, so alternative engines — an exact
+/// density-matrix backend for noise studies, a sharded/distributed
+/// statevector for q beyond single-node memory — can drop in without
+/// touching the algorithm layer.  The contract is deliberately small:
+/// prepare a basis state, apply gates/circuits, apply a matrix-free
+/// operator to a sub-register, inject depolarizing noise, and sample.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "linalg/linear_operator.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qtda {
+
+/// Which simulation engine executes the circuits.
+enum class SimulatorKind {
+  kStatevector,  ///< dense state vector (the reference engine)
+  // Future (see ROADMAP): kDensityMatrix, kShardedStatevector.
+};
+
+/// Printable name ("statevector", …).
+std::string simulator_kind_name(SimulatorKind kind);
+
+/// One simulation engine instance holding the quantum state.
+class SimulatorBackend {
+ public:
+  virtual ~SimulatorBackend() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_qubits() const = 0;
+
+  /// Resets the state to the computational basis state |index⟩.
+  virtual void prepare_basis_state(std::uint64_t index) = 0;
+
+  /// Applies one gate from the circuit IR (named, dense or operator kind).
+  virtual void apply_gate(const Gate& gate) = 0;
+
+  /// Applies a full circuit including its global phase.
+  virtual void apply_circuit(const Circuit& circuit) = 0;
+
+  /// Applies a matrix-free operator to the ordered target sub-register
+  /// (MSB-first convention of apply_unitary), conditioned on controls.
+  virtual void apply_operator(const LinearOperator& op,
+                              const std::vector<std::size_t>& targets,
+                              const std::vector<std::size_t>& controls) = 0;
+
+  /// One stochastic depolarizing event on \p qubit with probability \p p
+  /// (trajectory noise; exact-channel backends may implement it exactly).
+  virtual void apply_depolarizing(std::size_t qubit, double probability,
+                                  Rng& rng) = 0;
+
+  /// Marginal distribution over an ordered qubit subset (MSB-first).
+  virtual std::vector<double> marginal_probabilities(
+      const std::vector<std::size_t>& qubits) const = 0;
+
+  /// Draws \p shots outcomes over the given qubits; counts by outcome.
+  virtual std::vector<std::uint64_t> sample(
+      const std::vector<std::size_t>& qubits, std::size_t shots,
+      Rng& rng) const = 0;
+};
+
+/// Dense state-vector implementation — the first (reference) backend.
+class StatevectorBackend final : public SimulatorBackend {
+ public:
+  explicit StatevectorBackend(std::size_t num_qubits);
+
+  std::string name() const override { return "statevector"; }
+  std::size_t num_qubits() const override { return state_.num_qubits(); }
+  void prepare_basis_state(std::uint64_t index) override;
+  void apply_gate(const Gate& gate) override;
+  void apply_circuit(const Circuit& circuit) override;
+  void apply_operator(const LinearOperator& op,
+                      const std::vector<std::size_t>& targets,
+                      const std::vector<std::size_t>& controls) override;
+  void apply_depolarizing(std::size_t qubit, double probability,
+                          Rng& rng) override;
+  std::vector<double> marginal_probabilities(
+      const std::vector<std::size_t>& qubits) const override;
+  std::vector<std::uint64_t> sample(const std::vector<std::size_t>& qubits,
+                                    std::size_t shots, Rng& rng) const override;
+
+  /// The underlying state, for backend-aware diagnostics and tests.
+  const Statevector& state() const { return state_; }
+  Statevector& state() { return state_; }
+
+ private:
+  Statevector state_;
+};
+
+/// Factory used by the estimator options plumbing.
+std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
+                                                 std::size_t num_qubits);
+
+}  // namespace qtda

@@ -24,6 +24,7 @@ std::string gate_kind_name(GateKind kind) {
     case GateKind::kRZ: return "RZ";
     case GateKind::kPhase: return "P";
     case GateKind::kUnitary: return "U";
+    case GateKind::kOperator: return "Op";
   }
   return "?";
 }
@@ -53,7 +54,9 @@ ComplexMatrix Gate::single_qubit_matrix() const {
     case GateKind::kRZ: return gates::RZ(parameter);
     case GateKind::kPhase: return gates::Phase(parameter);
     case GateKind::kUnitary:
-      QTDA_REQUIRE(false, "kUnitary gate has no named 2x2 matrix");
+    case GateKind::kOperator:
+      QTDA_REQUIRE(false, gate_kind_name(kind)
+                              << " gate has no named 2x2 matrix");
   }
   return {};
 }
@@ -85,6 +88,13 @@ void Circuit::check_gate(const Gate& gate) const {
                                          << gate.matrix.cols()
                                          << " does not match "
                                          << gate.targets.size() << " targets");
+  } else if (gate.kind == GateKind::kOperator) {
+    QTDA_REQUIRE(gate.op != nullptr, "operator gate without an operator");
+    const std::size_t dim = std::size_t{1} << gate.targets.size();
+    QTDA_REQUIRE(gate.op->dimension() == dim,
+                 "operator dimension " << gate.op->dimension()
+                                       << " does not match "
+                                       << gate.targets.size() << " targets");
   } else {
     QTDA_REQUIRE(gate.targets.size() == 1,
                  "named gates are single-target");
@@ -159,6 +169,17 @@ void Circuit::unitary(const ComplexMatrix& u, std::vector<std::size_t> targets,
   g.targets = std::move(targets);
   g.controls = std::move(controls);
   g.matrix = u;
+  append(std::move(g));
+}
+
+void Circuit::operator_gate(std::shared_ptr<const LinearOperator> op,
+                            std::vector<std::size_t> targets,
+                            std::vector<std::size_t> controls) {
+  Gate g;
+  g.kind = GateKind::kOperator;
+  g.targets = std::move(targets);
+  g.controls = std::move(controls);
+  g.op = std::move(op);
   append(std::move(g));
 }
 

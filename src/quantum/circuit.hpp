@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 
 namespace qtda {
 
@@ -32,6 +34,7 @@ enum class GateKind {
   kRZ,
   kPhase,    ///< diag(1, e^{iφ})
   kUnitary,  ///< dense matrix over `targets`
+  kOperator, ///< matrix-free LinearOperator over `targets`
 };
 
 /// Printable gate name ("H", "RZ", …).
@@ -50,8 +53,12 @@ struct Gate {
   std::vector<std::size_t> controls;  ///< all-ones condition
   double parameter = 0.0;             ///< rotation angle / phase
   ComplexMatrix matrix;               ///< only for kUnitary
+  /// Only for kOperator: the matrix-free action over `targets` (shared so
+  /// circuit copies stay cheap; the operator itself is immutable).
+  std::shared_ptr<const LinearOperator> op;
 
-  /// The 2×2 matrix of a named single-qubit gate (throws for kUnitary).
+  /// The 2×2 matrix of a named single-qubit gate (throws for kUnitary and
+  /// kOperator).
   ComplexMatrix single_qubit_matrix() const;
 };
 
@@ -91,6 +98,14 @@ class Circuit {
   /// significant local bit), optionally controlled.
   void unitary(const ComplexMatrix& u, std::vector<std::size_t> targets,
                std::vector<std::size_t> controls = {});
+  /// Matrix-free operator over an ordered target list (same wire
+  /// convention as unitary()), optionally controlled.  The operator must be
+  /// unitary for the circuit to stay physical; its dimension must be
+  /// 2^targets.  This is how the sparse QPE oracle enters the IR without a
+  /// 2^q×2^q matrix.
+  void operator_gate(std::shared_ptr<const LinearOperator> op,
+                     std::vector<std::size_t> targets,
+                     std::vector<std::size_t> controls = {});
   /// Appends an arbitrary gate.
   void append(Gate gate);
   /// Appends every gate of \p other (same register width required).

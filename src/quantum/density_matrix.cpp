@@ -65,6 +65,9 @@ Amplitude DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
 }
 
 void DensityMatrix::apply_gate(const Gate& gate) {
+  QTDA_REQUIRE(gate.kind != GateKind::kOperator,
+               "matrix-free operator gates are statevector-backend-only; "
+               "densify the oracle for exact density-matrix runs");
   // Row side: the gate verbatim (row register occupies qubits [0, n)).
   vectorized_.apply_gate(gate);
   // Column side: conj(U) on the column register [n, 2n).

@@ -85,7 +85,7 @@ Circuit optimize_circuit(const Circuit& circuit, OptimizerReport* report) {
       continue;
     }
     bool consumed = false;
-    if (gate.kind != GateKind::kUnitary) {
+    if (gate.kind != GateKind::kUnitary && gate.kind != GateKind::kOperator) {
       const auto prev = previous_on_all_wires(gate);
       if (prev && !erased[*prev]) {
         Gate& before = out[*prev];

@@ -32,8 +32,10 @@ std::string base_name(const Gate& gate) {
     case GateKind::kRZ: return "rz(" + angle(gate.parameter) + ")";
     case GateKind::kPhase: return "u1(" + angle(gate.parameter) + ")";
     case GateKind::kUnitary:
-      QTDA_REQUIRE(false, "dense unitaries have no OpenQASM 2 form; "
-                          "synthesize via the Trotter backend first");
+    case GateKind::kOperator:
+      QTDA_REQUIRE(false, "dense unitaries and matrix-free operators have no "
+                          "OpenQASM 2 form; synthesize via the Trotter "
+                          "backend first");
   }
   return "";
 }
@@ -74,9 +76,10 @@ std::string to_qasm(const Circuit& circuit, const QasmOptions& options) {
   };
 
   for (const Gate& gate : circuit.gates()) {
-    QTDA_REQUIRE(gate.kind != GateKind::kUnitary,
-                 "dense unitaries have no OpenQASM 2 form; synthesize via "
-                 "the Trotter backend first");
+    QTDA_REQUIRE(
+        gate.kind != GateKind::kUnitary && gate.kind != GateKind::kOperator,
+        "dense unitaries and matrix-free operators have no OpenQASM 2 form; "
+        "synthesize via the Trotter backend first");
     const std::size_t controls = gate.controls.size();
     if (controls == 0) {
       os << base_name(gate) << ' ' << wire(gate.targets[0]) << ";\n";

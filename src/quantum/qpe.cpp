@@ -55,6 +55,17 @@ Circuit build_qpe_circuit_dense(
       });
 }
 
+Circuit build_qpe_circuit_sparse(
+    const QpeLayout& layout,
+    const std::function<std::shared_ptr<const LinearOperator>(std::uint64_t)>&
+        operator_power) {
+  const std::vector<std::size_t> system = layout.system_wires();
+  return build_qpe_circuit(
+      layout, [&](Circuit& circuit, std::uint64_t power, std::size_t control) {
+        circuit.operator_gate(operator_power(power), system, {control});
+      });
+}
+
 double qpe_outcome_probability(double theta, std::uint64_t m, std::size_t t) {
   QTDA_REQUIRE(t >= 1 && t <= 62, "precision qubit count out of range");
   const double big_t = static_cast<double>(std::uint64_t{1} << t);

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
 
 namespace qtda {
@@ -46,6 +48,16 @@ Circuit build_qpe_circuit(const QpeLayout& layout,
 Circuit build_qpe_circuit_dense(
     const QpeLayout& layout,
     const std::function<ComplexMatrix(std::uint64_t)>& unitary_power);
+
+/// Matrix-free QPE: `operator_power(p)` returns a LinearOperator applying
+/// U^p to the system register (e.g. SparseExpOperator with θ = p).  The
+/// controlled powers enter the circuit as operator gates, so no 2^q×2^q
+/// matrix is ever formed — this is the sparse-oracle path that pushes the
+/// feasible system size past the dense ceiling.
+Circuit build_qpe_circuit_sparse(
+    const QpeLayout& layout,
+    const std::function<std::shared_ptr<const LinearOperator>(std::uint64_t)>&
+        operator_power);
 
 /// Theoretical QPE outcome distribution for one eigenphase θ ∈ [0, 1):
 /// probability of measuring integer m on t precision qubits,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace qtda {
 
@@ -44,6 +46,8 @@ void Statevector::set_amplitudes(std::vector<Amplitude> amplitudes) {
 void Statevector::apply_gate(const Gate& gate) {
   if (gate.kind == GateKind::kUnitary) {
     apply_unitary(gate.matrix, gate.targets, gate.controls);
+  } else if (gate.kind == GateKind::kOperator) {
+    apply_operator(*gate.op, gate.targets, gate.controls);
   } else {
     apply_single_qubit(gate.single_qubit_matrix(), gate.targets.at(0),
                        gate.controls);
@@ -170,6 +174,100 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
   }
 }
 
+void Statevector::apply_operator(const LinearOperator& op,
+                                 const std::vector<std::size_t>& targets,
+                                 const std::vector<std::size_t>& controls) {
+  const std::size_t m = targets.size();
+  QTDA_REQUIRE(m >= 1 && m <= num_qubits_, "bad operator target count");
+  const std::uint64_t block = std::uint64_t{1} << m;
+  QTDA_REQUIRE(op.dimension() == block,
+               "operator dimension " << op.dimension() << " does not match "
+                                     << m << " targets");
+  std::uint64_t tmask = 0;
+  // Local bit j (LSB-first) is targets[m−1−j], as in apply_unitary.
+  std::vector<std::uint64_t> local_bit_mask(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t q = targets[m - 1 - j];
+    QTDA_REQUIRE(q < num_qubits_, "target out of range");
+    local_bit_mask[j] = qubit_mask(q, num_qubits_);
+    QTDA_REQUIRE((tmask & local_bit_mask[j]) == 0, "duplicate target");
+    tmask |= local_bit_mask[j];
+  }
+  std::uint64_t cmask = 0;
+  for (std::size_t c : controls) {
+    QTDA_REQUIRE(c < num_qubits_, "control out of range");
+    const std::uint64_t bit = qubit_mask(c, num_qubits_);
+    QTDA_REQUIRE((bit & tmask) == 0, "control overlaps target");
+    cmask |= bit;
+  }
+
+  // Blocks are contiguous slices exactly when the targets are the trailing
+  // wires in order (the sampled-basis QPE layout) — then gather/scatter is
+  // a memcpy.
+  bool contiguous = true;
+  for (std::size_t j = 0; j < m; ++j)
+    contiguous = contiguous && targets[j] == num_qubits_ - m + j;
+  std::vector<std::uint64_t> offset;
+  if (!contiguous) {
+    offset.resize(block);
+    for (std::uint64_t l = 0; l < block; ++l) {
+      std::uint64_t off = 0;
+      for (std::size_t j = 0; j < m; ++j)
+        if ((l >> j) & 1ULL) off |= local_bit_mask[j];
+      offset[l] = off;
+    }
+  }
+
+  // Base indices of the blocks the operator acts on: every setting of the
+  // non-target bits whose control bits are all one.
+  const std::uint64_t free_mask = (dimension() - 1) & ~tmask & ~cmask;
+  std::vector<std::uint64_t> bases;
+  std::uint64_t sub = 0;
+  do {
+    bases.push_back(sub | cmask);
+    sub = (sub | ~free_mask) + 1;
+    sub &= free_mask;
+  } while (sub != 0);
+
+  // Batch blocks through packed buffers so the operator can amortize setup
+  // and parallelize across blocks; the batch cap bounds the extra memory at
+  // ~2×64 MB regardless of register width.
+  constexpr std::uint64_t kBatchAmplitudeCap = std::uint64_t{1} << 22;
+  const std::size_t blocks_per_batch = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, kBatchAmplitudeCap / block));
+  std::vector<Amplitude> packed_in;
+  std::vector<Amplitude> packed_out;
+  Amplitude* amp = amplitudes_.data();
+  for (std::size_t first = 0; first < bases.size();
+       first += blocks_per_batch) {
+    const std::size_t count =
+        std::min(blocks_per_batch, bases.size() - first);
+    packed_in.resize(count * block);
+    packed_out.resize(count * block);
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::uint64_t base = bases[first + b];
+      if (contiguous) {
+        std::memcpy(packed_in.data() + b * block, amp + base,
+                    block * sizeof(Amplitude));
+      } else {
+        for (std::uint64_t l = 0; l < block; ++l)
+          packed_in[b * block + l] = amp[base | offset[l]];
+      }
+    }
+    op.apply_batch(packed_in.data(), packed_out.data(), count);
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::uint64_t base = bases[first + b];
+      if (contiguous) {
+        std::memcpy(amp + base, packed_out.data() + b * block,
+                    block * sizeof(Amplitude));
+      } else {
+        for (std::uint64_t l = 0; l < block; ++l)
+          amp[base | offset[l]] = packed_out[b * block + l];
+      }
+    }
+  }
+}
+
 void Statevector::apply_global_phase(double phi) {
   const Amplitude factor{std::cos(phi), std::sin(phi)};
   for (Amplitude& a : amplitudes_) a *= factor;
@@ -182,8 +280,13 @@ double Statevector::probability(std::uint64_t index) const {
 
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(amplitudes_.size());
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
-    p[i] = std::norm(amplitudes_[i]);
+  parallel_for_chunked(
+      0, amplitudes_.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          p[i] = std::norm(amplitudes_[i]);
+      },
+      kParallelThreshold);
   return p;
 }
 
@@ -198,15 +301,25 @@ std::vector<double> Statevector::marginal_probabilities(
     // Outcome bit j (LSB-first) is qubits[m−1−j] (MSB-first listing).
     bit_mask[j] = qubit_mask(qubits[m - 1 - j], num_qubits_);
   }
-  std::vector<double> marginal(std::uint64_t{1} << m, 0.0);
-  for (std::uint64_t i = 0; i < dimension(); ++i) {
-    const double p = std::norm(amplitudes_[i]);
-    if (p == 0.0) continue;
-    std::uint64_t outcome = 0;
-    for (std::size_t j = 0; j < m; ++j)
-      if (i & bit_mask[j]) outcome |= std::uint64_t{1} << j;
-    marginal[outcome] += p;
-  }
+  const std::uint64_t out_dim = std::uint64_t{1} << m;
+  // Chunk-local histograms merged in index order: the sampling cumulative
+  // sums downstream need run-to-run reproducible totals.
+  std::vector<double> marginal(out_dim, 0.0);
+  parallel_reduce_ordered(
+      0, static_cast<std::size_t>(dimension()), marginal,
+      std::vector<double>(out_dim, 0.0),
+      [&](std::size_t i, std::vector<double>& into) {
+        const double p = std::norm(amplitudes_[i]);
+        if (p == 0.0) return;
+        std::uint64_t outcome = 0;
+        for (std::size_t j = 0; j < m; ++j)
+          if (i & bit_mask[j]) outcome |= std::uint64_t{1} << j;
+        into[outcome] += p;
+      },
+      [out_dim](std::vector<double>& total, const std::vector<double>& part) {
+        for (std::uint64_t o = 0; o < out_dim; ++o) total[o] += part[o];
+      },
+      kParallelThreshold);
   return marginal;
 }
 
@@ -218,7 +331,10 @@ std::vector<std::uint64_t> Statevector::sample_counts(
 
 double Statevector::norm_squared() const {
   double s = 0.0;
-  for (const Amplitude& a : amplitudes_) s += std::norm(a);
+  parallel_reduce_ordered(
+      0, static_cast<std::size_t>(dimension()), s, 0.0,
+      [&](std::size_t i, double& acc) { acc += std::norm(amplitudes_[i]); },
+      [](double& total, double part) { total += part; }, kParallelThreshold);
   return s;
 }
 

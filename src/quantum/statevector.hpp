@@ -12,6 +12,7 @@
 
 #include "common/random.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
 #include "quantum/types.hpp"
 
@@ -48,6 +49,15 @@ class Statevector {
   void apply_unitary(const ComplexMatrix& u,
                      const std::vector<std::size_t>& targets,
                      const std::vector<std::size_t>& controls = {});
+  /// Matrix-free operator over ordered targets (same wire convention as
+  /// apply_unitary), conditioned on controls.  Sub-register blocks are
+  /// gathered into packed buffers and handed to the operator in batches, so
+  /// nothing quadratic in the block dimension is allocated — this is the
+  /// execution path of the sparse QPE oracle.  The operator must be unitary
+  /// for the state to stay normalized.
+  void apply_operator(const LinearOperator& op,
+                      const std::vector<std::size_t>& targets,
+                      const std::vector<std::size_t>& controls = {});
   /// Multiplies the whole state by e^{iφ}.
   void apply_global_phase(double phi);
 

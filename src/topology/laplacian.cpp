@@ -1,29 +1,42 @@
 #include "topology/laplacian.hpp"
 
 #include "common/error.hpp"
-#include "linalg/matrix_ops.hpp"
 #include "topology/boundary.hpp"
 
 namespace qtda {
 
-RealMatrix down_laplacian(const SimplicialComplex& complex, int k) {
+SparseMatrix sparse_down_laplacian(const SimplicialComplex& complex, int k) {
   QTDA_REQUIRE(complex.count(k) > 0,
                "Laplacian of dimension " << k << " with no k-simplices");
   // ∂_k is |S_{k−1}|×|S_k|; the Gram AᵀA is |S_k|×|S_k|.
-  return boundary_operator(complex, k).gram();
+  return boundary_operator(complex, k).gram_sparse();
 }
 
-RealMatrix up_laplacian(const SimplicialComplex& complex, int k) {
+SparseMatrix sparse_up_laplacian(const SimplicialComplex& complex, int k) {
   QTDA_REQUIRE(complex.count(k) > 0,
                "Laplacian of dimension " << k << " with no k-simplices");
   const std::size_t nk = complex.count(k);
-  if (complex.count(k + 1) == 0) return RealMatrix(nk, nk);
+  if (complex.count(k + 1) == 0) return SparseMatrix(nk, nk);
   // ∂_{k+1} is |S_k|×|S_{k+1}|; AAᵀ is |S_k|×|S_k|.
-  return boundary_operator(complex, k + 1).outer_gram();
+  return boundary_operator(complex, k + 1).outer_gram_sparse();
+}
+
+SparseMatrix sparse_combinatorial_laplacian(const SimplicialComplex& complex,
+                                            int k) {
+  return sparse_add(sparse_down_laplacian(complex, k),
+                    sparse_up_laplacian(complex, k));
+}
+
+RealMatrix down_laplacian(const SimplicialComplex& complex, int k) {
+  return sparse_down_laplacian(complex, k).to_dense();
+}
+
+RealMatrix up_laplacian(const SimplicialComplex& complex, int k) {
+  return sparse_up_laplacian(complex, k).to_dense();
 }
 
 RealMatrix combinatorial_laplacian(const SimplicialComplex& complex, int k) {
-  return add(down_laplacian(complex, k), up_laplacian(complex, k));
+  return sparse_combinatorial_laplacian(complex, k).to_dense();
 }
 
 }  // namespace qtda

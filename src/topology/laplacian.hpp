@@ -3,14 +3,33 @@
 ///
 /// Δ_k is a real symmetric positive semidefinite |S_k|×|S_k| matrix whose
 /// kernel dimension is the k-th Betti number (paper Eq. (5)–(6)).
+///
+/// The sparse builders are the primary path: boundary operators have k+1
+/// nonzeros per column, so Δ_k assembles in CSR without ever densifying —
+/// this is what feeds the matrix-free QPE oracle at system sizes where a
+/// dense |S_k|×|S_k| matrix would not fit.  The dense functions are thin
+/// wrappers over the sparse build, kept for the eigensolver-based small
+/// cases and the existing tests.
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "topology/simplicial_complex.hpp"
 
 namespace qtda {
 
-/// Dense combinatorial Laplacian of dimension k.  Requires |S_k| > 0.
+/// Sparse combinatorial Laplacian of dimension k.  Requires |S_k| > 0.
+SparseMatrix sparse_combinatorial_laplacian(const SimplicialComplex& complex,
+                                            int k);
+
+/// The "down" part ∂_k†∂_k alone, in CSR.
+SparseMatrix sparse_down_laplacian(const SimplicialComplex& complex, int k);
+
+/// The "up" part ∂_{k+1}∂_{k+1}† alone, in CSR.
+SparseMatrix sparse_up_laplacian(const SimplicialComplex& complex, int k);
+
+/// Dense combinatorial Laplacian of dimension k (wrapper densifying the
+/// sparse build).  Requires |S_k| > 0.
 RealMatrix combinatorial_laplacian(const SimplicialComplex& complex, int k);
 
 /// The "down" part ∂_k†∂_k alone.

@@ -1,0 +1,159 @@
+// Tests for linalg/expm_multiply.hpp: the Chebyshev exp(iθA)·x action
+// against the dense eigendecomposition reference.
+#include "linalg/expm_multiply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/random.hpp"
+#include "linalg/gershgorin.hpp"
+#include "linalg/matrix_exp.hpp"
+
+namespace qtda {
+namespace {
+
+/// Random sparse symmetric PSD matrix BᵀB from a sparse random B.
+SparseMatrix random_sparse_psd(std::size_t n, Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < n; ++i)
+    for (int e = 0; e < 3; ++e)
+      triplets.push_back(
+          {i, static_cast<std::size_t>(rng.uniform_index(n)),
+           rng.uniform() * 2.0 - 1.0});
+  return SparseMatrix::from_triplets(n, n, std::move(triplets)).gram_sparse();
+}
+
+ComplexVector random_state(std::size_t n, Rng& rng) {
+  ComplexVector x(n);
+  for (auto& v : x)
+    v = {rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0};
+  return x;
+}
+
+/// Dense reference y = e^{iθA}·x via the eigendecomposition oracle.
+ComplexVector dense_exp_apply(const RealMatrix& a, double theta,
+                              const ComplexVector& x) {
+  const ComplexMatrix u = unitary_exp(a, theta);
+  ComplexVector y(x.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    std::complex<double> acc{};
+    for (std::size_t c = 0; c < x.size(); ++c) acc += u(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double max_abs_diff(const ComplexVector& a, const ComplexVector& b) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+TEST(BesselSequence, MatchesKnownValues) {
+  // Abramowitz & Stegun reference values at z = 1 and z = 5.
+  const auto j1 = bessel_j_sequence(2, 1.0);
+  EXPECT_NEAR(j1[0], 0.7651976865579666, 1e-12);
+  EXPECT_NEAR(j1[1], 0.4400505857449335, 1e-12);
+  EXPECT_NEAR(j1[2], 0.1149034849319005, 1e-12);
+  const auto j5 = bessel_j_sequence(3, 5.0);
+  EXPECT_NEAR(j5[0], -0.1775967713143383, 1e-12);
+  EXPECT_NEAR(j5[1], -0.3275791375914652, 1e-12);
+  EXPECT_NEAR(j5[3], 0.3648312306136620, 1e-12);
+}
+
+TEST(BesselSequence, ZeroArgumentIsKroneckerDelta) {
+  const auto j = bessel_j_sequence(4, 0.0);
+  EXPECT_DOUBLE_EQ(j[0], 1.0);
+  for (std::size_t k = 1; k <= 4; ++k) EXPECT_DOUBLE_EQ(j[k], 0.0);
+}
+
+TEST(ExpmMultiply, MatchesDenseExponentialOnRandomMatrices) {
+  Rng rng(31);
+  for (std::size_t n : {8u, 21u, 64u}) {
+    const SparseMatrix a = random_sparse_psd(n, rng);
+    const RealMatrix ad = a.to_dense();
+    const double lmax = gershgorin_max(a);
+    const double lmin = gershgorin_min(a);
+    const ComplexVector x = random_state(n, rng);
+    for (double theta : {0.3, 1.0, 7.5}) {
+      const ComplexVector y = expm_multiply(a, theta, x, lmin, lmax);
+      EXPECT_LT(max_abs_diff(y, dense_exp_apply(ad, theta, x)), 1e-9)
+          << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(ExpmMultiply, AccurateAtLargeQpePowers) {
+  // QPE needs θ = 2^{t−1}; a truncated Taylor series would have lost all
+  // precision here, the Chebyshev expansion must not.
+  Rng rng(47);
+  const SparseMatrix a = random_sparse_psd(32, rng);
+  const RealMatrix ad = a.to_dense();
+  const double lmax = gershgorin_max(a);
+  const double lmin = gershgorin_min(a);
+  const ComplexVector x = random_state(32, rng);
+  for (double theta : {32.0, 128.0}) {
+    const ComplexVector y = expm_multiply(a, theta, x, lmin, lmax);
+    EXPECT_LT(max_abs_diff(y, dense_exp_apply(ad, theta, x)), 1e-8)
+        << "theta=" << theta;
+  }
+}
+
+TEST(ExpmMultiply, NegativeThetaIsInverse) {
+  Rng rng(53);
+  const SparseMatrix a = random_sparse_psd(16, rng);
+  const double lmax = gershgorin_max(a);
+  const double lmin = gershgorin_min(a);
+  const ComplexVector x = random_state(16, rng);
+  const ComplexVector fwd = expm_multiply(a, 2.0, x, lmin, lmax);
+  const ComplexVector back = expm_multiply(a, -2.0, fwd, lmin, lmax);
+  EXPECT_LT(max_abs_diff(back, x), 1e-10);
+}
+
+TEST(SparseExpOperator, PreservesNormAndBatches) {
+  Rng rng(61);
+  const SparseMatrix a = random_sparse_psd(16, rng);
+  const SparseExpOperator op(a, 4.0, gershgorin_min(a), gershgorin_max(a));
+  EXPECT_EQ(op.dimension(), 16u);
+  EXPECT_GT(op.num_terms(), 1u);
+
+  // Unitarity: ‖e^{iθA}x‖ = ‖x‖.
+  const ComplexVector x = random_state(16, rng);
+  ComplexVector y(16);
+  op.apply(x.data(), y.data());
+  double nx = 0.0, ny = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    nx += std::norm(x[i]);
+    ny += std::norm(y[i]);
+  }
+  EXPECT_NEAR(nx, ny, 1e-10);
+
+  // apply_batch over packed blocks equals per-block apply.
+  const std::size_t count = 7;
+  ComplexVector packed(16 * count), batch_out(16 * count), one(16);
+  for (auto& v : packed)
+    v = {rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0};
+  op.apply_batch(packed.data(), batch_out.data(), count);
+  for (std::size_t b = 0; b < count; ++b) {
+    op.apply(packed.data() + b * 16, one.data());
+    for (std::size_t i = 0; i < 16; ++i)
+      EXPECT_NEAR(std::abs(one[i] - batch_out[b * 16 + i]), 0.0, 1e-12);
+  }
+}
+
+TEST(ExpmMultiply, RejectsBadShapes) {
+  const SparseMatrix rect(3, 4);
+  EXPECT_THROW(expm_multiply(rect, 1.0, ComplexVector(4), 0.0, 1.0), Error);
+  const SparseMatrix square =
+      SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(expm_multiply(square, 1.0, ComplexVector(3), 0.0, 1.0), Error);
+  EXPECT_THROW(SparseExpOperator(square, 1.0, /*lambda_min=*/2.0,
+                                 /*lambda_max=*/1.0),
+               Error);
+}
+
+}  // namespace
+}  // namespace qtda

@@ -72,6 +72,21 @@ TEST(ParallelFor, PropagatesExceptions) {
       Error);
 }
 
+TEST(ParallelReduceOrdered, MatchesSerialAndIsReproducible) {
+  const std::size_t n = 50000;
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) serial += static_cast<double>(i) * 0.5;
+  double first = 0.0, second = 0.0;
+  const auto body = [](std::size_t i, double& acc) {
+    acc += static_cast<double>(i) * 0.5;
+  };
+  const auto merge = [](double& total, double part) { total += part; };
+  parallel_reduce_ordered(0, n, first, 0.0, body, merge, 1);
+  parallel_reduce_ordered(0, n, second, 0.0, body, merge, 1);
+  EXPECT_DOUBLE_EQ(first, second);  // fixed split + ordered merge
+  EXPECT_NEAR(first, serial, 1e-6 * serial);
+}
+
 TEST(ParallelReduceSum, MatchesSerialSum) {
   const std::size_t n = 50000;
   const double parallel_total = parallel_reduce_sum(
