@@ -1,7 +1,6 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/error.hpp"
 
@@ -76,6 +75,39 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_batch(std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || size() <= 1 || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // The completion counter must be incremented under done_mutex: the caller
+  // may only observe done == count via the same lock the last worker holds
+  // while notifying, otherwise it could return and destroy these stack
+  // locals while that worker still touches them.
+  std::size_t done = 0;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++done == count) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == count; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool* pool = new ThreadPool();  // intentionally leaked
   return *pool;
@@ -96,7 +128,10 @@ void parallel_for_chunked(
   const std::size_t chunks = std::min(workers, n);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   const std::size_t launched = (n + chunk - 1) / chunk;
-  std::atomic<std::size_t> done{0};
+  // Counter under done_mutex, as in ThreadPool::run_batch: the caller must
+  // not be able to observe completion and destroy these stack locals while
+  // the last worker is still between its increment and its notify.
+  std::size_t done = 0;
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::exception_ptr first_error;
@@ -111,14 +146,12 @@ void parallel_for_chunked(
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      if (done.fetch_add(1) + 1 == launched) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++done == launched) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == launched; });
+  done_cv.wait(lock, [&] { return done == launched; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

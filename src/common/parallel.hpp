@@ -41,6 +41,15 @@ class ThreadPool {
   /// Blocks until every submitted task has completed.
   void wait_idle();
 
+  /// Slab barrier: runs body(i) for every i in [0, count) across this pool
+  /// and blocks until all invocations have returned.  This is the step
+  /// primitive of the sharded state-vector engine — each gate dispatches one
+  /// task per amplitude slab and must not start the next gate before every
+  /// slab has finished.  The first exception thrown by any task is rethrown
+  /// here after the barrier.  Called from inside any pool worker it degrades
+  /// to a serial loop (same nesting guard as parallel_for).
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& body);
+
   /// Process-wide shared pool (lazily constructed, never torn down before
   /// main exits).
   static ThreadPool& shared();
@@ -81,6 +90,27 @@ double parallel_reduce_sum(std::size_t begin, std::size_t end,
                            const std::function<double(std::size_t)>& body,
                            std::size_t min_parallel_size = 1024);
 
+/// Contiguous-chunk split of an ordered reduction: how many chunks and how
+/// wide.  A fixed function of the range length, the serial threshold and
+/// the shared-pool size — every ordered reduction that must merge partial
+/// sums identically (parallel_reduce_ordered here, the slab-run reduction
+/// of the sharded state vector) derives its split from this one helper, so
+/// the chunking can never drift between them.
+struct OrderedReductionPlan {
+  std::size_t chunks = 1;
+  std::size_t span = 0;  ///< chunk c covers [c·span, min(n, (c+1)·span))
+};
+
+inline OrderedReductionPlan ordered_reduction_plan(
+    std::size_t n, std::size_t min_parallel_size) {
+  OrderedReductionPlan plan;
+  plan.chunks = n < min_parallel_size
+                    ? 1
+                    : std::min(ThreadPool::shared().size(), n);
+  plan.span = plan.chunks == 0 ? 0 : (n + plan.chunks - 1) / plan.chunks;
+  return plan;
+}
+
 /// Deterministic parallel reduction into \p result: [begin, end) is split
 /// into a fixed number of contiguous chunks (at most the pool size),
 /// `body(i, partial)` accumulates each chunk into its own partial
@@ -96,21 +126,18 @@ void parallel_reduce_ordered(std::size_t begin, std::size_t end,
                              std::size_t min_parallel_size = 1024) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks =
-      n < min_parallel_size
-          ? 1
-          : std::min(ThreadPool::shared().size(), static_cast<std::size_t>(n));
-  if (chunks <= 1) {
+  const OrderedReductionPlan plan =
+      ordered_reduction_plan(n, min_parallel_size);
+  if (plan.chunks <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i, result);
     return;
   }
-  const std::size_t span = (n + chunks - 1) / chunks;
-  std::vector<Partial> partials(chunks, identity);
+  std::vector<Partial> partials(plan.chunks, identity);
   parallel_for(
-      0, chunks,
+      0, plan.chunks,
       [&](std::size_t c) {
-        const std::size_t lo = begin + c * span;
-        const std::size_t hi = std::min(end, lo + span);
+        const std::size_t lo = begin + c * plan.span;
+        const std::size_t hi = std::min(end, lo + plan.span);
         for (std::size_t i = lo; i < hi; ++i) body(i, partials[c]);
       },
       /*min_parallel_size=*/1);

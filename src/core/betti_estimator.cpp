@@ -116,8 +116,8 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   estimate.circuit_depth = circuit.depth();
 
   const std::vector<std::size_t> measured = layout.precision_wires();
-  const std::unique_ptr<SimulatorBackend> backend =
-      make_simulator(options.simulator, circuit.num_qubits());
+  const std::unique_ptr<SimulatorBackend> backend = make_simulator(
+      options.simulator, circuit.num_qubits(), options.simulator_shards);
 
   // One noisy trajectory: per-gate stochastic depolarizing events, matching
   // run_noisy_trajectory's RNG consumption order.

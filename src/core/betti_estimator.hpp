@@ -65,6 +65,11 @@ struct EstimatorOptions {
   double delta = 0.0;                ///< 0 → default_delta(); Appendix A uses λ̃max
   EstimatorBackend backend = EstimatorBackend::kAnalytic;
   SimulatorKind simulator = SimulatorKind::kStatevector;  ///< engine
+  /// kShardedStatevector only: amplitude-slab/worker count (0 = one per
+  /// hardware thread).  Any count ≥ 1 is valid and every count produces
+  /// bit-identical estimates — the knob trades memory locality for
+  /// parallelism, never results.
+  std::size_t simulator_shards = 0;
   MixedStateMode mixed_state = MixedStateMode::kPurification;
   PaddingScheme padding = PaddingScheme::kIdentityHalfLambdaMax;
   /// Trotter configuration for kCircuitTrotter; `steps` counts splitting

@@ -18,18 +18,29 @@
 #include "common/random.hpp"
 #include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/sharded_statevector.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qtda {
 
 /// Which simulation engine executes the circuits.
 enum class SimulatorKind {
-  kStatevector,  ///< dense state vector (the reference engine)
-  // Future (see ROADMAP): kDensityMatrix, kShardedStatevector.
+  kStatevector,         ///< dense state vector (the reference engine)
+  kShardedStatevector,  ///< slab-parallel state vector (bit-identical)
+  // Future (see ROADMAP): kDensityMatrix.
 };
 
 /// Printable name ("statevector", …).
 std::string simulator_kind_name(SimulatorKind kind);
+
+/// Comma-separated list of every valid simulator name (for CLI help and
+/// error messages).
+std::string simulator_kind_names();
+
+/// Inverse of simulator_kind_name: parses a simulator name from the CLI or
+/// the QTDA_SIMULATOR environment override.  Throws an Error listing the
+/// valid names when \p name matches none of them.
+SimulatorKind simulator_kind_from_name(const std::string& name);
 
 /// One simulation engine instance holding the quantum state.
 class SimulatorBackend {
@@ -97,8 +108,49 @@ class StatevectorBackend final : public SimulatorBackend {
   Statevector state_;
 };
 
-/// Factory used by the estimator options plumbing.
+/// Slab-parallel state-vector implementation (quantum/sharded_statevector.hpp):
+/// the amplitudes are split into num_shards contiguous slabs updated by a
+/// private worker pool, one barrier step per gate.  Every result — state,
+/// marginals, samples — is bit-identical to StatevectorBackend for every
+/// shard count, so the two engines are interchangeable mid-experiment.
+class ShardedStatevectorBackend final : public SimulatorBackend {
+ public:
+  /// \p num_shards ≥ 1 (clamped to the dimension); it need not divide the
+  /// dimension or be a power of two.
+  ShardedStatevectorBackend(std::size_t num_qubits, std::size_t num_shards);
+
+  std::string name() const override { return "sharded-statevector"; }
+  std::size_t num_qubits() const override { return state_.num_qubits(); }
+  void prepare_basis_state(std::uint64_t index) override;
+  void apply_gate(const Gate& gate) override;
+  void apply_circuit(const Circuit& circuit) override;
+  void apply_operator(const LinearOperator& op,
+                      const std::vector<std::size_t>& targets,
+                      const std::vector<std::size_t>& controls) override;
+  void apply_depolarizing(std::size_t qubit, double probability,
+                          Rng& rng) override;
+  std::vector<double> marginal_probabilities(
+      const std::vector<std::size_t>& qubits) const override;
+  std::vector<std::uint64_t> sample(const std::vector<std::size_t>& qubits,
+                                    std::size_t shots, Rng& rng) const override;
+
+  /// The underlying slab state, for backend-aware diagnostics and tests.
+  const ShardedStatevector& state() const { return state_; }
+  ShardedStatevector& state() { return state_; }
+
+ private:
+  ShardedStatevector state_;
+};
+
+/// Factory used by the estimator options plumbing.  \p shards only matters
+/// for kShardedStatevector (0 = one slab per hardware thread).
+///
+/// Environment overrides (read per call): QTDA_SIMULATOR forces the engine
+/// by name and QTDA_SHARDS forces the slab count — the hook the CI sharded
+/// leg uses to route the whole unmodified test suite through the sharded
+/// engine, which its bit-identical contract must survive.
 std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
-                                                 std::size_t num_qubits);
+                                                 std::size_t num_qubits,
+                                                 std::size_t shards = 0);
 
 }  // namespace qtda

@@ -1,27 +1,6 @@
 #include "quantum/noise.hpp"
 
-#include "common/error.hpp"
-#include "quantum/gates.hpp"
-
 namespace qtda {
-
-void maybe_apply_depolarizing(Statevector& state, std::size_t qubit,
-                              double probability, Rng& rng) {
-  if (probability <= 0.0) return;
-  QTDA_REQUIRE(probability <= 1.0, "error probability above 1");
-  if (!rng.bernoulli(probability)) return;
-  switch (rng.uniform_index(3)) {
-    case 0:
-      state.apply_single_qubit(gates::X(), qubit);
-      break;
-    case 1:
-      state.apply_single_qubit(gates::Y(), qubit);
-      break;
-    default:
-      state.apply_single_qubit(gates::Z(), qubit);
-      break;
-  }
-}
 
 Statevector run_noisy_trajectory(const Circuit& circuit,
                                  const NoiseModel& noise, Rng& rng) {

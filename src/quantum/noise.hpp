@@ -11,8 +11,10 @@
 
 #include <cstddef>
 
+#include "common/error.hpp"
 #include "common/random.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/gates.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qtda {
@@ -28,9 +30,28 @@ struct NoiseModel {
 };
 
 /// Applies one stochastic depolarizing event to \p qubit with probability
-/// \p probability (X, Y or Z uniformly when it fires).
-void maybe_apply_depolarizing(Statevector& state, std::size_t qubit,
-                              double probability, Rng& rng);
+/// \p probability (X, Y or Z uniformly when it fires).  Templated over the
+/// engine (any state exposing apply_single_qubit — Statevector and
+/// ShardedStatevector) so every backend consumes the RNG identically: one
+/// Bernoulli draw, then one uniform index when the error fires.
+template <typename State>
+void maybe_apply_depolarizing(State& state, std::size_t qubit,
+                              double probability, Rng& rng) {
+  if (probability <= 0.0) return;
+  QTDA_REQUIRE(probability <= 1.0, "error probability above 1");
+  if (!rng.bernoulli(probability)) return;
+  switch (rng.uniform_index(3)) {
+    case 0:
+      state.apply_single_qubit(gates::X(), qubit);
+      break;
+    case 1:
+      state.apply_single_qubit(gates::Y(), qubit);
+      break;
+    default:
+      state.apply_single_qubit(gates::Z(), qubit);
+      break;
+  }
+}
 
 /// Runs one noisy trajectory of the circuit from |0…0⟩.
 Statevector run_noisy_trajectory(const Circuit& circuit,

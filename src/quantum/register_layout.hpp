@@ -1,0 +1,117 @@
+/// \file register_layout.hpp
+/// \brief Shared target/control mask building and block enumeration for the
+/// simulation engines.
+///
+/// The dense and sharded state-vector engines promise *bit-identical*
+/// results, which starts with decomposing the register identically: the
+/// same target masks (MSB-first wire convention of types.hpp), the same
+/// local-offset tables, and the same block-column base enumeration, in the
+/// same order.  Both engines call these helpers so the decomposition exists
+/// exactly once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "quantum/types.hpp"
+
+namespace qtda {
+
+/// Masks of an ordered target sub-register plus its controls.
+struct TargetLayout {
+  std::uint64_t tmask = 0;  ///< union of all target bits
+  std::uint64_t cmask = 0;  ///< union of all control bits (all-ones condition)
+  /// local_bit_mask[j] is the global bit of local bit j (LSB-first), i.e. of
+  /// targets[m−1−j]: the first listed target is the most significant local
+  /// bit, mirroring the global convention.
+  std::vector<std::uint64_t> local_bit_mask;
+};
+
+/// Validates targets/controls against the register width and builds the
+/// masks.  Throws on out-of-range wires, duplicate targets, and controls
+/// overlapping targets.
+inline TargetLayout build_target_layout(
+    const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls, std::size_t num_qubits) {
+  const std::size_t m = targets.size();
+  TargetLayout layout;
+  layout.local_bit_mask.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t q = targets[m - 1 - j];
+    QTDA_REQUIRE(q < num_qubits, "target out of range");
+    layout.local_bit_mask[j] = qubit_mask(q, num_qubits);
+    QTDA_REQUIRE((layout.tmask & layout.local_bit_mask[j]) == 0,
+                 "duplicate target");
+    layout.tmask |= layout.local_bit_mask[j];
+  }
+  for (std::size_t c : controls) {
+    QTDA_REQUIRE(c < num_qubits, "control out of range");
+    const std::uint64_t bit = qubit_mask(c, num_qubits);
+    QTDA_REQUIRE((bit & layout.tmask) == 0, "control overlaps target");
+    layout.cmask |= bit;
+  }
+  return layout;
+}
+
+/// Global offset of every local block index l ∈ [0, 2^m): the scatter map
+/// of a gathered sub-register block.
+inline std::vector<std::uint64_t> block_offsets(
+    const std::vector<std::uint64_t>& local_bit_mask) {
+  const std::uint64_t block = std::uint64_t{1} << local_bit_mask.size();
+  std::vector<std::uint64_t> offset(block);
+  for (std::uint64_t l = 0; l < block; ++l) {
+    std::uint64_t off = 0;
+    for (std::size_t j = 0; j < local_bit_mask.size(); ++j)
+      if ((l >> j) & 1ULL) off |= local_bit_mask[j];
+    offset[l] = off;
+  }
+  return offset;
+}
+
+/// True when the ordered targets are the trailing wires of the register —
+/// then sub-register blocks are contiguous index ranges and gather/scatter
+/// is a memcpy (the sampled-basis QPE layout).
+inline bool targets_are_trailing(const std::vector<std::size_t>& targets,
+                                 std::size_t num_qubits) {
+  for (std::size_t j = 0; j < targets.size(); ++j)
+    if (targets[j] != num_qubits - targets.size() + j) return false;
+  return true;
+}
+
+/// Base indices of the blocks an operator acts on: every setting of the
+/// non-target bits whose control bits are all one, enumerated in increasing
+/// order (both engines must walk blocks identically).
+inline std::vector<std::uint64_t> enumerate_block_bases(std::uint64_t dim,
+                                                        std::uint64_t tmask,
+                                                        std::uint64_t cmask) {
+  const std::uint64_t free_mask = (dim - 1) & ~tmask & ~cmask;
+  std::vector<std::uint64_t> bases;
+  std::uint64_t sub = 0;
+  do {
+    bases.push_back(sub | cmask);
+    sub = (sub | ~free_mask) + 1;
+    sub &= free_mask;
+  } while (sub != 0);
+  return bases;
+}
+
+/// Validates a marginal-measurement qubit list (all wires in range, outcome
+/// space bounded) and returns the outcome bit masks: outcome bit j
+/// (LSB-first) is qubits[m−1−j] (MSB-first listing).  Validation happens
+/// for the whole list before any mask is built, so an out-of-range wire
+/// throws instead of reaching qubit_mask's undefined shift.
+inline std::vector<std::uint64_t> marginal_bit_masks(
+    const std::vector<std::size_t>& qubits, std::size_t num_qubits) {
+  QTDA_REQUIRE(!qubits.empty(), "marginal over an empty qubit set");
+  const std::size_t m = qubits.size();
+  QTDA_REQUIRE(m <= 26, "marginal outcome space too large");
+  for (std::size_t q : qubits)
+    QTDA_REQUIRE(q < num_qubits, "qubit out of range");
+  std::vector<std::uint64_t> bit_mask(m);
+  for (std::size_t j = 0; j < m; ++j)
+    bit_mask[j] = qubit_mask(qubits[m - 1 - j], num_qubits);
+  return bit_mask;
+}
+
+}  // namespace qtda

@@ -1,0 +1,392 @@
+#include "quantum/sharded_statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "quantum/register_layout.hpp"
+#include "quantum/statevector.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Cap on per-step packed-buffer amplitudes for apply_operator, matching
+/// Statevector::apply_operator so the extra memory stays ~2×64 MB overall
+/// regardless of shard count (each worker strip gets an equal share).
+constexpr std::uint64_t kBatchAmplitudeCap = std::uint64_t{1} << 22;
+
+/// More slabs than this still work (they share workers round-robin through
+/// the pool queue), but the pool itself stops growing — thousands of slabs
+/// must not mean thousands of OS threads.
+constexpr std::size_t kMaxPoolThreads = 64;
+
+/// Below this state size a gate's work is smaller than the cross-thread
+/// barrier handoff, so barrier steps run serially on the calling thread
+/// (results are unchanged: slab tasks touch disjoint data in either mode).
+/// Deliberately far below the dense engine's 2^17 serial threshold — the
+/// sharded engine exists precisely to parallelize mid-sized states.
+constexpr std::uint64_t kSerialBarrierThreshold = std::uint64_t{1} << 9;
+
+}  // namespace
+
+ShardedStatevector::ShardedStatevector(std::size_t num_qubits,
+                                       std::size_t num_shards)
+    : num_qubits_(num_qubits) {
+  QTDA_REQUIRE(num_qubits > 0 && num_qubits <= 30,
+               "statevector width " << num_qubits << " unsupported");
+  QTDA_REQUIRE(num_shards >= 1, "sharded statevector needs >= 1 shard");
+  const std::uint64_t dim = dimension();
+  const std::uint64_t shards =
+      std::min<std::uint64_t>(num_shards, dim);  // no empty slabs
+  begins_.resize(static_cast<std::size_t>(shards) + 1);
+  slabs_.resize(static_cast<std::size_t>(shards));
+  for (std::uint64_t s = 0; s <= shards; ++s)
+    begins_[static_cast<std::size_t>(s)] = dim * s / shards;
+  for (std::size_t s = 0; s < slabs_.size(); ++s)
+    slabs_[s].assign(begins_[s + 1] - begins_[s], Amplitude{0.0, 0.0});
+  slabs_[0][0] = Amplitude{1.0, 0.0};
+  if (slabs_.size() > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(slabs_.size(), kMaxPoolThreads));
+  }
+}
+
+std::size_t ShardedStatevector::shard_of(std::uint64_t index) const {
+  // Slabs are the balanced partition begins_[s] = ⌊dim·s/S⌋, whose inverse
+  // is ⌊index·S/dim⌋ up to a ±1 boundary adjustment.
+  std::size_t s = static_cast<std::size_t>((index * num_shards()) >>
+                                           num_qubits_);
+  while (begins_[s + 1] <= index) ++s;
+  while (begins_[s] > index) --s;
+  return s;
+}
+
+Amplitude& ShardedStatevector::at(std::uint64_t index) {
+  const std::size_t s = shard_of(index);
+  return slabs_[s][index - begins_[s]];
+}
+
+const Amplitude& ShardedStatevector::at(std::uint64_t index) const {
+  const std::size_t s = shard_of(index);
+  return slabs_[s][index - begins_[s]];
+}
+
+ShardedStatevector::Span ShardedStatevector::span_at(std::uint64_t index) {
+  const std::size_t s = shard_of(index);
+  return Span{slabs_[s].data() + (index - begins_[s]),
+              begins_[s + 1] - index};
+}
+
+void ShardedStatevector::barrier_step(
+    const std::function<void(std::size_t)>& slab_task) {
+  if (pool_ && dimension() >= kSerialBarrierThreshold) {
+    pool_->run_batch(slabs_.size(), slab_task);
+  } else {
+    for (std::size_t s = 0; s < slabs_.size(); ++s) slab_task(s);
+  }
+}
+
+Amplitude ShardedStatevector::amplitude(std::uint64_t index) const {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  return at(index);
+}
+
+std::vector<Amplitude> ShardedStatevector::amplitudes() const {
+  std::vector<Amplitude> all;
+  all.reserve(static_cast<std::size_t>(dimension()));
+  for (const auto& slab : slabs_)
+    all.insert(all.end(), slab.begin(), slab.end());
+  return all;
+}
+
+void ShardedStatevector::set_basis_state(std::uint64_t index) {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  barrier_step([&](std::size_t s) {
+    std::fill(slabs_[s].begin(), slabs_[s].end(), Amplitude{});
+  });
+  at(index) = Amplitude{1.0, 0.0};
+}
+
+void ShardedStatevector::set_amplitudes(
+    const std::vector<Amplitude>& amplitudes) {
+  QTDA_REQUIRE(amplitudes.size() == dimension(),
+               "amplitude vector length mismatch");
+  barrier_step([&](std::size_t s) {
+    std::copy(amplitudes.begin() + static_cast<std::ptrdiff_t>(begins_[s]),
+              amplitudes.begin() + static_cast<std::ptrdiff_t>(begins_[s + 1]),
+              slabs_[s].begin());
+  });
+}
+
+void ShardedStatevector::apply_gate(const Gate& gate) {
+  if (gate.kind == GateKind::kUnitary) {
+    apply_unitary(gate.matrix, gate.targets, gate.controls);
+  } else if (gate.kind == GateKind::kOperator) {
+    apply_operator(*gate.op, gate.targets, gate.controls);
+  } else {
+    apply_single_qubit(gate.single_qubit_matrix(), gate.targets.at(0),
+                       gate.controls);
+  }
+}
+
+void ShardedStatevector::apply_circuit(const Circuit& circuit) {
+  QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
+               "circuit width " << circuit.num_qubits()
+                                << " does not match state width "
+                                << num_qubits_);
+  for (const Gate& gate : circuit.gates()) apply_gate(gate);
+  if (circuit.global_phase() != 0.0) apply_global_phase(circuit.global_phase());
+}
+
+void ShardedStatevector::apply_single_qubit(
+    const ComplexMatrix& u, std::size_t target,
+    const std::vector<std::size_t>& controls) {
+  QTDA_REQUIRE(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
+  QTDA_REQUIRE(target < num_qubits_, "target out of range");
+  const std::uint64_t mask = qubit_mask(target, num_qubits_);
+  std::uint64_t cmask = 0;
+  for (std::size_t c : controls) {
+    QTDA_REQUIRE(c < num_qubits_ && c != target, "bad control qubit");
+    cmask |= qubit_mask(c, num_qubits_);
+  }
+  const Amplitude u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+
+  // One task per slab: anchors (pair indices with the target bit clear) in
+  // [lo, hi) come in runs [B, B+mask) every 2·mask; the partner run
+  // [B+mask, B+2·mask) is resolved slab-by-slab — local for low qubits, the
+  // slab-exchange analogue for high ones.
+  barrier_step([&](std::size_t s) {
+    const std::uint64_t lo = begins_[s];
+    const std::uint64_t hi = begins_[s + 1];
+    Amplitude* own = slabs_[s].data();
+    for (std::uint64_t block = lo & ~(2 * mask - 1); block < hi;
+         block += 2 * mask) {
+      const std::uint64_t run_lo = std::max(block, lo);
+      const std::uint64_t run_hi = std::min(block + mask, hi);
+      if (run_lo >= run_hi) continue;
+      Amplitude* p0 = own + (run_lo - lo);
+      const std::uint64_t n = run_hi - run_lo;
+      if (run_hi + mask <= hi) {
+        // Slab-local qubit: the partner run lives in the own slab too (the
+        // overwhelmingly common case for low qubits) — plain strided kernel,
+        // no per-run slab resolution; branch-free when uncontrolled.
+        Amplitude* p1 = p0 + mask;
+        if (cmask == 0) {
+          for (std::uint64_t k = 0; k < n; ++k) {
+            const Amplitude a0 = p0[k];
+            const Amplitude a1 = p1[k];
+            p0[k] = u00 * a0 + u01 * a1;
+            p1[k] = u10 * a0 + u11 * a1;
+          }
+        } else {
+          for (std::uint64_t k = 0; k < n; ++k) {
+            if (((run_lo + k) & cmask) != cmask) continue;
+            const Amplitude a0 = p0[k];
+            const Amplitude a1 = p1[k];
+            p0[k] = u00 * a0 + u01 * a1;
+            p1[k] = u10 * a0 + u11 * a1;
+          }
+        }
+        continue;
+      }
+      // Nonlocal/high qubit: the partner run crosses into other slabs — the
+      // shared-memory slab exchange, resolved segment by segment.
+      std::uint64_t done = 0;
+      while (done < n) {
+        const Span partner = span_at(run_lo + done + mask);
+        const std::uint64_t len = std::min(n - done, partner.length);
+        for (std::uint64_t k = 0; k < len; ++k) {
+          const std::uint64_t i0 = run_lo + done + k;
+          if ((i0 & cmask) != cmask) continue;
+          const Amplitude a0 = p0[done + k];
+          const Amplitude a1 = partner.data[k];
+          p0[done + k] = u00 * a0 + u01 * a1;
+          partner.data[k] = u10 * a0 + u11 * a1;
+        }
+        done += len;
+      }
+    }
+  });
+}
+
+void ShardedStatevector::apply_unitary(const ComplexMatrix& u,
+                                       const std::vector<std::size_t>& targets,
+                                       const std::vector<std::size_t>& controls) {
+  if (targets.size() == 1) {
+    apply_single_qubit(u, targets[0], controls);
+    return;
+  }
+  const std::size_t m = targets.size();
+  QTDA_REQUIRE(m <= 20, "dense unitary over too many targets");
+  const std::uint64_t block = std::uint64_t{1} << m;
+  QTDA_REQUIRE(u.rows() == block && u.cols() == block,
+               "unitary shape does not match target count");
+  const TargetLayout layout =
+      build_target_layout(targets, controls, num_qubits_);
+  const std::uint64_t tmask = layout.tmask;
+  const std::uint64_t cmask = layout.cmask;
+  const std::vector<std::uint64_t> offset =
+      block_offsets(layout.local_bit_mask);
+
+  // Anchors are the block base indices; each worker owns the bases in its
+  // slab and gathers/scatters block elements wherever they live.
+  barrier_step([&](std::size_t s) {
+    std::vector<Amplitude> buf(block);
+    for (std::uint64_t i = begins_[s]; i < begins_[s + 1]; ++i) {
+      if ((i & tmask) != 0 || (i & cmask) != cmask) continue;
+      for (std::uint64_t l = 0; l < block; ++l) buf[l] = at(i | offset[l]);
+      for (std::uint64_t r = 0; r < block; ++r) {
+        Amplitude acc{};
+        const Amplitude* urow = u.row(r);
+        for (std::uint64_t c = 0; c < block; ++c) acc += urow[c] * buf[c];
+        at(i | offset[r]) = acc;
+      }
+    }
+  });
+}
+
+void ShardedStatevector::apply_operator(const LinearOperator& op,
+                                        const std::vector<std::size_t>& targets,
+                                        const std::vector<std::size_t>& controls) {
+  const std::size_t m = targets.size();
+  QTDA_REQUIRE(m >= 1 && m <= num_qubits_, "bad operator target count");
+  const std::uint64_t block = std::uint64_t{1} << m;
+  QTDA_REQUIRE(op.dimension() == block,
+               "operator dimension " << op.dimension() << " does not match "
+                                     << m << " targets");
+  const TargetLayout layout =
+      build_target_layout(targets, controls, num_qubits_);
+
+  // Same block decomposition as Statevector::apply_operator: contiguous
+  // blocks exactly when the targets are the trailing wires in order, and
+  // block-column bases enumerated in the same order as the dense engine.
+  const bool contiguous = targets_are_trailing(targets, num_qubits_);
+  std::vector<std::uint64_t> offset;
+  if (!contiguous) offset = block_offsets(layout.local_bit_mask);
+  const std::vector<std::uint64_t> bases =
+      enumerate_block_bases(dimension(), layout.tmask, layout.cmask);
+
+  // One block-column strip per worker; each strip batches its blocks
+  // through packed buffers under an equal share of the amplitude cap.  When
+  // single blocks are so large that every worker holding even one would
+  // blow the cap, fewer (fatter) strips run so the total packed memory
+  // stays at ~the dense engine's bound.  The operator runs inside a pool
+  // task, so its own parallelism degrades to serial — the strips are the
+  // parallelism here.
+  const std::size_t strips = static_cast<std::size_t>(std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(slabs_.size(), kBatchAmplitudeCap / block)));
+  const std::size_t per_strip_cap = static_cast<std::size_t>(std::max<std::uint64_t>(
+      1, kBatchAmplitudeCap / strips / block));
+  barrier_step([&](std::size_t s) {
+    if (s >= strips) return;
+    const std::size_t strip_lo = bases.size() * s / strips;
+    const std::size_t strip_hi = bases.size() * (s + 1) / strips;
+    if (strip_lo >= strip_hi) return;
+    std::vector<Amplitude> packed_in;
+    std::vector<Amplitude> packed_out;
+    for (std::size_t first = strip_lo; first < strip_hi;
+         first += per_strip_cap) {
+      const std::size_t count = std::min(per_strip_cap, strip_hi - first);
+      packed_in.resize(count * block);
+      packed_out.resize(count * block);
+      for (std::size_t b = 0; b < count; ++b) {
+        const std::uint64_t base = bases[first + b];
+        if (contiguous) {
+          // Segmented gather: the block is one global run crossing zero or
+          // more slab boundaries.
+          std::uint64_t done = 0;
+          while (done < block) {
+            const Span src = span_at(base + done);
+            const std::uint64_t len = std::min(block - done, src.length);
+            std::memcpy(packed_in.data() + b * block + done, src.data,
+                        len * sizeof(Amplitude));
+            done += len;
+          }
+        } else {
+          for (std::uint64_t l = 0; l < block; ++l)
+            packed_in[b * block + l] = at(base | offset[l]);
+        }
+      }
+      op.apply_batch(packed_in.data(), packed_out.data(), count);
+      for (std::size_t b = 0; b < count; ++b) {
+        const std::uint64_t base = bases[first + b];
+        if (contiguous) {
+          std::uint64_t done = 0;
+          while (done < block) {
+            const Span dst = span_at(base + done);
+            const std::uint64_t len = std::min(block - done, dst.length);
+            std::memcpy(dst.data, packed_out.data() + b * block + done,
+                        len * sizeof(Amplitude));
+            done += len;
+          }
+        } else {
+          for (std::uint64_t l = 0; l < block; ++l)
+            at(base | offset[l]) = packed_out[b * block + l];
+        }
+      }
+    }
+  });
+}
+
+void ShardedStatevector::apply_global_phase(double phi) {
+  const Amplitude factor{std::cos(phi), std::sin(phi)};
+  barrier_step([&](std::size_t s) {
+    for (Amplitude& a : slabs_[s]) a *= factor;
+  });
+}
+
+std::vector<double> ShardedStatevector::marginal_probabilities(
+    const std::vector<std::size_t>& qubits) const {
+  const std::vector<std::uint64_t> bit_mask =
+      marginal_bit_masks(qubits, num_qubits_);
+  const std::size_t m = qubits.size();
+  const std::uint64_t out_dim = std::uint64_t{1} << m;
+  // The exact reduction of Statevector::marginal_probabilities — same
+  // shared-pool chunking, same index-ascending accumulation, same merge
+  // order — which is what makes the sharded marginals (and therefore
+  // samples) bit-identical to the dense engine for every shard count.  Each
+  // chunk walks its slab runs with a raw pointer instead of resolving every
+  // index through the slab map.
+  std::vector<double> marginal(out_dim, 0.0);
+  reduce_ordered_over_slabs(
+      std::vector<double>(out_dim, 0.0),
+      [&](const Amplitude* amp, std::uint64_t index, std::uint64_t length,
+          std::vector<double>& into) {
+        for (std::uint64_t k = 0; k < length; ++k) {
+          const double p = std::norm(amp[k]);
+          if (p == 0.0) continue;
+          const std::uint64_t i = index + k;
+          std::uint64_t outcome = 0;
+          for (std::size_t j = 0; j < m; ++j)
+            if (i & bit_mask[j]) outcome |= std::uint64_t{1} << j;
+          into[outcome] += p;
+        }
+      },
+      [out_dim](std::vector<double>& total, const std::vector<double>& part) {
+        for (std::uint64_t o = 0; o < out_dim; ++o) total[o] += part[o];
+      },
+      marginal);
+  return marginal;
+}
+
+std::vector<std::uint64_t> ShardedStatevector::sample_counts(
+    const std::vector<std::size_t>& qubits, std::size_t shots,
+    Rng& rng) const {
+  return multinomial_sample(marginal_probabilities(qubits), shots, rng);
+}
+
+double ShardedStatevector::norm_squared() const {
+  double s = 0.0;
+  reduce_ordered_over_slabs(
+      0.0,
+      [](const Amplitude* amp, std::uint64_t /*index*/, std::uint64_t length,
+         double& acc) {
+        for (std::uint64_t k = 0; k < length; ++k) acc += std::norm(amp[k]);
+      },
+      [](double& total, double part) { total += part; }, s);
+  return s;
+}
+
+}  // namespace qtda

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/register_layout.hpp"
 
 namespace qtda {
 
@@ -13,8 +14,10 @@ namespace {
 
 /// Below this state size the OpenMP fork/join overhead dominates
 /// (measured: parallel dispatch on 2^14-amplitude states made the exact
-/// density-matrix ablation ~10x slower than serial kernels).
-constexpr std::uint64_t kParallelThreshold = 1ULL << 17;
+/// density-matrix ablation ~10x slower than serial kernels).  Shared with
+/// the sharded engine (statevector.hpp) so both backends pick identical
+/// ordered-reduction chunkings — the root of their bit-identical marginals.
+constexpr std::uint64_t kParallelThreshold = kStatevectorParallelThreshold;
 
 }  // namespace
 
@@ -114,32 +117,12 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
   const std::uint64_t block = std::uint64_t{1} << m;
   QTDA_REQUIRE(u.rows() == block && u.cols() == block,
                "unitary shape does not match target count");
-  std::uint64_t tmask = 0;
-  // Local bit j (LSB-first) is targets[m−1−j]: the first listed target is
-  // the most significant local bit, mirroring the global convention.
-  std::vector<std::uint64_t> local_bit_mask(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    const std::size_t q = targets[m - 1 - j];
-    QTDA_REQUIRE(q < num_qubits_, "target out of range");
-    local_bit_mask[j] = qubit_mask(q, num_qubits_);
-    QTDA_REQUIRE((tmask & local_bit_mask[j]) == 0, "duplicate target");
-    tmask |= local_bit_mask[j];
-  }
-  std::uint64_t cmask = 0;
-  for (std::size_t c : controls) {
-    QTDA_REQUIRE(c < num_qubits_, "control out of range");
-    const std::uint64_t bit = qubit_mask(c, num_qubits_);
-    QTDA_REQUIRE((bit & tmask) == 0, "control overlaps target");
-    cmask |= bit;
-  }
-  // Global offsets of each local index.
-  std::vector<std::uint64_t> offset(block);
-  for (std::uint64_t l = 0; l < block; ++l) {
-    std::uint64_t off = 0;
-    for (std::size_t j = 0; j < m; ++j)
-      if ((l >> j) & 1ULL) off |= local_bit_mask[j];
-    offset[l] = off;
-  }
+  const TargetLayout layout =
+      build_target_layout(targets, controls, num_qubits_);
+  const std::uint64_t tmask = layout.tmask;
+  const std::uint64_t cmask = layout.cmask;
+  const std::vector<std::uint64_t> offset =
+      block_offsets(layout.local_bit_mask);
 
   const std::uint64_t dim = dimension();
   Amplitude* amp = amplitudes_.data();
@@ -183,51 +166,18 @@ void Statevector::apply_operator(const LinearOperator& op,
   QTDA_REQUIRE(op.dimension() == block,
                "operator dimension " << op.dimension() << " does not match "
                                      << m << " targets");
-  std::uint64_t tmask = 0;
-  // Local bit j (LSB-first) is targets[m−1−j], as in apply_unitary.
-  std::vector<std::uint64_t> local_bit_mask(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    const std::size_t q = targets[m - 1 - j];
-    QTDA_REQUIRE(q < num_qubits_, "target out of range");
-    local_bit_mask[j] = qubit_mask(q, num_qubits_);
-    QTDA_REQUIRE((tmask & local_bit_mask[j]) == 0, "duplicate target");
-    tmask |= local_bit_mask[j];
-  }
-  std::uint64_t cmask = 0;
-  for (std::size_t c : controls) {
-    QTDA_REQUIRE(c < num_qubits_, "control out of range");
-    const std::uint64_t bit = qubit_mask(c, num_qubits_);
-    QTDA_REQUIRE((bit & tmask) == 0, "control overlaps target");
-    cmask |= bit;
-  }
+  const TargetLayout layout =
+      build_target_layout(targets, controls, num_qubits_);
 
   // Blocks are contiguous slices exactly when the targets are the trailing
   // wires in order (the sampled-basis QPE layout) — then gather/scatter is
   // a memcpy.
-  bool contiguous = true;
-  for (std::size_t j = 0; j < m; ++j)
-    contiguous = contiguous && targets[j] == num_qubits_ - m + j;
+  const bool contiguous = targets_are_trailing(targets, num_qubits_);
   std::vector<std::uint64_t> offset;
-  if (!contiguous) {
-    offset.resize(block);
-    for (std::uint64_t l = 0; l < block; ++l) {
-      std::uint64_t off = 0;
-      for (std::size_t j = 0; j < m; ++j)
-        if ((l >> j) & 1ULL) off |= local_bit_mask[j];
-      offset[l] = off;
-    }
-  }
+  if (!contiguous) offset = block_offsets(layout.local_bit_mask);
 
-  // Base indices of the blocks the operator acts on: every setting of the
-  // non-target bits whose control bits are all one.
-  const std::uint64_t free_mask = (dimension() - 1) & ~tmask & ~cmask;
-  std::vector<std::uint64_t> bases;
-  std::uint64_t sub = 0;
-  do {
-    bases.push_back(sub | cmask);
-    sub = (sub | ~free_mask) + 1;
-    sub &= free_mask;
-  } while (sub != 0);
+  const std::vector<std::uint64_t> bases =
+      enumerate_block_bases(dimension(), layout.tmask, layout.cmask);
 
   // Batch blocks through packed buffers so the operator can amortize setup
   // and parallelize across blocks; the batch cap bounds the extra memory at
@@ -292,15 +242,9 @@ std::vector<double> Statevector::probabilities() const {
 
 std::vector<double> Statevector::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
-  QTDA_REQUIRE(!qubits.empty(), "marginal over an empty qubit set");
+  const std::vector<std::uint64_t> bit_mask =
+      marginal_bit_masks(qubits, num_qubits_);
   const std::size_t m = qubits.size();
-  QTDA_REQUIRE(m <= 26, "marginal outcome space too large");
-  std::vector<std::uint64_t> bit_mask(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    QTDA_REQUIRE(qubits[j] < num_qubits_, "qubit out of range");
-    // Outcome bit j (LSB-first) is qubits[m−1−j] (MSB-first listing).
-    bit_mask[j] = qubit_mask(qubits[m - 1 - j], num_qubits_);
-  }
   const std::uint64_t out_dim = std::uint64_t{1} << m;
   // Chunk-local histograms merged in index order: the sampling cumulative
   // sums downstream need run-to-run reproducible totals.

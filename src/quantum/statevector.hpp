@@ -18,6 +18,14 @@
 
 namespace qtda {
 
+/// State sizes below this run measurement reductions serially (above it,
+/// chunked over the shared pool).  One definition for both the dense and the
+/// sharded engine: the ordered-reduction chunking is a function of this
+/// threshold and the shared-pool size, and the two backends must pick the
+/// same chunking for their marginals to merge partial sums in the same
+/// order — the discipline behind their bit-identical results.
+inline constexpr std::uint64_t kStatevectorParallelThreshold = 1ULL << 17;
+
 /// A pure n-qubit state.
 class Statevector {
  public:

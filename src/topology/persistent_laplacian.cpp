@@ -1,5 +1,6 @@
 #include "topology/persistent_laplacian.hpp"
 
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -11,8 +12,15 @@
 
 namespace qtda {
 
-RealMatrix persistent_laplacian(const SimplicialComplex& sub,
-                                const SimplicialComplex& super, int k) {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SparseMatrix sparse_persistent_laplacian(const SimplicialComplex& sub,
+                                         const SimplicialComplex& super,
+                                         int k) {
   QTDA_REQUIRE(k >= 0, "homology dimension must be >= 0");
   const std::size_t nk_sub = sub.count(k);
   QTDA_REQUIRE(nk_sub > 0, "persistent Laplacian needs k-simplices in K");
@@ -32,48 +40,97 @@ RealMatrix persistent_laplacian(const SimplicialComplex& sub,
                  "K is not a subcomplex of L: missing " << s.to_string());
   }
 
-  // Down part lives entirely in K.
-  const RealMatrix down = down_laplacian(sub, k);
+  // Down part lives entirely in K — CSR Gram product, never densified.
+  const SparseMatrix down = sparse_down_laplacian(sub, k);
 
-  // Up part: Schur complement of Δ_k^{L,up} onto K's simplices.
+  // Up part: Schur complement of Δ_k^{L,up} onto K's simplices, extracted
+  // from the CSR of the sparse up-Laplacian.
   const std::size_t nk_super = super.count(k);
-  const RealMatrix up_super = up_laplacian(super, k);
+  const SparseMatrix up_super = sparse_up_laplacian(super, k);
 
-  std::vector<bool> in_sub(nk_super, false);
-  for (std::size_t position : inside) in_sub[position] = true;
+  std::vector<std::size_t> sub_index(nk_super, kNone);  // L position → K index
+  for (std::size_t i = 0; i < nk_sub; ++i) sub_index[inside[i]] = i;
+  std::vector<std::size_t> out_index(nk_super, kNone);  // L position → outside index
   std::vector<std::size_t> outside;
   outside.reserve(nk_super - nk_sub);
-  for (std::size_t i = 0; i < nk_super; ++i)
-    if (!in_sub[i]) outside.push_back(i);
+  for (std::size_t i = 0; i < nk_super; ++i) {
+    if (sub_index[i] == kNone) {
+      out_index[i] = outside.size();
+      outside.push_back(i);
+    }
+  }
 
-  RealMatrix up(nk_sub, nk_sub);
+  const auto& offsets = up_super.row_offsets();
+  const auto& cols = up_super.col_indices();
+  const auto& values = up_super.values();
+
   if (outside.empty()) {
     // K and L share the k-simplices: the Schur complement is the whole
-    // up-Laplacian, permuted into K's order.
-    for (std::size_t i = 0; i < nk_sub; ++i)
-      for (std::size_t j = 0; j < nk_sub; ++j)
-        up(i, j) = up_super(inside[i], inside[j]);
-  } else {
-    // Blocks A (K×K), B (K×out), C (out×out); up = A − B·C⁺·Bᵀ.
-    RealMatrix block_a(nk_sub, nk_sub);
-    RealMatrix block_b(nk_sub, outside.size());
-    RealMatrix block_c(outside.size(), outside.size());
+    // up-Laplacian, permuted into K's order — the assembly stays sparse end
+    // to end.
+    std::vector<Triplet> up_triplets;
+    up_triplets.reserve(up_super.nonzeros());
     for (std::size_t i = 0; i < nk_sub; ++i) {
-      for (std::size_t j = 0; j < nk_sub; ++j)
-        block_a(i, j) = up_super(inside[i], inside[j]);
-      for (std::size_t j = 0; j < outside.size(); ++j)
-        block_b(i, j) = up_super(inside[i], outside[j]);
+      const std::size_t row = inside[i];
+      for (std::size_t nz = offsets[row]; nz < offsets[row + 1]; ++nz)
+        up_triplets.push_back({i, sub_index[cols[nz]], values[nz]});
     }
-    for (std::size_t i = 0; i < outside.size(); ++i)
-      for (std::size_t j = 0; j < outside.size(); ++j)
-        block_c(i, j) = up_super(outside[i], outside[j]);
-
-    const RealMatrix c_pinv = pseudo_inverse_symmetric(block_c);
-    const RealMatrix correction =
-        matmul(block_b, matmul(c_pinv, transpose(block_b)));
-    up = subtract(block_a, correction);
+    return sparse_add(down, SparseMatrix::from_triplets(
+                                nk_sub, nk_sub, std::move(up_triplets)));
   }
-  return add(down, up);
+
+  // Blocks A (K×K, kept sparse), B (K×out) and C (out×out) — the latter two
+  // feed the dense pseudo-inverse, so they are materialized at block size
+  // only; up = A − B·C⁺·Bᵀ.
+  std::vector<Triplet> a_triplets;
+  RealMatrix block_b(nk_sub, outside.size());
+  RealMatrix block_c(outside.size(), outside.size());
+  for (std::size_t i = 0; i < nk_sub; ++i) {
+    const std::size_t row = inside[i];
+    for (std::size_t nz = offsets[row]; nz < offsets[row + 1]; ++nz) {
+      const std::size_t col = cols[nz];
+      if (sub_index[col] != kNone) {
+        a_triplets.push_back({i, sub_index[col], values[nz]});
+      } else {
+        block_b(i, out_index[col]) = values[nz];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < outside.size(); ++j) {
+    const std::size_t row = outside[j];
+    for (std::size_t nz = offsets[row]; nz < offsets[row + 1]; ++nz) {
+      const std::size_t col = cols[nz];
+      if (out_index[col] != kNone) block_c(j, out_index[col]) = values[nz];
+    }
+  }
+
+  const RealMatrix c_pinv = pseudo_inverse_symmetric(block_c);
+  const RealMatrix correction =
+      matmul(block_b, matmul(c_pinv, transpose(block_b)));
+  std::vector<Triplet> correction_triplets;
+  for (std::size_t i = 0; i < nk_sub; ++i)
+    for (std::size_t j = 0; j < nk_sub; ++j)
+      if (correction(i, j) != 0.0)
+        correction_triplets.push_back({i, j, -correction(i, j)});
+  return sparse_add(
+      sparse_add(down, SparseMatrix::from_triplets(nk_sub, nk_sub,
+                                                   std::move(a_triplets))),
+      SparseMatrix::from_triplets(nk_sub, nk_sub,
+                                  std::move(correction_triplets)));
+}
+
+SparseMatrix sparse_persistent_laplacian(const Filtration& filtration, int k,
+                                         double birth_scale,
+                                         double death_scale) {
+  QTDA_REQUIRE(birth_scale <= death_scale,
+               "persistent Laplacian needs birth scale <= death scale");
+  return sparse_persistent_laplacian(filtration.complex_at(birth_scale),
+                                     filtration.complex_at(death_scale), k);
+}
+
+RealMatrix persistent_laplacian(const SimplicialComplex& sub,
+                                const SimplicialComplex& super, int k) {
+  return sparse_persistent_laplacian(sub, super, k).to_dense();
 }
 
 RealMatrix persistent_laplacian(const Filtration& filtration, int k,

@@ -16,13 +16,34 @@
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "topology/filtration.hpp"
 #include "topology/simplicial_complex.hpp"
 
 namespace qtda {
 
-/// Builds Δ_k^{K,L} for K ⊆ L (throws if K's k- or (k+1)-simplices are not
-/// a subset of L's).  Requires K to have at least one k-simplex.
+/// Sparse Δ_k^{K,L} for K ⊆ L, assembled on the CSR spine
+/// (gram_sparse/sparse_add) like the combinatorial Laplacian: the down part
+/// and the up-Laplacian of L never densify.  When K and L share their
+/// k-simplices the whole build stays sparse; otherwise only the Schur
+/// correction B·C⁺·Bᵀ — inherently dense through the pseudo-inverse — is
+/// formed densely, at |S_k(K)| size, with B and C extracted straight from
+/// the CSR of Δ_k^{L,up}.  This is the operator the sparse/sharded QPE path
+/// consumes without ever forming a dense |S_k|×|S_k| matrix in the
+/// shared-k-simplex case.  Throws if K's k- or (k+1)-simplices are not a
+/// subset of L's; requires K to have at least one k-simplex.
+SparseMatrix sparse_persistent_laplacian(const SimplicialComplex& sub,
+                                         const SimplicialComplex& super,
+                                         int k);
+
+/// Sparse Δ_k^{b,d} from a filtration (complexes at scales b ≤ d).
+SparseMatrix sparse_persistent_laplacian(const Filtration& filtration, int k,
+                                         double birth_scale,
+                                         double death_scale);
+
+/// Builds Δ_k^{K,L} for K ⊆ L (thin densifying wrapper over the sparse
+/// assembly, kept for the eigensolver-based small cases and existing
+/// callers).  Requires K to have at least one k-simplex.
 RealMatrix persistent_laplacian(const SimplicialComplex& sub,
                                 const SimplicialComplex& super, int k);
 

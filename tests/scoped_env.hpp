@@ -1,0 +1,54 @@
+/// \file scoped_env.hpp
+/// \brief Test-only RAII guard for the simulator factory's environment
+/// overrides (QTDA_SIMULATOR / QTDA_SHARDS).
+///
+/// Tests that pin factory behavior must neutralize the override the CI
+/// sharded leg sets process-wide, and tests that exercise the override must
+/// not strip it from the rest of a directly-invoked (non-ctest) run — both
+/// save the incoming values and restore them on destruction.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qtda::testing {
+
+class ScopedSimulatorEnv {
+ public:
+  /// Saves the current override values (restored on destruction).
+  ScopedSimulatorEnv() {
+    for (const char* name : kNames) {
+      const char* value = std::getenv(name);
+      saved_.emplace_back(name, value == nullptr
+                                    ? std::optional<std::string>{}
+                                    : std::optional<std::string>{value});
+    }
+  }
+
+  ~ScopedSimulatorEnv() {
+    for (const auto& [name, value] : saved_) {
+      if (value.has_value()) {
+        setenv(name, value->c_str(), 1);
+      } else {
+        unsetenv(name);
+      }
+    }
+  }
+
+  ScopedSimulatorEnv(const ScopedSimulatorEnv&) = delete;
+  ScopedSimulatorEnv& operator=(const ScopedSimulatorEnv&) = delete;
+
+  /// Removes both override variables for the remainder of the scope.
+  static void clear() {
+    for (const char* name : kNames) unsetenv(name);
+  }
+
+ private:
+  static constexpr const char* kNames[] = {"QTDA_SIMULATOR", "QTDA_SHARDS"};
+  std::vector<std::pair<const char*, std::optional<std::string>>> saved_;
+};
+
+}  // namespace qtda::testing

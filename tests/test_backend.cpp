@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 
 #include "common/random.hpp"
+#include "scoped_env.hpp"
 #include "linalg/matrix_exp.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/qasm.hpp"
@@ -44,6 +46,11 @@ double max_amp_diff(const Statevector& a, const Statevector& b) {
 }
 
 TEST(SimulatorBackend, FactoryBuildsStatevector) {
+  // This test pins the factory's *default* mapping, so neutralize (and
+  // afterwards restore) the CI override that forces every factory call onto
+  // the sharded engine.
+  const testing::ScopedSimulatorEnv restore_after;
+  testing::ScopedSimulatorEnv::clear();
   const auto backend = make_simulator(SimulatorKind::kStatevector, 3);
   EXPECT_EQ(backend->name(), "statevector");
   EXPECT_EQ(backend->num_qubits(), 3u);

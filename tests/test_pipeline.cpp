@@ -36,6 +36,27 @@ TEST(Pipeline, CircleFeaturesDetectTheLoop) {
   EXPECT_NEAR(features.estimated[1], 1.0, 0.35);
 }
 
+TEST(Pipeline, ShardedSimulatorSelectionFlowsThroughAndMatchesDense) {
+  // Shard-count plumbing: PipelineOptions::estimator carries the engine and
+  // slab count down to the factory, and the sharded run is bit-identical to
+  // the dense one feature for feature.
+  PipelineOptions options;
+  options.epsilon = 0.7;
+  options.dimensions = {0, 1};
+  options.estimator.backend = EstimatorBackend::kCircuitSparse;
+  options.estimator.precision_qubits = 4;
+  options.estimator.shots = 5000;
+  const auto dense = extract_betti_features(circle_cloud(8), options);
+  options.estimator.simulator = SimulatorKind::kShardedStatevector;
+  options.estimator.simulator_shards = 3;
+  const auto sharded = extract_betti_features(circle_cloud(8), options);
+  ASSERT_EQ(sharded.estimated.size(), dense.estimated.size());
+  for (std::size_t i = 0; i < dense.estimated.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sharded.estimated[i], dense.estimated[i]);
+    EXPECT_EQ(sharded.exact[i], dense.exact[i]);
+  }
+}
+
 TEST(Pipeline, DisconnectedCloudCountsComponents) {
   // Two far-apart pairs.
   PointCloud cloud({{0.0, 0.0}, {0.1, 0.0}, {10.0, 0.0}, {10.1, 0.0}});
