@@ -1,11 +1,14 @@
 /// \file sharded_betti.cpp
-/// \brief CLI driver for the slab-parallel engine: a random flag complex →
+/// \brief CLI driver for the pluggable engines: a random flag complex →
 /// sparse Δ_k → matrix-free QPE on the simulator selected by name, with the
-/// shard count plumbed from the command line through EstimatorOptions.
+/// shard count and noise model plumbed from the command line through
+/// EstimatorOptions.
 ///
 /// Build & run:
 ///   ./build/examples/example_sharded_betti --simulator sharded-statevector
 ///       --shards 4 --vertices 8 --verify
+///   ./build/examples/example_sharded_betti --simulator density-matrix
+///       --noise 0.02 --verify     # exact channels vs trajectory ensemble
 ///
 /// Flags: --simulator <name>  engine (default sharded-statevector)
 ///        --shards <n>        slab/worker count (0 = hardware concurrency)
@@ -13,16 +16,75 @@
 ///        --dimension <k>     homology dimension (default 1)
 ///        --precision <t>     QPE precision qubits (default 4)
 ///        --shots <n>         measurement shots (default 20000)
+///        --noise <p>         depolarizing strength per touched qubit
+///        --trajectories <n>  ensemble size for the density verify (200)
 ///        --seed <n>          RNG seed (default 29)
-///        --verify            also run the dense engine and compare
+///        --verify            statevector engines: run the dense engine and
+///                            demand bit-identity; density-matrix: check a
+///                            run_noisy_trajectory ensemble converges to the
+///                            exact-channel marginal of the same circuit
+#include <cmath>
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/random.hpp"
 #include "core/betti_estimator.hpp"
+#include "quantum/backend.hpp"
 #include "topology/betti.hpp"
 #include "topology/laplacian.hpp"
 #include "topology/random_complex.hpp"
+
+namespace {
+
+/// Density-matrix verify: the trajectory sampler is an unbiased estimator of
+/// the exact channel, so the ensemble mean of per-trajectory precision
+/// marginals must approach the exact ρ marginal — per outcome, within a few
+/// standard errors of the ensemble itself.
+bool verify_trajectory_convergence(const qtda::Circuit& circuit,
+                                   const qtda::EstimatorOptions& options,
+                                   std::size_t trajectories) {
+  using namespace qtda;
+  std::vector<std::size_t> precision_wires(options.precision_qubits);
+  for (std::size_t t = 0; t < precision_wires.size(); ++t)
+    precision_wires[t] = t;
+
+  // Built directly (not through make_simulator): this check is *about* the
+  // exact-channel engine, so a QTDA_SIMULATOR override must not redirect it.
+  DensityMatrixBackend backend(circuit.num_qubits());
+  Rng channel_rng(options.seed);  // untouched: channels are exact
+  backend.prepare_basis_state(0);
+  backend.apply_circuit_with_noise(circuit, options.noise, channel_rng);
+  const std::vector<double> exact =
+      backend.marginal_probabilities(precision_wires);
+
+  Rng rng(options.seed + 1);
+  std::vector<double> sum(exact.size(), 0.0), sum_sq(exact.size(), 0.0);
+  for (std::size_t i = 0; i < trajectories; ++i) {
+    const Statevector psi = run_noisy_trajectory(circuit, options.noise, rng);
+    const auto marginal = psi.marginal_probabilities(precision_wires);
+    for (std::size_t m = 0; m < marginal.size(); ++m) {
+      sum[m] += marginal[m];
+      sum_sq[m] += marginal[m] * marginal[m];
+    }
+  }
+
+  bool converged = true;
+  const auto n = static_cast<double>(trajectories);
+  for (std::size_t m = 0; m < exact.size(); ++m) {
+    const double mean = sum[m] / n;
+    const double variance = std::max(sum_sq[m] / n - mean * mean, 0.0);
+    const double tolerance = 5.0 * std::sqrt(variance / n) + 1e-3;
+    const bool ok = std::abs(mean - exact[m]) <= tolerance;
+    if (!ok || m == 0) {
+      std::printf("  outcome %zu: exact %.5f, ensemble %.5f (+-%.5f) -> %s\n",
+                  m, exact[m], mean, tolerance, ok ? "ok" : "DIVERGED");
+    }
+    converged = converged && ok;
+  }
+  return converged;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace qtda;
@@ -44,6 +106,8 @@ int main(int argc, char** argv) {
   options.simulator = simulator_kind_from_name(simulator_name);
   options.simulator_shards =
       static_cast<std::size_t>(args.get_int("shards", 0));
+  const double noise = args.get_double("noise", 0.0);
+  options.noise = NoiseModel{noise, noise};
 
   Rng rng(seed);
   RandomComplexOptions complex_options;
@@ -69,18 +133,34 @@ int main(int argc, char** argv) {
               estimate.circuit_gates);
 
   if (args.get_bool("verify")) {
-    EstimatorOptions dense_options = options;
-    dense_options.simulator = SimulatorKind::kStatevector;
-    const BettiEstimate reference =
-        estimate_betti_from_sparse_laplacian(laplacian, dense_options);
-    const bool identical =
-        estimate.zero_counts == reference.zero_counts &&
-        estimate.estimated_betti == reference.estimated_betti;
-    std::printf("dense-engine check: zero counts %llu vs %llu -> %s\n",
-                static_cast<unsigned long long>(estimate.zero_counts),
-                static_cast<unsigned long long>(reference.zero_counts),
-                identical ? "bit-identical" : "MISMATCH");
-    if (!identical) return 1;
+    if (options.simulator == SimulatorKind::kDensityMatrix) {
+      // Exact channels have no bit-identical statevector counterpart;
+      // instead demand the physics: trajectory ensembles converge to the
+      // exact marginal of the very circuit the estimate just ran.
+      const auto trajectories =
+          static_cast<std::size_t>(args.get_int("trajectories", 200));
+      std::printf("trajectory-ensemble convergence check (%zu trajectories, "
+                  "noise %.3f):\n",
+                  trajectories, noise);
+      // The sparse overload rebuilds the literally identical matrix-free
+      // circuit the estimate above executed — no densification round-trip.
+      const Circuit circuit = build_qtda_circuit(laplacian, options);
+      if (!verify_trajectory_convergence(circuit, options, trajectories))
+        return 1;
+    } else {
+      EstimatorOptions dense_options = options;
+      dense_options.simulator = SimulatorKind::kStatevector;
+      const BettiEstimate reference =
+          estimate_betti_from_sparse_laplacian(laplacian, dense_options);
+      const bool identical =
+          estimate.zero_counts == reference.zero_counts &&
+          estimate.estimated_betti == reference.estimated_betti;
+      std::printf("dense-engine check: zero counts %llu vs %llu -> %s\n",
+                  static_cast<unsigned long long>(estimate.zero_counts),
+                  static_cast<unsigned long long>(reference.zero_counts),
+                  identical ? "bit-identical" : "MISMATCH");
+      if (!identical) return 1;
+    }
   }
   return 0;
 }

@@ -119,32 +119,27 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   const std::unique_ptr<SimulatorBackend> backend = make_simulator(
       options.simulator, circuit.num_qubits(), options.simulator_shards);
 
-  // One noisy trajectory: per-gate stochastic depolarizing events, matching
-  // run_noisy_trajectory's RNG consumption order.
-  const auto run_noisy = [&](std::uint64_t initial, Rng& traj_rng) {
-    backend->prepare_basis_state(initial);
-    for (const Gate& gate : circuit.gates()) {
-      backend->apply_gate(gate);
-      const bool multi = gate.targets.size() + gate.controls.size() >= 2;
-      const double p = multi ? options.noise.two_qubit_error
-                             : options.noise.single_qubit_error;
-      if (p <= 0.0) continue;
-      for (std::size_t q : gate.targets)
-        backend->apply_depolarizing(q, p, traj_rng);
-      for (std::size_t q : gate.controls)
-        backend->apply_depolarizing(q, p, traj_rng);
-    }
-  };
+  // Noisy evolution runs through the backend's own channel semantics
+  // (run_noisy_trajectory's error placement and RNG consumption order).
+  // Exact-channel backends (density matrix) evolve the whole ensemble in
+  // one pass, so every shot can be drawn from that single evolution instead
+  // of paying one trajectory per shot.
+  const bool exact_channels = backend->exact_channels();
 
   if (purify) {
     if (options.noise.is_noiseless()) {
       backend->prepare_basis_state(0);
       backend->apply_circuit(circuit);
       estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
+    } else if (exact_channels) {
+      backend->prepare_basis_state(0);
+      backend->apply_circuit_with_noise(circuit, options.noise, rng);
+      estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
     } else {
       std::uint64_t zeros = 0;
       for (std::size_t shot = 0; shot < options.shots; ++shot) {
-        run_noisy(0, rng);
+        backend->prepare_basis_state(0);
+        backend->apply_circuit_with_noise(circuit, options.noise, rng);
         zeros += backend->sample(measured, 1, rng)[0];
       }
       estimate.zero_counts = zeros;
@@ -170,10 +165,15 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
       backend->prepare_basis_state(initial);
       backend->apply_circuit(circuit);
       zeros += backend->sample(measured, s, rng)[0];
+    } else if (exact_channels) {
+      backend->prepare_basis_state(initial);
+      backend->apply_circuit_with_noise(circuit, options.noise, rng);
+      zeros += backend->sample(measured, s, rng)[0];
     } else {
       for (std::uint64_t shot = 0; shot < s; ++shot) {
         Rng traj_rng = rng.split(shot * dim + basis);
-        run_noisy(initial, traj_rng);
+        backend->prepare_basis_state(initial);
+        backend->apply_circuit_with_noise(circuit, options.noise, traj_rng);
         zeros += backend->sample(measured, 1, rng)[0];
       }
     }
@@ -223,6 +223,19 @@ Circuit build_qtda_circuit(const RealMatrix& laplacian,
   const PaddedLaplacian padded = pad_laplacian(laplacian, options.padding);
   const ScaledHamiltonian scaled = rescale_laplacian(padded, delta);
   return build_estimator_circuit(scaled, options, purify);
+}
+
+Circuit build_qtda_circuit(const SparseMatrix& laplacian,
+                           const EstimatorOptions& options) {
+  QTDA_REQUIRE(options.backend == EstimatorBackend::kCircuitSparse,
+               "the sparse circuit builder is kCircuitSparse-only; the other "
+               "backends need the dense matrix — use the dense overload");
+  const double delta = options.delta > 0.0 ? options.delta : default_delta();
+  const bool purify = options.mixed_state == MixedStateMode::kPurification;
+  const SparsePaddedLaplacian padded =
+      pad_laplacian_sparse(laplacian, options.padding);
+  return build_estimator_circuit_sparse(
+      rescale_laplacian_sparse(padded, delta), options, purify);
 }
 
 BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,

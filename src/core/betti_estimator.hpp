@@ -64,7 +64,12 @@ struct EstimatorOptions {
   std::size_t shots = 1000;          ///< α
   double delta = 0.0;                ///< 0 → default_delta(); Appendix A uses λ̃max
   EstimatorBackend backend = EstimatorBackend::kAnalytic;
-  SimulatorKind simulator = SimulatorKind::kStatevector;  ///< engine
+  /// Simulation engine.  kDensityMatrix evolves ρ exactly (4^n storage,
+  /// register ≤ 13 qubits): noisy runs apply the depolarizing channel
+  /// exactly and draw every shot from one ensemble evolution — the
+  /// reference run_noisy_trajectory converges to — and compose with the
+  /// matrix-free kCircuitSparse oracle (conjugated on the column register).
+  SimulatorKind simulator = SimulatorKind::kStatevector;
   /// kShardedStatevector only: amplitude-slab/worker count (0 = one per
   /// hardware thread).  Any count ≥ 1 is valid and every count produces
   /// bit-identical estimates — the knob trades memory locality for
@@ -108,6 +113,13 @@ struct BettiEstimate {
 /// backend in `options.backend`; with kCircuitSparse the controlled powers
 /// are matrix-free operator gates.
 Circuit build_qtda_circuit(const RealMatrix& laplacian,
+                           const EstimatorOptions& options);
+
+/// Sparse overload (kCircuitSparse only): builds the matrix-free circuit
+/// directly from CSR — the literally identical circuit
+/// estimate_betti_from_sparse_laplacian executes, with no densification
+/// round-trip that could reorder nonzeros.
+Circuit build_qtda_circuit(const SparseMatrix& laplacian,
                            const EstimatorOptions& options);
 
 /// Estimates β̃_k from a combinatorial Laplacian.

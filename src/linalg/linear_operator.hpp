@@ -13,6 +13,7 @@
 #include <complex>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "linalg/dense_matrix.hpp"
 
@@ -70,6 +71,50 @@ class DenseOperator final : public LinearOperator {
 
  private:
   ComplexMatrix matrix_;
+};
+
+/// Adapter applying the entrywise complex conjugate of a wrapped operator:
+/// y = conj(Op · conj(x)), i.e. the action of the matrix conj(Op).
+///
+/// This is the column-register half of vectorized density-matrix evolution:
+/// vec(UρU†) = (U ⊗ conj(U))·vec(ρ), so an exact-channel engine can run any
+/// matrix-free oracle on the column wires by wrapping it here — the inner
+/// operator is applied verbatim with its input and output conjugated, no
+/// matrix is ever formed.
+class ConjugatedOperator final : public LinearOperator {
+ public:
+  /// Non-owning borrow for call-scoped wrapping: \p inner must outlive this
+  /// adapter (the density-matrix engine builds one per application).
+  explicit ConjugatedOperator(const LinearOperator& inner) : inner_(&inner) {}
+
+  std::size_t dimension() const override { return inner_->dimension(); }
+  std::string name() const override { return "conj(" + inner_->name() + ")"; }
+
+  void apply(const std::complex<double>* x,
+             std::complex<double>* y) const override {
+    // Local scratch keeps apply() safe for concurrent callers, matching the
+    // thread-safety contract of the wrapped operator.
+    std::vector<std::complex<double>> conj_x(dimension());
+    for (std::size_t i = 0; i < conj_x.size(); ++i) conj_x[i] = std::conj(x[i]);
+    inner_->apply(conj_x.data(), y);
+    for (std::size_t i = 0; i < conj_x.size(); ++i) y[i] = std::conj(y[i]);
+  }
+
+  void apply_batch(const std::complex<double>* x, std::complex<double>* y,
+                   std::size_t count) const override {
+    // Conjugate the whole batch so the inner operator keeps its cross-block
+    // amortization (shared coefficients, block-level parallelism).
+    const std::size_t total = count * dimension();
+    std::vector<std::complex<double>> conj_x(total);
+    for (std::size_t i = 0; i < total; ++i) conj_x[i] = std::conj(x[i]);
+    inner_->apply_batch(conj_x.data(), y, count);
+    for (std::size_t i = 0; i < total; ++i) y[i] = std::conj(y[i]);
+  }
+
+  const LinearOperator& inner() const { return *inner_; }
+
+ private:
+  const LinearOperator* inner_;
 };
 
 }  // namespace qtda

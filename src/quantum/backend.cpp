@@ -14,6 +14,7 @@ namespace {
 constexpr SimulatorKind kAllSimulatorKinds[] = {
     SimulatorKind::kStatevector,
     SimulatorKind::kShardedStatevector,
+    SimulatorKind::kDensityMatrix,
 };
 
 }  // namespace
@@ -22,6 +23,7 @@ std::string simulator_kind_name(SimulatorKind kind) {
   switch (kind) {
     case SimulatorKind::kStatevector: return "statevector";
     case SimulatorKind::kShardedStatevector: return "sharded-statevector";
+    case SimulatorKind::kDensityMatrix: return "density-matrix";
   }
   return "?";
 }
@@ -42,6 +44,21 @@ SimulatorKind simulator_kind_from_name(const std::string& name) {
   QTDA_REQUIRE(false, "unknown simulator \"" << name << "\" (valid: "
                                              << simulator_kind_names() << ")");
   return SimulatorKind::kStatevector;
+}
+
+void SimulatorBackend::apply_circuit_with_noise(const Circuit& circuit,
+                                                const NoiseModel& noise,
+                                                Rng& rng) {
+  QTDA_REQUIRE(circuit.num_qubits() == num_qubits(),
+               "circuit width " << circuit.num_qubits()
+                                << " does not match backend width "
+                                << num_qubits());
+  // Shared error placement (for_each_gate_with_noise) keeps the RNG
+  // consumption order identical to run_noisy_trajectory.  The global phase
+  // is dropped: unobservable through this interface's measurements.
+  for_each_gate_with_noise(
+      circuit, noise, [&](const Gate& gate) { apply_gate(gate); },
+      [&](std::size_t q, double p) { apply_depolarizing(q, p, rng); });
 }
 
 StatevectorBackend::StatevectorBackend(std::size_t num_qubits)
@@ -120,21 +137,91 @@ std::vector<std::uint64_t> ShardedStatevectorBackend::sample(
   return state_.sample_counts(qubits, shots, rng);
 }
 
+DensityMatrixBackend::DensityMatrixBackend(std::size_t num_qubits)
+    : state_(num_qubits) {}
+
+void DensityMatrixBackend::prepare_basis_state(std::uint64_t index) {
+  state_.set_basis_state(index);
+}
+
+void DensityMatrixBackend::apply_gate(const Gate& gate) {
+  state_.apply_gate(gate);
+}
+
+void DensityMatrixBackend::apply_circuit(const Circuit& circuit) {
+  state_.apply_circuit(circuit);
+}
+
+void DensityMatrixBackend::apply_operator(
+    const LinearOperator& op, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
+  state_.apply_operator(op, targets, controls);
+}
+
+void DensityMatrixBackend::apply_depolarizing(std::size_t qubit,
+                                              double probability, Rng& rng) {
+  // Exact channel: deterministic, so the Rng of the trajectory-shaped
+  // contract is intentionally untouched (exact_channels() advertises this).
+  (void)rng;
+  state_.apply_depolarizing(qubit, probability);
+}
+
+std::vector<double> DensityMatrixBackend::marginal_probabilities(
+    const std::vector<std::size_t>& qubits) const {
+  return state_.marginal_probabilities(qubits);
+}
+
+std::vector<std::uint64_t> DensityMatrixBackend::sample(
+    const std::vector<std::size_t>& qubits, std::size_t shots,
+    Rng& rng) const {
+  return state_.sample_counts(qubits, shots, rng);
+}
+
 std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
                                                  std::size_t num_qubits,
                                                  std::size_t shards) {
   // CI / debugging hook: force every factory-built engine onto one kind and
-  // shard count without touching call sites.  Safe because the sharded
-  // engine is bit-identical to the dense one.
+  // shard count without touching call sites.  Safe for the sharded engine
+  // (bit-identical to the dense one); the density-matrix engine additionally
+  // needs the width guard below because of its 4^n storage cap.
+  bool kind_forced_by_env = false;
   if (const char* forced = std::getenv("QTDA_SIMULATOR");
       forced != nullptr && *forced != '\0') {
-    kind = simulator_kind_from_name(forced);
+    // Re-raise parse failures with the variable named: a malformed override
+    // set process-wide (e.g. by CI) must not surface as a bare unknown-name
+    // error with no hint where the name came from.
+    try {
+      kind = simulator_kind_from_name(forced);
+    } catch (const Error&) {
+      QTDA_REQUIRE(false, "QTDA_SIMULATOR=\""
+                              << forced
+                              << "\" is not a valid simulator name (valid: "
+                              << simulator_kind_names() << ")");
+    }
+    kind_forced_by_env = true;
   }
   if (const char* forced = std::getenv("QTDA_SHARDS");
       forced != nullptr && *forced != '\0') {
-    const long value = std::atol(forced);
-    QTDA_REQUIRE(value >= 1, "QTDA_SHARDS must be >= 1, got " << forced);
+    char* end = nullptr;
+    const long value = std::strtol(forced, &end, 10);
+    QTDA_REQUIRE(end != forced && *end == '\0' && value >= 1,
+                 "QTDA_SHARDS=\"" << forced
+                                  << "\" is not a valid shard count (need an "
+                                     "integer >= 1)");
     shards = static_cast<std::size_t>(value);
+  }
+  if (kind == SimulatorKind::kDensityMatrix &&
+      num_qubits > kDensityMatrixMaxQubits) {
+    QTDA_REQUIRE(false,
+                 "the density-matrix simulator stores 4^n amplitudes and "
+                 "supports at most "
+                     << kDensityMatrixMaxQubits << " qubits, but "
+                     << num_qubits << " were requested"
+                     << (kind_forced_by_env
+                             ? " (QTDA_SIMULATOR=density-matrix forced the "
+                               "engine; unset it or use a statevector engine "
+                               "for registers this wide)"
+                             : ""));
   }
   switch (kind) {
     case SimulatorKind::kStatevector:
@@ -142,6 +229,8 @@ std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
     case SimulatorKind::kShardedStatevector:
       return std::make_unique<ShardedStatevectorBackend>(
           num_qubits, shards == 0 ? hardware_concurrency() : shards);
+    case SimulatorKind::kDensityMatrix:
+      return std::make_unique<DensityMatrixBackend>(num_qubits);
   }
   QTDA_REQUIRE(false, "unknown simulator kind");
   return nullptr;

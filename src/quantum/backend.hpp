@@ -18,6 +18,8 @@
 #include "common/random.hpp"
 #include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/density_matrix.hpp"
+#include "quantum/noise.hpp"
 #include "quantum/sharded_statevector.hpp"
 #include "quantum/statevector.hpp"
 
@@ -27,7 +29,7 @@ namespace qtda {
 enum class SimulatorKind {
   kStatevector,         ///< dense state vector (the reference engine)
   kShardedStatevector,  ///< slab-parallel state vector (bit-identical)
-  // Future (see ROADMAP): kDensityMatrix.
+  kDensityMatrix,       ///< exact-channel ρ evolution (4^n storage, q ≤ 13)
 };
 
 /// Printable name ("statevector", …).
@@ -69,6 +71,22 @@ class SimulatorBackend {
   /// (trajectory noise; exact-channel backends may implement it exactly).
   virtual void apply_depolarizing(std::size_t qubit, double probability,
                                   Rng& rng) = 0;
+
+  /// True when apply_depolarizing applies the exact channel (deterministic
+  /// — the Rng is not consumed), so a single noisy evolution already yields
+  /// the full ensemble state and callers can draw every shot from it instead
+  /// of re-running one trajectory per shot.
+  virtual bool exact_channels() const { return false; }
+
+  /// Applies the circuit with the depolarizing model injected after each
+  /// gate on every touched qubit (run_noisy_trajectory's error placement and
+  /// RNG consumption order) to the *current* state — callers prepare the
+  /// initial state first.  The circuit's global phase is dropped: it is
+  /// unobservable through this interface's measurements and cancels on ρ.
+  /// Trajectory backends sample one stochastic trajectory; exact-channel
+  /// backends evolve the ensemble itself.
+  virtual void apply_circuit_with_noise(const Circuit& circuit,
+                                        const NoiseModel& noise, Rng& rng);
 
   /// Marginal distribution over an ordered qubit subset (MSB-first).
   virtual std::vector<double> marginal_probabilities(
@@ -142,13 +160,54 @@ class ShardedStatevectorBackend final : public SimulatorBackend {
   ShardedStatevector state_;
 };
 
+/// Exact-channel implementation: evolves ρ itself (4^n vectorized storage,
+/// at most 13 qubits), so depolarizing noise is applied *exactly* instead of
+/// sampled — the reference that trajectory ensembles converge to.  Gates run
+/// as U ⊗ conj(U) on the 2n-qubit vectorization; matrix-free operator gates
+/// stay matrix-free via the ConjugatedOperator adapter on the column
+/// register, so the sparse QPE oracle composes with exact noise.
+/// apply_depolarizing keeps the Rng signature of the contract but never
+/// consumes it (exact_channels() returns true): one noisy evolution is the
+/// whole ensemble, and every shot samples from it.
+class DensityMatrixBackend final : public SimulatorBackend {
+ public:
+  explicit DensityMatrixBackend(std::size_t num_qubits);
+
+  std::string name() const override { return "density-matrix"; }
+  std::size_t num_qubits() const override { return state_.num_qubits(); }
+  void prepare_basis_state(std::uint64_t index) override;
+  void apply_gate(const Gate& gate) override;
+  void apply_circuit(const Circuit& circuit) override;
+  void apply_operator(const LinearOperator& op,
+                      const std::vector<std::size_t>& targets,
+                      const std::vector<std::size_t>& controls) override;
+  void apply_depolarizing(std::size_t qubit, double probability,
+                          Rng& rng) override;
+  bool exact_channels() const override { return true; }
+  std::vector<double> marginal_probabilities(
+      const std::vector<std::size_t>& qubits) const override;
+  std::vector<std::uint64_t> sample(const std::vector<std::size_t>& qubits,
+                                    std::size_t shots, Rng& rng) const override;
+
+  /// The underlying density matrix, for backend-aware diagnostics and tests.
+  const DensityMatrix& state() const { return state_; }
+  DensityMatrix& state() { return state_; }
+
+ private:
+  DensityMatrix state_;
+};
+
 /// Factory used by the estimator options plumbing.  \p shards only matters
 /// for kShardedStatevector (0 = one slab per hardware thread).
 ///
 /// Environment overrides (read per call): QTDA_SIMULATOR forces the engine
 /// by name and QTDA_SHARDS forces the slab count — the hook the CI sharded
 /// leg uses to route the whole unmodified test suite through the sharded
-/// engine, which its bit-identical contract must survive.
+/// engine, which its bit-identical contract must survive.  Malformed values
+/// fail fast with the variable named in the error, and forcing
+/// density-matrix onto a register wider than its 13-qubit 4^n storage cap is
+/// rejected here (clearly attributed to the override) instead of surfacing a
+/// construction failure from deep inside a run.
 std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
                                                  std::size_t num_qubits,
                                                  std::size_t shards = 0);

@@ -22,7 +22,7 @@ namespace {
 
 // Validated before the 4^n vectorized storage is allocated.
 std::size_t checked_density_width(std::size_t num_qubits) {
-  QTDA_REQUIRE(num_qubits >= 1 && num_qubits <= 13,
+  QTDA_REQUIRE(num_qubits >= 1 && num_qubits <= kDensityMatrixMaxQubits,
                "density matrix width " << num_qubits
                                        << " unsupported (4^n storage)");
   return num_qubits;
@@ -64,10 +64,17 @@ Amplitude DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
   return vectorized_.amplitude(row * dimension() + col);
 }
 
+void DensityMatrix::set_basis_state(std::uint64_t index) {
+  QTDA_REQUIRE(index < dimension(), "basis index out of range");
+  vectorized_.set_basis_state(index * dimension() + index);
+}
+
 void DensityMatrix::apply_gate(const Gate& gate) {
-  QTDA_REQUIRE(gate.kind != GateKind::kOperator,
-               "matrix-free operator gates are statevector-backend-only; "
-               "densify the oracle for exact density-matrix runs");
+  if (gate.kind == GateKind::kOperator) {
+    QTDA_REQUIRE(gate.op != nullptr, "operator gate without an operator");
+    apply_operator(*gate.op, gate.targets, gate.controls);
+    return;
+  }
   // Row side: the gate verbatim (row register occupies qubits [0, n)).
   vectorized_.apply_gate(gate);
   // Column side: conj(U) on the column register [n, 2n).
@@ -79,6 +86,26 @@ void DensityMatrix::apply_gate(const Gate& gate) {
   for (std::size_t& q : column.targets) q += num_qubits_;
   for (std::size_t& q : column.controls) q += num_qubits_;
   vectorized_.apply_gate(column);
+}
+
+void DensityMatrix::apply_operator(const LinearOperator& op,
+                                   const std::vector<std::size_t>& targets,
+                                   const std::vector<std::size_t>& controls) {
+  for (std::size_t q : targets)
+    QTDA_REQUIRE(q < num_qubits_, "operator target out of range");
+  for (std::size_t q : controls)
+    QTDA_REQUIRE(q < num_qubits_, "operator control out of range");
+  // vec(UρU†) = (U ⊗ conj(U))·vec(ρ): the operator verbatim on the row
+  // register [0, n), its conjugate on the column register [n, 2n).  Both
+  // halves run through the matrix-free gather/scatter path of the 2n-qubit
+  // statevector, so the oracle is never densified.
+  vectorized_.apply_operator(op, targets, controls);
+  std::vector<std::size_t> column_targets(targets);
+  std::vector<std::size_t> column_controls(controls);
+  for (std::size_t& q : column_targets) q += num_qubits_;
+  for (std::size_t& q : column_controls) q += num_qubits_;
+  const ConjugatedOperator conjugated(op);
+  vectorized_.apply_operator(conjugated, column_targets, column_controls);
 }
 
 void DensityMatrix::apply_circuit(const Circuit& circuit) {
@@ -102,7 +129,7 @@ void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
   const std::size_t total = 2 * num_qubits_;
   const std::uint64_t row_mask = qubit_mask(qubit, total);
   const std::uint64_t col_mask = qubit_mask(qubit + num_qubits_, total);
-  std::vector<Amplitude> v = vectorized_.amplitudes();
+  Amplitude* v = vectorized_.mutable_amplitudes();
   const std::uint64_t dim = std::uint64_t{1} << total;
   for (std::uint64_t i = 0; i < dim; ++i) {
     if ((i & row_mask) != 0 || (i & col_mask) != 0) continue;
@@ -117,22 +144,15 @@ void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
     v[i01] *= shrink;
     v[i10] *= shrink;
   }
-  vectorized_.set_amplitudes(std::move(v));
 }
 
 void DensityMatrix::apply_circuit_with_noise(const Circuit& circuit,
                                              const NoiseModel& noise) {
   QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
                "circuit width mismatch");
-  for (const Gate& gate : circuit.gates()) {
-    apply_gate(gate);
-    const bool multi = gate.targets.size() + gate.controls.size() >= 2;
-    const double p =
-        multi ? noise.two_qubit_error : noise.single_qubit_error;
-    if (p <= 0.0) continue;
-    for (std::size_t q : gate.targets) apply_depolarizing(q, p);
-    for (std::size_t q : gate.controls) apply_depolarizing(q, p);
-  }
+  for_each_gate_with_noise(
+      circuit, noise, [&](const Gate& gate) { apply_gate(gate); },
+      [&](std::size_t q, double p) { apply_depolarizing(q, p); });
 }
 
 double DensityMatrix::trace() const {

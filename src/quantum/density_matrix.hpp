@@ -7,19 +7,28 @@
 /// the NISQ ablation.  Implementation: vec(ρ) is held as a 2n-qubit
 /// state-vector and every gate U becomes U ⊗ conj(U) (row register qubits
 /// [0, n), column register [n, 2n)), reusing the optimized state-vector
-/// kernels.  A depolarizing channel is the convex combination
-/// (1−p)·ρ + (p/3)·(XρX + YρY + ZρZ).
+/// kernels.  Matrix-free kOperator gates stay matrix-free: the operator is
+/// applied verbatim on the row register and through the ConjugatedOperator
+/// adapter on the column register, so the sparse QPE oracle composes with
+/// exact channels without any 2^q×2^q densification.  A depolarizing
+/// channel is the convex combination (1−p)·ρ + (p/3)·(XρX + YρY + ZρZ).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/random.hpp"
+#include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qtda {
+
+/// Hard width cap of the 4^n vectorized storage — one definition for the
+/// constructor check here and the fail-fast guard in make_simulator, so the
+/// two cannot drift.  13 qubits ⇒ 4^13 amplitudes ≈ 1 GiB.
+inline constexpr std::size_t kDensityMatrixMaxQubits = 13;
 
 /// An n-qubit density matrix (2n-qubit vectorized storage: 4^n amplitudes).
 class DensityMatrix {
@@ -39,10 +48,22 @@ class DensityMatrix {
   /// Matrix element ρ(r, c).
   Amplitude element(std::uint64_t row, std::uint64_t col) const;
 
-  /// Applies U·ρ·U† for a circuit-IR gate (named or dense, with controls).
+  /// Resets to the pure basis state |index⟩⟨index|.
+  void set_basis_state(std::uint64_t index);
+
+  /// Applies U·ρ·U† for a circuit-IR gate (named, dense or matrix-free
+  /// operator kind, with controls).
   void apply_gate(const Gate& gate);
   /// Applies all gates of a circuit (the global phase cancels on ρ).
   void apply_circuit(const Circuit& circuit);
+  /// U·ρ·U† for a matrix-free operator over the ordered target sub-register
+  /// (MSB-first convention of Statevector::apply_operator), conditioned on
+  /// controls: the operator runs verbatim on the row register and as
+  /// conj(op) (ConjugatedOperator) on the column register — two sub-register
+  /// applications, nothing densified.  \p op is borrowed for the call.
+  void apply_operator(const LinearOperator& op,
+                      const std::vector<std::size_t>& targets,
+                      const std::vector<std::size_t>& controls = {});
   /// Exact depolarizing channel of strength p on one qubit.
   void apply_depolarizing(std::size_t qubit, double probability);
   /// Applies a circuit with the noise model applied exactly after each gate

@@ -5,17 +5,11 @@ namespace qtda {
 Statevector run_noisy_trajectory(const Circuit& circuit,
                                  const NoiseModel& noise, Rng& rng) {
   Statevector state(circuit.num_qubits());
-  for (const Gate& gate : circuit.gates()) {
-    state.apply_gate(gate);
-    const bool multi = gate.targets.size() + gate.controls.size() >= 2;
-    const double p =
-        multi ? noise.two_qubit_error : noise.single_qubit_error;
-    if (p <= 0.0) continue;
-    for (std::size_t q : gate.targets)
-      maybe_apply_depolarizing(state, q, p, rng);
-    for (std::size_t q : gate.controls)
-      maybe_apply_depolarizing(state, q, p, rng);
-  }
+  for_each_gate_with_noise(
+      circuit, noise, [&](const Gate& gate) { state.apply_gate(gate); },
+      [&](std::size_t q, double p) {
+        maybe_apply_depolarizing(state, q, p, rng);
+      });
   if (circuit.global_phase() != 0.0)
     state.apply_global_phase(circuit.global_phase());
   return state;

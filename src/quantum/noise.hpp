@@ -53,6 +53,27 @@ void maybe_apply_depolarizing(State& state, std::size_t qubit,
   }
 }
 
+/// The error-placement policy shared by every noisy executor (trajectory
+/// sampler, exact density-matrix channel, backend default): after each gate,
+/// one depolarizing event per touched qubit — targets before controls — at
+/// the multi-qubit strength when the gate touches ≥ 2 wires.  Existing in
+/// one place only, the three executors cannot drift apart.
+/// \p apply_gate is invoked as apply_gate(const Gate&), \p apply_error as
+/// apply_error(qubit, probability).
+template <typename ApplyGate, typename ApplyError>
+void for_each_gate_with_noise(const Circuit& circuit, const NoiseModel& noise,
+                              ApplyGate&& apply_gate,
+                              ApplyError&& apply_error) {
+  for (const Gate& gate : circuit.gates()) {
+    apply_gate(gate);
+    const bool multi = gate.targets.size() + gate.controls.size() >= 2;
+    const double p = multi ? noise.two_qubit_error : noise.single_qubit_error;
+    if (p <= 0.0) continue;
+    for (std::size_t q : gate.targets) apply_error(q, p);
+    for (std::size_t q : gate.controls) apply_error(q, p);
+  }
+}
+
 /// Runs one noisy trajectory of the circuit from |0…0⟩.
 Statevector run_noisy_trajectory(const Circuit& circuit,
                                  const NoiseModel& noise, Rng& rng);

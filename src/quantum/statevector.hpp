@@ -35,6 +35,11 @@ class Statevector {
   std::size_t num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
   const std::vector<Amplitude>& amplitudes() const { return amplitudes_; }
+  /// Mutable view of the 2^n amplitudes (length dimension()) for in-place
+  /// channel kernels — the exact depolarizing channel rewrites vec(ρ)
+  /// directly instead of copying the full vector out and back in.  Callers
+  /// own normalization, exactly as with set_amplitudes().
+  Amplitude* mutable_amplitudes() { return amplitudes_.data(); }
   Amplitude amplitude(std::uint64_t index) const;
 
   /// Resets to the computational basis state |index⟩.

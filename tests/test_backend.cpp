@@ -163,8 +163,72 @@ TEST(OperatorGate, ValidationAndUnsupportedConsumers) {
   circuit.operator_gate(op, {1, 2});
   EXPECT_THROW(circuit.gates()[0].single_qubit_matrix(), Error);
   EXPECT_THROW(to_qasm(circuit), Error);
+  // Operator gates are no longer statevector-only: the density-matrix
+  // engine applies them matrix-free on both registers (identity op ⇒ ρ
+  // unchanged).
   DensityMatrix rho(3);
-  EXPECT_THROW(rho.apply_circuit(circuit), Error);
+  EXPECT_NO_THROW(rho.apply_circuit(circuit));
+  EXPECT_NEAR(std::abs(rho.element(0, 0) - Amplitude{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(SimulatorBackend, DensityMatrixWidthGuardFailsFast) {
+  const testing::ScopedSimulatorEnv restore_after;
+  testing::ScopedSimulatorEnv::clear();
+  // Direct selection beyond the 4^n cap: rejected in the factory with the
+  // cap named, before any storage is touched.
+  try {
+    make_simulator(SimulatorKind::kDensityMatrix, 14);
+    FAIL() << "expected the width guard to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("density-matrix"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("13"), std::string::npos);
+  }
+  // Within the cap the factory builds the engine (small width: a 13-qubit
+  // ρ would allocate 4^13 amplitudes ≈ 1 GB just to check a name).
+  EXPECT_EQ(make_simulator(SimulatorKind::kDensityMatrix, 4)->name(),
+            "density-matrix");
+}
+
+TEST(SimulatorBackend, EnvForcedDensityMatrixNamesTheVariable) {
+  const testing::ScopedSimulatorEnv restore_after;
+  testing::ScopedSimulatorEnv::clear();
+  setenv("QTDA_SIMULATOR", "density-matrix", 1);
+  try {
+    make_simulator(SimulatorKind::kStatevector, 14);
+    FAIL() << "expected the width guard to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QTDA_SIMULATOR"), std::string::npos)
+        << e.what();
+  }
+  // A width inside the cap is forced onto the density engine as requested.
+  EXPECT_EQ(make_simulator(SimulatorKind::kStatevector, 3)->name(),
+            "density-matrix");
+}
+
+TEST(SimulatorBackend, MalformedEnvOverridesNameTheVariable) {
+  const testing::ScopedSimulatorEnv restore_after;
+  testing::ScopedSimulatorEnv::clear();
+  setenv("QTDA_SIMULATOR", "no-such-engine", 1);
+  try {
+    make_simulator(SimulatorKind::kStatevector, 3);
+    FAIL() << "expected the simulator parse to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QTDA_SIMULATOR"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("statevector"), std::string::npos);
+  }
+  testing::ScopedSimulatorEnv::clear();
+  for (const char* bad : {"abc", "3x", "", "-2", "0"}) {
+    if (*bad == '\0') continue;  // empty means "unset" by contract
+    setenv("QTDA_SHARDS", bad, 1);
+    try {
+      make_simulator(SimulatorKind::kShardedStatevector, 3);
+      FAIL() << "expected QTDA_SHARDS=" << bad << " to throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("QTDA_SHARDS"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 }  // namespace

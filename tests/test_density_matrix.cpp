@@ -1,16 +1,25 @@
 // Tests for quantum/density_matrix.hpp: exact mixed-state evolution and
-// agreement with both the pure-state simulator and the trajectory sampler.
+// agreement with both the pure-state simulator and the trajectory sampler,
+// including the matrix-free operator-gate path (row register verbatim,
+// ConjugatedOperator on the column register) and the noisy sparse-oracle
+// QPE convergence the NISQ comparison rests on.
 #include "quantum/density_matrix.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "core/betti_estimator.hpp"
+#include "linalg/matrix_exp.hpp"
+#include "quantum/backend.hpp"
 #include "quantum/executor.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/mixed_state.hpp"
+#include "scoped_env.hpp"
+#include "topology/laplacian.hpp"
 
 namespace qtda {
 namespace {
@@ -174,6 +183,166 @@ TEST(DensityMatrix, SampleCountsAreDeterministicGivenSeed) {
   Rng a(5), b(5);
   EXPECT_EQ(rho.sample_counts({0, 1}, 100, a),
             rho.sample_counts({0, 1}, 100, b));
+}
+
+TEST(DensityMatrix, SetBasisStateResetsToPureProjector) {
+  DensityMatrix rho(2);
+  rho.apply_gate([] {
+    Gate g;
+    g.kind = GateKind::kH;
+    g.targets = {0};
+    return g;
+  }());
+  rho.set_basis_state(2);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho.element(2, 2) - Amplitude{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho.element(0, 0)), 0.0, 1e-14);
+  EXPECT_THROW(rho.set_basis_state(4), Error);
+}
+
+TEST(DensityMatrix, OperatorGateMatchesDenseGateEvolution) {
+  // The same unitary as a dense kUnitary gate and as a matrix-free
+  // kOperator gate must evolve ρ identically — the conjugated column-side
+  // application is exactly conj(U) without forming it.
+  Rng rng(77);
+  const std::size_t dim = 4;
+  RealMatrix h(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      h(i, j) = h(j, i) = rng.uniform() * 2.0 - 1.0;
+  const ComplexMatrix u = unitary_exp(h);
+
+  for (const std::vector<std::size_t>& controls :
+       {std::vector<std::size_t>{}, std::vector<std::size_t>{0}}) {
+    Circuit prep(3);
+    prep.h(0);
+    prep.ry(1, 0.8);
+    prep.rx(2, -0.5);
+    prep.cnot(0, 2);
+
+    DensityMatrix dense_rho(3), op_rho(3);
+    dense_rho.apply_circuit(prep);
+    op_rho.apply_circuit(prep);
+    // Mix things so the column register carries genuine coherences.
+    dense_rho.apply_depolarizing(1, 0.1);
+    op_rho.apply_depolarizing(1, 0.1);
+
+    Circuit dense(3);
+    dense.unitary(u, {1, 2}, controls);
+    Circuit matrix_free(3);
+    matrix_free.operator_gate(std::make_shared<DenseOperator>(u), {1, 2},
+                              controls);
+    dense_rho.apply_circuit(dense);
+    op_rho.apply_circuit(matrix_free);
+
+    for (std::uint64_t r = 0; r < 8; ++r)
+      for (std::uint64_t c = 0; c < 8; ++c)
+        EXPECT_NEAR(std::abs(dense_rho.element(r, c) - op_rho.element(r, c)),
+                    0.0, 1e-12)
+            << "controls=" << controls.size() << " r=" << r << " c=" << c;
+  }
+}
+
+TEST(DensityMatrix, SparseOracleQpeMatchesPureStateNoiselessly) {
+  // The full matrix-free QPE circuit (purification prep + operator-gate
+  // controlled powers + inverse QFT) on ρ = |0⟩⟨0| must reproduce the pure
+  // statevector outcome distribution exactly when no noise is applied.
+  const Simplex triangle_edges[] = {{0, 1}, {0, 2}, {1, 2}};
+  const auto complex = SimplicialComplex::from_simplices(
+      {triangle_edges[0], triangle_edges[1], triangle_edges[2]}, true);
+  const RealMatrix laplacian = combinatorial_laplacian(complex, 1);
+
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitSparse;
+  options.precision_qubits = 3;
+  const Circuit circuit = build_qtda_circuit(laplacian, options);
+
+  const Statevector psi = run_circuit(circuit);
+  DensityMatrix rho(circuit.num_qubits());
+  rho.apply_circuit(circuit);
+
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-9);
+  const std::vector<std::size_t> measured{0, 1, 2};
+  const auto expected = psi.marginal_probabilities(measured);
+  const auto actual = rho.marginal_probabilities(measured);
+  for (std::size_t m = 0; m < expected.size(); ++m)
+    EXPECT_NEAR(actual[m], expected[m], 1e-9) << "outcome " << m;
+}
+
+TEST(DensityMatrix, NoisySparseOracleQpeTrajectoryEnsembleConverges) {
+  // The acceptance check of the exact backend: a noisy QPE run with the
+  // matrix-free sparse oracle, evolved exactly on ρ, is the limit of
+  // run_noisy_trajectory ensembles — the outcome marginal must match the
+  // mean over ≥200 trajectories within statistical tolerance.  No dense
+  // 2^q×2^q oracle exists anywhere in this circuit (kOperator gates only).
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{0, 2}, Simplex{1, 2}}, true);
+  const RealMatrix laplacian = combinatorial_laplacian(complex, 1);
+
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitSparse;
+  options.precision_qubits = 3;
+  const Circuit circuit = build_qtda_circuit(laplacian, options);
+  std::size_t operator_gates = 0;
+  for (const Gate& gate : circuit.gates())
+    operator_gates += gate.kind == GateKind::kOperator ? 1 : 0;
+  ASSERT_EQ(operator_gates, options.precision_qubits);
+
+  const NoiseModel noise{0.02, 0.03};
+  DensityMatrix rho(circuit.num_qubits());
+  rho.apply_circuit_with_noise(circuit, noise);
+  const std::vector<std::size_t> measured{0, 1, 2};
+  const auto exact = rho.marginal_probabilities(measured);
+
+  Rng rng(2024);
+  const std::size_t trajectories = 250;
+  std::vector<double> mean(exact.size(), 0.0);
+  for (std::size_t i = 0; i < trajectories; ++i) {
+    const Statevector psi = run_noisy_trajectory(circuit, noise, rng);
+    const auto marginal = psi.marginal_probabilities(measured);
+    for (std::size_t m = 0; m < mean.size(); ++m) mean[m] += marginal[m];
+  }
+  for (std::size_t m = 0; m < mean.size(); ++m) {
+    mean[m] /= static_cast<double>(trajectories);
+    EXPECT_NEAR(mean[m], exact[m], 0.03) << "outcome " << m;
+  }
+  // Noise strictly mixes the state, and the exact channel preserves trace.
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, EstimatorRunsNoisySparseOracleOnDensityBackend) {
+  // End-to-end plumbing: EstimatorOptions::simulator = kDensityMatrix routes
+  // a noisy kCircuitSparse estimate through the exact-channel engine (one
+  // ensemble evolution, all shots sampled from it), and weak noise keeps the
+  // estimate near the noiseless reference.
+  const qtda::testing::ScopedSimulatorEnv restore_after;
+  qtda::testing::ScopedSimulatorEnv::clear();
+  const auto complex = SimplicialComplex::from_simplices(
+      {Simplex{0, 1}, Simplex{0, 2}, Simplex{1, 2}}, true);
+
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitSparse;
+  options.simulator = SimulatorKind::kDensityMatrix;
+  options.precision_qubits = 3;
+  options.shots = 20000;
+  options.noise = NoiseModel{0.001, 0.001};
+  const BettiEstimate noisy = estimate_betti(complex, 1, options);
+
+  EstimatorOptions noiseless = options;
+  noiseless.simulator = SimulatorKind::kStatevector;
+  noiseless.noise = NoiseModel{};
+  const BettiEstimate reference = estimate_betti(complex, 1, noiseless);
+
+  EXPECT_EQ(noisy.system_qubits, reference.system_qubits);
+  EXPECT_GT(noisy.circuit_gates, 0u);
+  EXPECT_NEAR(noisy.zero_probability, reference.zero_probability, 0.05);
+  EXPECT_NEAR(noisy.estimated_betti, reference.estimated_betti, 0.5);
+
+  // Sampled-basis mode exercises the exact-channel path per basis state.
+  options.mixed_state = MixedStateMode::kSampledBasis;
+  const BettiEstimate sampled = estimate_betti(complex, 1, options);
+  EXPECT_NEAR(sampled.zero_probability, reference.zero_probability, 0.05);
 }
 
 TEST(DensityMatrix, Validation) {
