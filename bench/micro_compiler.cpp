@@ -1,0 +1,142 @@
+/// \file micro_compiler.cpp
+/// \brief google-benchmark microbenches for the circuit compiler.
+///
+/// The headline pair is BM_QpeNetworkSweep (unfused, Arg 0) against
+/// BM_QpeNetworkSweepFused: the gate-dominated part of the paper's QPE
+/// network — H wall, controlled-phase oracle rungs, inverse QFT — executed
+/// gate by gate versus through a compiled plan with width-4 gate fusion.
+/// Every fused block collapses several full passes over the 2^n amplitudes
+/// into one.  BM_SparseQpeEstimate runs the whole sparse-oracle estimator
+/// end to end (compile-once ladder included), and BM_TrajectoryEnsemble
+/// measures the compile-once win of the noisy trajectory path (one plan,
+/// hundreds of trajectories — the noise slots keep RNG order identical).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/betti_estimator.hpp"
+#include "quantum/backend.hpp"
+#include "quantum/compiler.hpp"
+#include "quantum/noise.hpp"
+#include "quantum/qft.hpp"
+#include "quantum/qpe.hpp"
+#include "topology/laplacian.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace {
+
+using namespace qtda;
+
+/// The gate-only QPE network shell: H wall on t precision wires, a
+/// controlled-phase ladder standing in for the diagonalized oracle powers
+/// (one rung per precision × system wire pair), and the inverse QFT.  All
+/// named/controlled gates — the workload fusion targets.
+Circuit qpe_network(std::size_t precision, std::size_t system) {
+  QpeLayout layout;
+  layout.precision_qubits = precision;
+  layout.system_qubits = system;
+  return build_qpe_circuit(
+      layout, [&](Circuit& c, std::uint64_t power, std::size_t control) {
+        for (std::size_t s = 0; s < system; ++s) {
+          c.controlled_phase(control, precision + s,
+                             0.37 * static_cast<double>(power) /
+                                 static_cast<double>(s + 1));
+        }
+      });
+}
+
+void BM_QpeNetworkSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circuit circuit = qpe_network(n / 2, n - n / 2);
+  Statevector psi(n);
+  for (auto _ : state) {
+    psi.set_basis_state(0);
+    psi.apply_circuit(circuit);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(circuit.gate_count());
+}
+BENCHMARK(BM_QpeNetworkSweep)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_QpeNetworkSweepFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Circuit circuit = qpe_network(n / 2, n - n / 2);
+  CompilerOptions options;  // default width-4 fusion
+  const ExecutionPlan plan = compile_circuit(circuit, options);
+  Statevector psi(n);
+  for (auto _ : state) {
+    psi.set_basis_state(0);
+    psi.apply_plan(plan);
+    benchmark::DoNotOptimize(psi.amplitudes().data());
+  }
+  state.counters["gates"] = static_cast<double>(circuit.gate_count());
+  state.counters["fused_ops"] = static_cast<double>(plan.ops().size());
+}
+BENCHMARK(BM_QpeNetworkSweepFused)->Arg(12)->Arg(14)->Arg(16);
+
+/// Full sparse-oracle Betti estimate (pipeline default): circuit built,
+/// compiled once, executed with the fused plan and the shared-coefficient
+/// QPE ladder.
+void BM_SparseQpeEstimate(benchmark::State& state) {
+  const auto vertices = static_cast<std::size_t>(state.range(0));
+  std::vector<Simplex> edges;
+  for (VertexId a = 0; a < vertices; ++a)
+    for (VertexId b = a + 1; b < vertices; ++b)
+      edges.push_back(Simplex{a, b});
+  const auto complex = SimplicialComplex::from_simplices(edges, true);
+  const SparseMatrix laplacian = sparse_combinatorial_laplacian(complex, 1);
+  EstimatorOptions options;
+  options.backend = EstimatorBackend::kCircuitSparse;
+  options.precision_qubits = 4;
+  options.shots = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_betti_from_sparse_laplacian(laplacian, options)
+            .estimated_betti);
+  }
+}
+BENCHMARK(BM_SparseQpeEstimate)->Arg(5)->Arg(6);
+
+/// Noisy trajectory ensemble over a compiled plan (Arg 1) versus re-walking
+/// the raw gate IR per trajectory (Arg 0).  Same circuit — the sparse-oracle
+/// QPE network the estimator actually runs under noise — same RNG draws,
+/// same physics; the delta is pure per-gate setup cost (matrix
+/// materialization, mask building, block-base enumeration, buffer
+/// allocation), paid once instead of once per trajectory.
+void BM_TrajectoryEnsemble(benchmark::State& state) {
+  const bool compiled = state.range(0) == 1;
+  constexpr std::size_t kTrajectories = 100;
+  std::vector<Simplex> traj_edges;
+  for (VertexId a = 0; a < 4; ++a)
+    for (VertexId b = a + 1; b < 4; ++b) traj_edges.push_back(Simplex{a, b});
+  const auto traj_complex =
+      SimplicialComplex::from_simplices(traj_edges, true);
+  EstimatorOptions traj_options;
+  traj_options.backend = EstimatorBackend::kCircuitSparse;
+  traj_options.precision_qubits = 3;
+  const Circuit circuit = build_qtda_circuit(
+      sparse_combinatorial_laplacian(traj_complex, 1), traj_options);
+  const NoiseModel noise{0.01, 0.02};
+  CompilerOptions options;
+  options.preserve_noise_slots = true;
+  const ExecutionPlan plan = compile_circuit(circuit, options);
+  const std::vector<std::size_t> measured{0, 1, 2};
+  Rng rng(7);
+  for (auto _ : state) {
+    std::vector<double> mean(8, 0.0);
+    for (std::size_t i = 0; i < kTrajectories; ++i) {
+      const Statevector psi = compiled
+                                  ? run_noisy_trajectory(plan, noise, rng)
+                                  : run_noisy_trajectory(circuit, noise, rng);
+      const auto marginal = psi.marginal_probabilities(measured);
+      for (std::size_t m = 0; m < mean.size(); ++m) mean[m] += marginal[m];
+    }
+    benchmark::DoNotOptimize(mean.data());
+  }
+  state.counters["trajectories"] = static_cast<double>(kTrajectories);
+}
+BENCHMARK(BM_TrajectoryEnsemble)->Arg(0)->Arg(1);
+
+}  // namespace

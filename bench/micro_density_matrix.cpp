@@ -17,6 +17,7 @@
 #include "common/random.hpp"
 #include "core/betti_estimator.hpp"
 #include "quantum/backend.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/noise.hpp"
 #include "topology/laplacian.hpp"
@@ -72,11 +73,17 @@ void BM_TrajectoryEnsembleQpe(benchmark::State& state) {
   const Circuit circuit = qpe_circuit(vertices, 3);
   const NoiseModel noise{kSingleQubitError, kTwoQubitError};
   const std::vector<std::size_t> measured{0, 1, 2};
+  // Compile once, run every trajectory off the plan — the production path
+  // of the trajectory estimator (noise slots keep the RNG order identical
+  // to the raw-IR walk).
+  CompilerOptions compiler_options = compiler_options_from_env();
+  compiler_options.preserve_noise_slots = true;
+  const ExecutionPlan plan = compile_circuit(circuit, compiler_options);
   Rng rng(7);
   for (auto _ : state) {
     std::vector<double> mean(std::size_t{1} << measured.size(), 0.0);
     for (std::size_t i = 0; i < kMatchedTrajectories; ++i) {
-      const Statevector psi = run_noisy_trajectory(circuit, noise, rng);
+      const Statevector psi = run_noisy_trajectory(plan, noise, rng);
       const auto marginal = psi.marginal_probabilities(measured);
       for (std::size_t m = 0; m < mean.size(); ++m) mean[m] += marginal[m];
     }

@@ -19,6 +19,10 @@
 ///        --noise <p>         depolarizing strength per touched qubit
 ///        --trajectories <n>  ensemble size for the density verify (200)
 ///        --seed <n>          RNG seed (default 29)
+///        --stats             print the circuit compiler's report (gates
+///                            before/after fusion, fused-block histogram)
+///                            and the peephole optimizer's, for the very
+///                            circuit the estimate executed
 ///        --verify            statevector engines: run the dense engine and
 ///                            demand bit-identity; density-matrix: check a
 ///                            run_noisy_trajectory ensemble converges to the
@@ -30,6 +34,8 @@
 #include "common/random.hpp"
 #include "core/betti_estimator.hpp"
 #include "quantum/backend.hpp"
+#include "quantum/compiler.hpp"
+#include "quantum/optimizer.hpp"
 #include "topology/betti.hpp"
 #include "topology/laplacian.hpp"
 #include "topology/random_complex.hpp"
@@ -131,6 +137,24 @@ int main(int argc, char** argv) {
               estimate.estimated_betti, estimate.rounded_betti,
               betti_number(complex, k), estimate.total_qubits,
               estimate.circuit_gates);
+
+  if (args.get_bool("stats")) {
+    // The same circuit the estimate just executed, compiled under the very
+    // policy the estimator used (noisy estimates run noise-slot plans, so
+    // the report reflects that), next to the peephole optimizer's view.
+    const Circuit circuit = build_qtda_circuit(laplacian, options);
+    const ExecutionPlan plan =
+        compile_circuit(circuit, estimator_compiler_options(options.noise));
+    std::printf("compiler: %s", plan.stats().to_string().c_str());
+    OptimizerReport report;
+    optimize_circuit(circuit, &report);
+    std::printf(
+        "optimizer: %zu -> %zu gates, depth %zu -> %zu (%zu pairs "
+        "cancelled, %zu rotations merged, %zu dropped)\n",
+        report.gates_before, report.gates_after, report.depth_before,
+        report.depth_after, report.cancelled_pairs, report.merged_rotations,
+        report.dropped_rotations);
+  }
 
   if (args.get_bool("verify")) {
     if (options.simulator == SimulatorKind::kDensityMatrix) {

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "linalg/expm_multiply.hpp"
 #include "linalg/matrix_exp.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/mixed_state.hpp"
 #include "quantum/pauli.hpp"
 #include "quantum/qpe.hpp"
@@ -22,6 +23,29 @@ QpeLayout make_layout(const EstimatorOptions& options,
   layout.system_qubits = system_qubits;
   layout.ancilla_qubits = with_purification ? system_qubits : 0;
   return layout;
+}
+
+/// QPE network with Trotterized controlled powers, shared by the dense and
+/// CSR decomposition routes (they differ only in how the PauliSum was
+/// obtained).
+Circuit build_trotter_qpe(const PauliSum& hamiltonian,
+                          const EstimatorOptions& options,
+                          const QpeLayout& layout) {
+  const std::size_t offset = layout.precision_qubits;
+  return build_qpe_circuit(
+      layout, [&](Circuit& c, std::uint64_t power, std::size_t control) {
+        // options.trotter.steps is per unit of simulated time; U^{2^j}
+        // simulates 2^j time units, so the step count scales with the
+        // power — otherwise the large controlled powers dominate the
+        // splitting error.
+        TrotterOptions scaled_trotter = options.trotter;
+        scaled_trotter.steps =
+            options.trotter.steps * static_cast<std::size_t>(power);
+        const Circuit fragment =
+            trotter_circuit(hamiltonian, static_cast<double>(power),
+                            scaled_trotter, layout.total(), offset);
+        c.append_circuit(fragment.controlled_on(control));
+      });
 }
 
 /// Builds the full QPE circuit (state prep + network) for the given scaled
@@ -47,23 +71,8 @@ Circuit build_estimator_circuit(const ScaledHamiltonian& scaled,
 
   Circuit qpe = [&] {
     if (options.backend == EstimatorBackend::kCircuitTrotter) {
-      const PauliSum hamiltonian = pauli_decompose(scaled.matrix);
-      const std::size_t offset = layout.precision_qubits;
-      return build_qpe_circuit(
-          layout,
-          [&](Circuit& c, std::uint64_t power, std::size_t control) {
-            // options.trotter.steps is per unit of simulated time; U^{2^j}
-            // simulates 2^j time units, so the step count scales with the
-            // power — otherwise the large controlled powers dominate the
-            // splitting error.
-            TrotterOptions scaled_trotter = options.trotter;
-            scaled_trotter.steps = options.trotter.steps *
-                                   static_cast<std::size_t>(power);
-            const Circuit fragment =
-                trotter_circuit(hamiltonian, static_cast<double>(power),
-                                scaled_trotter, layout.total(), offset);
-            c.append_circuit(fragment.controlled_on(control));
-          });
+      return build_trotter_qpe(pauli_decompose(scaled.matrix), options,
+                               layout);
     }
     // kCircuitExact: dense controlled powers from the eigendecomposition.
     const HamiltonianExponential exponential(scaled.matrix);
@@ -72,6 +81,28 @@ Circuit build_estimator_circuit(const ScaledHamiltonian& scaled,
     });
   }();
   circuit.append_circuit(qpe);
+  return circuit;
+}
+
+/// Trotter-on-CSR: the Pauli decomposition is read straight off the sparse
+/// structure (pauli_decompose's CSR overload), so the scaled Laplacian is
+/// never densified on the way to the Fig. 7 circuit — the Trotter backend
+/// now rides the sparse spine like the operator oracle does.
+Circuit build_estimator_circuit_trotter_sparse(
+    const SparseScaledHamiltonian& scaled, const EstimatorOptions& options,
+    bool with_purification) {
+  const QpeLayout layout =
+      make_layout(options, scaled.num_qubits, with_purification);
+  QTDA_REQUIRE(layout.total() <= 30,
+               "register of " << layout.total()
+                              << " qubits exceeds the state-vector budget");
+  Circuit circuit(layout.total());
+  if (with_purification) {
+    append_mixed_state_preparation(circuit, layout.ancilla_wires(),
+                                   layout.system_wires());
+  }
+  circuit.append_circuit(
+      build_trotter_qpe(pauli_decompose(scaled.matrix), options, layout));
   return circuit;
 }
 
@@ -119,6 +150,14 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   const std::unique_ptr<SimulatorBackend> backend = make_simulator(
       options.simulator, circuit.num_qubits(), options.simulator_shards);
 
+  // Compile once, execute many: every shot batch, sampled-basis state and
+  // noise trajectory below reuses this one plan (fused sweeps, precomputed
+  // masks/offsets, persistent scratch).  Noisy runs compile with noise
+  // slots preserved so the error placement and RNG draw order match the
+  // uncompiled walk exactly.
+  const ExecutionPlan plan =
+      compile_circuit(circuit, estimator_compiler_options(options.noise));
+
   // Noisy evolution runs through the backend's own channel semantics
   // (run_noisy_trajectory's error placement and RNG consumption order).
   // Exact-channel backends (density matrix) evolve the whole ensemble in
@@ -129,17 +168,17 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   if (purify) {
     if (options.noise.is_noiseless()) {
       backend->prepare_basis_state(0);
-      backend->apply_circuit(circuit);
+      backend->apply_plan(plan);
       estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
     } else if (exact_channels) {
       backend->prepare_basis_state(0);
-      backend->apply_circuit_with_noise(circuit, options.noise, rng);
+      backend->apply_plan_with_noise(plan, options.noise, rng);
       estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
     } else {
       std::uint64_t zeros = 0;
       for (std::size_t shot = 0; shot < options.shots; ++shot) {
         backend->prepare_basis_state(0);
-        backend->apply_circuit_with_noise(circuit, options.noise, rng);
+        backend->apply_plan_with_noise(plan, options.noise, rng);
         zeros += backend->sample(measured, 1, rng)[0];
       }
       estimate.zero_counts = zeros;
@@ -163,17 +202,17 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
     const std::uint64_t initial = basis << shift;
     if (options.noise.is_noiseless()) {
       backend->prepare_basis_state(initial);
-      backend->apply_circuit(circuit);
+      backend->apply_plan(plan);
       zeros += backend->sample(measured, s, rng)[0];
     } else if (exact_channels) {
       backend->prepare_basis_state(initial);
-      backend->apply_circuit_with_noise(circuit, options.noise, rng);
+      backend->apply_plan_with_noise(plan, options.noise, rng);
       zeros += backend->sample(measured, s, rng)[0];
     } else {
       for (std::uint64_t shot = 0; shot < s; ++shot) {
         Rng traj_rng = rng.split(shot * dim + basis);
         backend->prepare_basis_state(initial);
-        backend->apply_circuit_with_noise(circuit, options.noise, traj_rng);
+        backend->apply_plan_with_noise(plan, options.noise, traj_rng);
         zeros += backend->sample(measured, 1, rng)[0];
       }
     }
@@ -208,6 +247,12 @@ SparseMatrix dense_to_sparse(const RealMatrix& m) {
 
 }  // namespace
 
+CompilerOptions estimator_compiler_options(const NoiseModel& noise) {
+  CompilerOptions options = compiler_options_from_env();
+  options.preserve_noise_slots = !noise.is_noiseless();
+  return options;
+}
+
 Circuit build_qtda_circuit(const RealMatrix& laplacian,
                            const EstimatorOptions& options) {
   QTDA_REQUIRE(options.backend != EstimatorBackend::kAnalytic,
@@ -227,15 +272,20 @@ Circuit build_qtda_circuit(const RealMatrix& laplacian,
 
 Circuit build_qtda_circuit(const SparseMatrix& laplacian,
                            const EstimatorOptions& options) {
-  QTDA_REQUIRE(options.backend == EstimatorBackend::kCircuitSparse,
-               "the sparse circuit builder is kCircuitSparse-only; the other "
-               "backends need the dense matrix — use the dense overload");
+  QTDA_REQUIRE(options.backend == EstimatorBackend::kCircuitSparse ||
+                   options.backend == EstimatorBackend::kCircuitTrotter,
+               "the sparse circuit builder supports kCircuitSparse and "
+               "kCircuitTrotter; the other backends need the dense matrix — "
+               "use the dense overload");
   const double delta = options.delta > 0.0 ? options.delta : default_delta();
   const bool purify = options.mixed_state == MixedStateMode::kPurification;
   const SparsePaddedLaplacian padded =
       pad_laplacian_sparse(laplacian, options.padding);
-  return build_estimator_circuit_sparse(
-      rescale_laplacian_sparse(padded, delta), options, purify);
+  const SparseScaledHamiltonian scaled =
+      rescale_laplacian_sparse(padded, delta);
+  return options.backend == EstimatorBackend::kCircuitSparse
+             ? build_estimator_circuit_sparse(scaled, options, purify)
+             : build_estimator_circuit_trotter_sparse(scaled, options, purify);
 }
 
 BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
@@ -286,9 +336,11 @@ BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
 
 BettiEstimate estimate_betti_from_sparse_laplacian(
     const SparseMatrix& laplacian, const EstimatorOptions& options) {
-  if (options.backend != EstimatorBackend::kCircuitSparse) {
-    // The other backends need the dense matrix anyway (eigensolve / Pauli
-    // decomposition), so densify up front.
+  if (options.backend != EstimatorBackend::kCircuitSparse &&
+      options.backend != EstimatorBackend::kCircuitTrotter) {
+    // The analytic and dense-oracle backends need the dense matrix anyway
+    // (eigensolve), so densify up front.  kCircuitTrotter stays sparse: its
+    // Pauli decomposition reads CSR directly.
     return estimate_betti_from_laplacian(laplacian.to_dense(), options);
   }
   validate_options(options);
@@ -319,7 +371,9 @@ BettiEstimate estimate_betti_from_sparse_laplacian(
   Rng rng(options.seed);
   const bool purify = options.mixed_state == MixedStateMode::kPurification;
   const Circuit circuit =
-      build_estimator_circuit_sparse(scaled, options, purify);
+      options.backend == EstimatorBackend::kCircuitSparse
+          ? build_estimator_circuit_sparse(scaled, options, purify)
+          : build_estimator_circuit_trotter_sparse(scaled, options, purify);
   const QpeLayout layout = make_layout(options, scaled.num_qubits, purify);
   execute_circuit_estimate(estimate, circuit, layout, options, purify, rng);
   finalize_estimate(estimate, options, dim);
@@ -334,8 +388,10 @@ BettiEstimate estimate_betti(const SimplicialComplex& complex, int k,
     empty.precision_qubits = options.precision_qubits;
     return empty;
   }
-  if (options.backend == EstimatorBackend::kCircuitSparse) {
-    // CSR end to end: the dense |S_k|×|S_k| Laplacian is never formed.
+  if (options.backend == EstimatorBackend::kCircuitSparse ||
+      options.backend == EstimatorBackend::kCircuitTrotter) {
+    // CSR end to end: the dense |S_k|×|S_k| Laplacian is never formed (the
+    // Trotter backend decomposes into Pauli strings straight from CSR).
     return estimate_betti_from_sparse_laplacian(
         sparse_combinatorial_laplacian(complex, k), options);
   }

@@ -38,6 +38,7 @@
 #include "linalg/sparse_matrix.hpp"
 #include "quantum/backend.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/trotter.hpp"
 #include "topology/simplicial_complex.hpp"
@@ -105,6 +106,13 @@ struct BettiEstimate {
   std::size_t circuit_gates = 0;     ///< 0 for the analytic backend
   std::size_t circuit_depth = 0;     ///< 0 for the analytic backend
 };
+
+/// The compile policy of the estimator's execution stage: environment-driven
+/// fusion knobs (QTDA_FUSE / QTDA_FUSE_WIDTH), with noise slots preserved
+/// whenever the noise model is active so error placement and RNG order match
+/// the uncompiled walk.  Exposed so stats/diagnostic surfaces report the
+/// plan the estimator actually runs instead of re-deriving the policy.
+CompilerOptions estimator_compiler_options(const NoiseModel& noise);
 
 /// Builds the paper's full circuit (Fig. 2 purification prep when the
 /// mixed-state mode asks for it, plus the Fig. 6 QPE network) for a given

@@ -1,6 +1,9 @@
 #include "linalg/expm_multiply.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -15,6 +18,61 @@ std::size_t chebyshev_order(double z) {
   const double az = std::abs(z);
   return static_cast<std::size_t>(std::ceil(az)) +
          static_cast<std::size_t>(12.0 * std::cbrt(az + 1.0)) + 25;
+}
+
+/// Computes the truncated Jacobi–Anger coefficient vector
+/// a_k = (2 − δ_{k0}) i^k J_k(z) e^{iφ} for z = θh, φ = θc.
+std::vector<std::complex<double>> exp_coefficients(double z, double phi,
+                                                   double tolerance) {
+  const double az = std::abs(z);
+  const std::vector<double> bessel =
+      bessel_j_sequence(chebyshev_order(az), az);
+  // Truncate the tail only — below k ≈ z the coefficients oscillate through
+  // small values without having decayed.
+  std::size_t last = 0;
+  for (std::size_t k = 0; k < bessel.size(); ++k)
+    if (std::abs(bessel[k]) > tolerance) last = k;
+
+  const std::complex<double> phase{std::cos(phi), std::sin(phi)};
+  std::vector<std::complex<double>> coefficients(last + 1);
+  // i^k cycles (1, i, −1, −i); J_k(−z) = (−1)^k J_k(z) folds the sign of z in.
+  std::complex<double> ik{1.0, 0.0};
+  const std::complex<double> i_unit =
+      z >= 0.0 ? std::complex<double>{0.0, 1.0}
+               : std::complex<double>{0.0, -1.0};
+  for (std::size_t k = 0; k <= last; ++k) {
+    const double weight = (k == 0 ? 1.0 : 2.0) * bessel[k];
+    coefficients[k] = weight * ik * phase;
+    ik *= i_unit;
+  }
+  return coefficients;
+}
+
+/// Process-wide memo of coefficient vectors.  The coefficients are a pure
+/// function of (z, φ, tolerance), so the 2^j ladder of one QPE circuit and
+/// every rebuild of that ladder (each estimate, trajectory study, and bench
+/// iteration constructs the operators afresh) share one Bessel derivation.
+/// Bounded: cleared wholesale when it grows past a generous cap — the
+/// working set of any one experiment is a handful of ladders.
+std::shared_ptr<const std::vector<std::complex<double>>>
+shared_exp_coefficients(double z, double phi, double tolerance) {
+  using Key = std::tuple<double, double, double>;
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const std::vector<std::complex<double>>>>
+      cache;
+  constexpr std::size_t kMaxEntries = 512;
+
+  const Key key{z, phi, tolerance};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto computed = std::make_shared<const std::vector<std::complex<double>>>(
+      exp_coefficients(z, phi, tolerance));
+  std::lock_guard<std::mutex> lock(mutex);
+  if (cache.size() >= kMaxEntries) cache.clear();
+  return cache.emplace(key, std::move(computed)).first->second;
 }
 
 }  // namespace
@@ -75,30 +133,8 @@ SparseExpOperator::SparseExpOperator(std::shared_ptr<const SparseMatrix> a,
   QTDA_REQUIRE(lambda_max >= lambda_min, "spectral bounds out of order");
   center_ = 0.5 * (lambda_max + lambda_min);
   half_width_ = 0.5 * (lambda_max - lambda_min);
-
-  const double z = theta_ * half_width_;
-  const double az = std::abs(z);
-  const std::vector<double> bessel =
-      bessel_j_sequence(chebyshev_order(az), az);
-  // Truncate the tail only — below k ≈ z the coefficients oscillate through
-  // small values without having decayed.
-  std::size_t last = 0;
-  for (std::size_t k = 0; k < bessel.size(); ++k)
-    if (std::abs(bessel[k]) > options.tolerance) last = k;
-
-  const std::complex<double> phase{std::cos(theta_ * center_),
-                                   std::sin(theta_ * center_)};
-  coefficients_.resize(last + 1);
-  // i^k cycles (1, i, −1, −i); J_k(−z) = (−1)^k J_k(z) folds the sign of z in.
-  std::complex<double> ik{1.0, 0.0};
-  const std::complex<double> i_unit =
-      z >= 0.0 ? std::complex<double>{0.0, 1.0}
-               : std::complex<double>{0.0, -1.0};
-  for (std::size_t k = 0; k <= last; ++k) {
-    const double weight = (k == 0 ? 1.0 : 2.0) * bessel[k];
-    coefficients_[k] = weight * ik * phase;
-    ik *= i_unit;
-  }
+  coefficients_ = shared_exp_coefficients(theta_ * half_width_,
+                                          theta_ * center_, options.tolerance);
 }
 
 void SparseExpOperator::apply_serial(
@@ -107,9 +143,10 @@ void SparseExpOperator::apply_serial(
     std::vector<std::complex<double>>& t_cur,
     std::vector<std::complex<double>>& scratch, bool parallel_matvec) const {
   const std::size_t n = a_->rows();
-  const std::complex<double> a0 = coefficients_[0];
+  const std::vector<std::complex<double>>& coefficients = *coefficients_;
+  const std::complex<double> a0 = coefficients[0];
   for (std::size_t i = 0; i < n; ++i) y[i] = a0 * x[i];
-  if (coefficients_.size() == 1) return;
+  if (coefficients.size() == 1) return;
 
   const double inv_h = 1.0 / half_width_;  // ≥ 2 terms ⇒ z ≠ 0 ⇒ h > 0
   // T_0·x = x, T_1·x = B·x with B = (A − c·I)/h.
@@ -117,13 +154,13 @@ void SparseExpOperator::apply_serial(
   a_->multiply(x, t_cur.data(), parallel_matvec);
   for (std::size_t i = 0; i < n; ++i)
     t_cur[i] = (t_cur[i] - center_ * x[i]) * inv_h;
-  const std::complex<double> a1 = coefficients_[1];
+  const std::complex<double> a1 = coefficients[1];
   for (std::size_t i = 0; i < n; ++i) y[i] += a1 * t_cur[i];
 
-  for (std::size_t k = 2; k < coefficients_.size(); ++k) {
+  for (std::size_t k = 2; k < coefficients.size(); ++k) {
     // T_{k} = 2B·T_{k−1} − T_{k−2}, overwriting the oldest buffer.
     a_->multiply(t_cur.data(), scratch.data(), parallel_matvec);
-    const std::complex<double> ak = coefficients_[k];
+    const std::complex<double> ak = coefficients[k];
     for (std::size_t i = 0; i < n; ++i) {
       const std::complex<double> next =
           2.0 * (scratch[i] - center_ * t_cur[i]) * inv_h - t_prev[i];

@@ -74,9 +74,17 @@ class SparseExpOperator final : public LinearOperator {
                    std::size_t count) const override;
 
   /// Number of retained expansion terms (matvecs per application).
-  std::size_t num_terms() const { return coefficients_.size(); }
+  std::size_t num_terms() const { return coefficients_->size(); }
 
   double theta() const { return theta_; }
+
+  /// The shared coefficient vector — exposed so tests can assert that equal
+  /// setups (the 2^j ladder rebuilt across shots/trajectories/estimates)
+  /// share one computation instead of rederiving Bessel sequences.
+  std::shared_ptr<const std::vector<std::complex<double>>> coefficients()
+      const {
+    return coefficients_;
+  }
 
  private:
   void apply_serial(const std::complex<double>* x, std::complex<double>* y,
@@ -90,7 +98,10 @@ class SparseExpOperator final : public LinearOperator {
   double center_ = 0.0;      ///< spectral center c
   double half_width_ = 0.0;  ///< spectral half-width h (0 ⇒ A = c·I)
   /// a_k = (2 − δ_{k0}) i^k J_k(θh) · e^{iθc}, truncated at tolerance.
-  std::vector<std::complex<double>> coefficients_;
+  /// Shared through a process-wide memo: the coefficients depend only on
+  /// (z = θh, φ = θc, tolerance), so every controlled power of the QPE
+  /// ladder — and every rebuild of the same ladder — reuses one setup.
+  std::shared_ptr<const std::vector<std::complex<double>>> coefficients_;
 };
 
 }  // namespace qtda

@@ -18,6 +18,7 @@
 #include "common/random.hpp"
 #include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/sharded_statevector.hpp"
@@ -60,6 +61,26 @@ class SimulatorBackend {
 
   /// Applies a full circuit including its global phase.
   virtual void apply_circuit(const Circuit& circuit) = 0;
+
+  /// Multiplies the state by e^{iφ} (a no-op for density-matrix engines,
+  /// where the phase cancels on ρ).
+  virtual void apply_global_phase(double phi) = 0;
+
+  /// Executes a compiled plan (quantum/compiler.hpp), including its global
+  /// phase.  The default walks the plan's ops through apply_gate — every
+  /// backend gets gate fusion and the precompiled matrices for free; dense
+  /// engines override with a masks-and-arena fast path.  One plan may be
+  /// reused across many executions (that is the point), but only one
+  /// executor may run it at a time: the scratch arena is shared.
+  virtual void apply_plan(const ExecutionPlan& plan);
+
+  /// Noisy counterpart of apply_plan: the plan must have been compiled with
+  /// preserve_noise_slots, so each op carries the touched-qubit slot of its
+  /// source gate and the walk keeps apply_circuit_with_noise's exact error
+  /// placement and RNG consumption order while skipping all per-gate setup.
+  /// The global phase is dropped, as in apply_circuit_with_noise.
+  virtual void apply_plan_with_noise(const ExecutionPlan& plan,
+                                     const NoiseModel& noise, Rng& rng);
 
   /// Applies a matrix-free operator to the ordered target sub-register
   /// (MSB-first convention of apply_unitary), conditioned on controls.
@@ -108,6 +129,12 @@ class StatevectorBackend final : public SimulatorBackend {
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
+  void apply_global_phase(double phi) override;
+  /// Fast path: precomputed masks/offsets + the plan's scratch arena — no
+  /// per-gate validation, matrix building, or allocation.
+  void apply_plan(const ExecutionPlan& plan) override;
+  void apply_plan_with_noise(const ExecutionPlan& plan,
+                             const NoiseModel& noise, Rng& rng) override;
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls) override;
@@ -142,6 +169,10 @@ class ShardedStatevectorBackend final : public SimulatorBackend {
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
+  void apply_global_phase(double phi) override;
+  /// Plan execution with native slab-local diagonals (other op kinds run
+  /// through the ordinary gate kernels, which fused blocks already reach).
+  void apply_plan(const ExecutionPlan& plan) override;
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls) override;
@@ -178,6 +209,9 @@ class DensityMatrixBackend final : public SimulatorBackend {
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
+  void apply_global_phase(double phi) override;
+  /// Plan execution with native one-pass DρD† diagonals.
+  void apply_plan(const ExecutionPlan& plan) override;
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls) override;

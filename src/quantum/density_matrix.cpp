@@ -115,6 +115,30 @@ void DensityMatrix::apply_circuit(const Circuit& circuit) {
   // e^{iφ}ρe^{−iφ} = ρ: the global phase cancels.
 }
 
+void DensityMatrix::apply_diagonal(const std::vector<Amplitude>& diag,
+                                   const DiagonalExtract& extract) {
+  // vec(DρD†) entry (r, c) scales by table[l(r)]·conj(table[l(c)]).  The
+  // row register holds the high n bits of the vectorized index, the column
+  // register the low n bits; both reuse the n-register extraction recipe on
+  // their own half.
+  const std::size_t runs = extract.shifts.size();
+  const Amplitude* table = diag.data();
+  Amplitude* v = vectorized_.mutable_amplitudes();
+  const std::uint64_t dim = vectorized_.dimension();
+  const std::uint64_t col_mask = (std::uint64_t{1} << num_qubits_) - 1;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const std::uint64_t row = i >> num_qubits_;
+    const std::uint64_t col = i & col_mask;
+    std::uint64_t row_local = 0;
+    std::uint64_t col_local = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      row_local |= (row >> extract.shifts[r]) & extract.masks[r];
+      col_local |= (col >> extract.shifts[r]) & extract.masks[r];
+    }
+    v[i] *= table[row_local] * std::conj(table[col_local]);
+  }
+}
+
 void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
   QTDA_REQUIRE(qubit < num_qubits_, "qubit out of range");
   QTDA_REQUIRE(probability >= 0.0 && probability <= 1.0,

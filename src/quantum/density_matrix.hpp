@@ -64,6 +64,12 @@ class DensityMatrix {
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls = {});
+  /// Fused diagonal D (quantum/compiler.hpp convention: 2^m table over the
+  /// ordered target list, extraction recipe for the n-qubit register):
+  /// applies DρD† in one pass over vec(ρ) — each entry picks up
+  /// table[row index]·conj(table[column index]).
+  void apply_diagonal(const std::vector<Amplitude>& diag,
+                      const DiagonalExtract& extract);
   /// Exact depolarizing channel of strength p on one qubit.
   void apply_depolarizing(std::size_t qubit, double probability);
   /// Applies a circuit with the noise model applied exactly after each gate

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/gates.hpp"
 #include "quantum/statevector.hpp"
 
@@ -76,6 +77,15 @@ void for_each_gate_with_noise(const Circuit& circuit, const NoiseModel& noise,
 
 /// Runs one noisy trajectory of the circuit from |0…0⟩.
 Statevector run_noisy_trajectory(const Circuit& circuit,
+                                 const NoiseModel& noise, Rng& rng);
+
+/// Compile-once variant for trajectory ensembles: the plan must have been
+/// compiled with preserve_noise_slots, so every trajectory reuses the
+/// precompiled ops and the plan's scratch arena instead of re-walking the
+/// raw gate IR (matrix construction, mask building, buffer allocation per
+/// gate per trajectory).  Error placement and RNG consumption are identical
+/// to the Circuit overload.
+Statevector run_noisy_trajectory(const ExecutionPlan& plan,
                                  const NoiseModel& noise, Rng& rng);
 
 }  // namespace qtda

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "linalg/matrix_ops.hpp"
@@ -202,6 +204,104 @@ PauliSum pauli_decompose(const RealMatrix& hamiltonian, double tolerance) {
 
 PauliSum pauli_decompose(const ComplexMatrix& hamiltonian, double tolerance) {
   return decompose_impl(hamiltonian, tolerance);
+}
+
+namespace {
+
+/// Letters of the string encoded by (f, s) at qubit q: integer bit
+/// b = n−1−q (the MSB-first index convention of phase_for / flip_mask).
+///   f-bit  s-bit  letter
+///     0      0      I
+///     0      1      Z
+///     1      0      X
+///     1      1      Y
+PauliString string_from_masks(std::uint64_t f, std::uint64_t s,
+                              std::size_t n) {
+  std::vector<PauliKind> kinds(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::uint64_t bit = std::uint64_t{1} << (n - 1 - q);
+    const bool fb = (f & bit) != 0;
+    const bool sb = (s & bit) != 0;
+    kinds[q] = fb ? (sb ? PauliKind::Y : PauliKind::X)
+                  : (sb ? PauliKind::Z : PauliKind::I);
+  }
+  return PauliString(std::move(kinds));
+}
+
+}  // namespace
+
+PauliSum pauli_decompose(const SparseMatrix& h, double tolerance) {
+  QTDA_REQUIRE(h.rows() == h.cols(), "decomposition needs a square matrix");
+  const std::uint64_t dim = h.rows();
+  QTDA_REQUIRE(dim > 1 && (dim & (dim - 1)) == 0,
+               "matrix dimension must be a power of two, got " << dim);
+  std::size_t n = 0;
+  while ((std::uint64_t{1} << n) < dim) ++n;
+  QTDA_REQUIRE(n <= 16, "sparse Pauli decomposition over " << n
+                            << " qubits needs a 2^" << n
+                            << " work vector per flip pattern; cap is 16");
+
+  // Real symmetric input is what makes the coefficients real (the dense
+  // path's Hermitian requirement, specialized).
+  const SparseMatrix ht = h.transposed();
+  QTDA_REQUIRE(h.row_offsets() == ht.row_offsets() &&
+                   h.col_indices() == ht.col_indices(),
+               "decomposition needs a structurally symmetric matrix");
+  for (std::size_t i = 0; i < h.values().size(); ++i)
+    QTDA_REQUIRE(std::abs(h.values()[i] - ht.values()[i]) < 1e-9,
+                 "decomposition needs a symmetric matrix");
+
+  // Bucket the nonzeros by flip pattern f = row ⊕ col.  Within one bucket
+  // the entries form the vector d_f(l) = H(l, l⊕f).
+  std::map<std::uint64_t, std::vector<std::pair<std::uint64_t, double>>>
+      by_flip;
+  const auto& offsets = h.row_offsets();
+  const auto& cols = h.col_indices();
+  const auto& values = h.values();
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::size_t idx = offsets[r]; idx < offsets[r + 1]; ++idx) {
+      if (values[idx] == 0.0) continue;
+      by_flip[r ^ cols[idx]].push_back({r, values[idx]});
+    }
+  }
+
+  std::vector<PauliTerm> terms;
+  std::vector<double> d(dim);
+  const double inv_dim = 1.0 / static_cast<double>(dim);
+  for (const auto& [f, entries] : by_flip) {
+    std::fill(d.begin(), d.end(), 0.0);
+    for (const auto& [l, v] : entries) d[l] = v;
+    // In-place fast Walsh–Hadamard: t(s) = Σ_l (−1)^{popcount(l∧s)} d(l).
+    for (std::uint64_t len = 1; len < dim; len <<= 1) {
+      for (std::uint64_t i = 0; i < dim; i += len << 1) {
+        for (std::uint64_t j = i; j < i + len; ++j) {
+          const double a = d[j];
+          const double b = d[j + len];
+          d[j] = a + b;
+          d[j + len] = a - b;
+        }
+      }
+    }
+    for (std::uint64_t s = 0; s < dim; ++s) {
+      // Tr(P·H) picks up i^{|Y|}; symmetry cancels the odd-|Y| strings
+      // exactly (their transform is zero up to rounding), and the even ones
+      // contribute the real sign (−1)^{|Y|/2}.
+      const int y_count = __builtin_popcountll(s & f);
+      if (y_count % 2 != 0) continue;
+      const double sign = (y_count / 2) % 2 == 0 ? 1.0 : -1.0;
+      const double coeff = sign * d[s] * inv_dim;
+      if (std::abs(coeff) > tolerance)
+        terms.push_back({coeff, string_from_masks(f, s, n)});
+    }
+  }
+  // The dense path emits strings in base-4 code order (I<X<Y<Z per qubit,
+  // MSB first) — lexicographic on the kind vectors.  Match it so the two
+  // overloads are drop-in interchangeable (Trotter applies terms in order).
+  std::sort(terms.begin(), terms.end(),
+            [](const PauliTerm& a, const PauliTerm& b) {
+              return a.string < b.string;
+            });
+  return PauliSum(std::move(terms));
 }
 
 }  // namespace qtda

@@ -337,6 +337,15 @@ void ShardedStatevector::apply_global_phase(double phi) {
   });
 }
 
+void ShardedStatevector::apply_diagonal(const std::vector<Amplitude>& diag,
+                                        const DiagonalExtract& extract) {
+  const Amplitude* table = diag.data();
+  barrier_step([&](std::size_t s) {
+    apply_diagonal_run(slabs_[s].data(), begins_[s],
+                       begins_[s + 1] - begins_[s], extract, table);
+  });
+}
+
 std::vector<double> ShardedStatevector::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   const std::vector<std::uint64_t> bit_mask =

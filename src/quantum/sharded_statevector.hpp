@@ -79,6 +79,12 @@ class ShardedStatevector {
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls = {});
+  /// Fused diagonal (quantum/compiler.hpp): a diagonal never pairs
+  /// amplitudes, so every slab multiplies its own run independently — one
+  /// barrier step, no partner-slab traffic, and per-amplitude arithmetic
+  /// bit-identical to the dense engine's diagonal kernel.
+  void apply_diagonal(const std::vector<Amplitude>& diag,
+                      const DiagonalExtract& extract);
   void apply_global_phase(double phi);
 
   // -- measurement -----------------------------------------------------------

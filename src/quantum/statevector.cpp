@@ -19,6 +19,26 @@ namespace {
 /// ordered-reduction chunkings — the root of their bit-identical marginals.
 constexpr std::uint64_t kParallelThreshold = kStatevectorParallelThreshold;
 
+/// Reusable per-thread buffers for the non-plan entry points: apply_unitary
+/// and apply_operator used to allocate their gather/scatter scratch on every
+/// call (and every OpenMP worker allocated its own per gate); these persist
+/// for the thread's lifetime instead.  Plan execution uses the plan's own
+/// arena, not these.
+std::vector<Amplitude>& thread_block_scratch() {
+  thread_local std::vector<Amplitude> buffer;
+  return buffer;
+}
+
+std::vector<Amplitude>& thread_packed_in() {
+  thread_local std::vector<Amplitude> buffer;
+  return buffer;
+}
+
+std::vector<Amplitude>& thread_packed_out() {
+  thread_local std::vector<Amplitude> buffer;
+  return buffer;
+}
+
 }  // namespace
 
 Statevector::Statevector(std::size_t num_qubits)
@@ -77,7 +97,13 @@ void Statevector::apply_single_qubit(const ComplexMatrix& u,
     QTDA_REQUIRE(c < num_qubits_ && c != target, "bad control qubit");
     cmask |= qubit_mask(c, num_qubits_);
   }
-  const Amplitude u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  single_qubit_kernel(u(0, 0), u(0, 1), u(1, 0), u(1, 1), mask, cmask);
+}
+
+void Statevector::single_qubit_kernel(Amplitude u00, Amplitude u01,
+                                      Amplitude u10, Amplitude u11,
+                                      std::uint64_t mask,
+                                      std::uint64_t cmask) {
   const std::uint64_t dim = dimension();
   Amplitude* amp = amplitudes_.data();
 
@@ -119,14 +145,17 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
                "unitary shape does not match target count");
   const TargetLayout layout =
       build_target_layout(targets, controls, num_qubits_);
-  const std::uint64_t tmask = layout.tmask;
-  const std::uint64_t cmask = layout.cmask;
-  const std::vector<std::uint64_t> offset =
-      block_offsets(layout.local_bit_mask);
+  block_kernel(u, layout.tmask, layout.cmask,
+               block_offsets(layout.local_bit_mask), thread_block_scratch());
+}
 
+void Statevector::block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
+                               std::uint64_t cmask,
+                               const std::vector<std::uint64_t>& offset,
+                               std::vector<Amplitude>& scratch) {
+  const std::uint64_t block = offset.size();
   const std::uint64_t dim = dimension();
   Amplitude* amp = amplitudes_.data();
-  std::vector<Amplitude> scratch(block);
 
   const auto body = [&](std::uint64_t base, std::vector<Amplitude>& buf) {
     for (std::uint64_t l = 0; l < block; ++l) buf[l] = amp[base | offset[l]];
@@ -142,7 +171,9 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
 #ifdef QTDA_HAVE_OPENMP
 #pragma omp parallel
     {
-      std::vector<Amplitude> local(block);
+      // Per-OpenMP-thread reusable buffer (persists across gates).
+      std::vector<Amplitude>& local = thread_block_scratch();
+      local.resize(block);
 #pragma omp for schedule(static)
       for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
         const auto idx = static_cast<std::uint64_t>(i);
@@ -152,6 +183,7 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
     return;
 #endif
   }
+  scratch.resize(block);
   for (std::uint64_t i = 0; i < dim; ++i) {
     if ((i & tmask) == 0 && (i & cmask) == cmask) body(i, scratch);
   }
@@ -178,15 +210,31 @@ void Statevector::apply_operator(const LinearOperator& op,
 
   const std::vector<std::uint64_t> bases =
       enumerate_block_bases(dimension(), layout.tmask, layout.cmask);
+  operator_kernel(op, contiguous, offset, bases, thread_packed_in(),
+                  thread_packed_out());
+  // Reuse is worth keeping only at moderate size: the batch buffers grow to
+  // the ~64 MB batch cap on large states, and a thread_local would pin that
+  // for the thread's lifetime.  (Plan execution bounds the same buffers to
+  // the plan's lifetime via its arena instead.)
+  constexpr std::size_t kRetainedAmplitudeCap = std::size_t{1} << 18;
+  if (thread_packed_in().capacity() > kRetainedAmplitudeCap) {
+    thread_packed_in() = {};
+    thread_packed_out() = {};
+  }
+}
 
+void Statevector::operator_kernel(const LinearOperator& op, bool contiguous,
+                                  const std::vector<std::uint64_t>& offset,
+                                  const std::vector<std::uint64_t>& bases,
+                                  std::vector<Amplitude>& packed_in,
+                                  std::vector<Amplitude>& packed_out) {
+  const std::uint64_t block = op.dimension();
   // Batch blocks through packed buffers so the operator can amortize setup
   // and parallelize across blocks; the batch cap bounds the extra memory at
   // ~2×64 MB regardless of register width.
   constexpr std::uint64_t kBatchAmplitudeCap = std::uint64_t{1} << 22;
   const std::size_t blocks_per_batch = static_cast<std::size_t>(
       std::max<std::uint64_t>(1, kBatchAmplitudeCap / block));
-  std::vector<Amplitude> packed_in;
-  std::vector<Amplitude> packed_out;
   Amplitude* amp = amplitudes_.data();
   for (std::size_t first = 0; first < bases.size();
        first += blocks_per_batch) {
@@ -215,6 +263,126 @@ void Statevector::apply_operator(const LinearOperator& op,
           amp[base | offset[l]] = packed_out[b * block + l];
       }
     }
+  }
+}
+
+void Statevector::two_qubit_kernel(const ComplexMatrix& u,
+                                   std::uint64_t mask_high,
+                                   std::uint64_t mask_low) {
+  // mask_high carries local bit 1 (targets[0]), mask_low local bit 0
+  // (targets[1]) — the gather order of block_kernel, so results match the
+  // generic path bit for bit.
+  const std::uint64_t m_small = std::min(mask_high, mask_low);
+  const std::uint64_t m_big = std::max(mask_high, mask_low);
+  const std::uint64_t dim = dimension();
+  Amplitude* amp = amplitudes_.data();
+  const Amplitude* u0 = u.row(0);
+  const Amplitude* u1 = u.row(1);
+  const Amplitude* u2 = u.row(2);
+  const Amplitude* u3 = u.row(3);
+
+  const auto body = [&](std::uint64_t i) {
+    const std::uint64_t i0 = i;
+    const std::uint64_t i1 = i | mask_low;
+    const std::uint64_t i2 = i | mask_high;
+    const std::uint64_t i3 = i | mask_high | mask_low;
+    const Amplitude a0 = amp[i0];
+    const Amplitude a1 = amp[i1];
+    const Amplitude a2 = amp[i2];
+    const Amplitude a3 = amp[i3];
+    // Accumulation order identical to block_kernel's row loop.
+    Amplitude acc0{};
+    acc0 += u0[0] * a0; acc0 += u0[1] * a1; acc0 += u0[2] * a2; acc0 += u0[3] * a3;
+    Amplitude acc1{};
+    acc1 += u1[0] * a0; acc1 += u1[1] * a1; acc1 += u1[2] * a2; acc1 += u1[3] * a3;
+    Amplitude acc2{};
+    acc2 += u2[0] * a0; acc2 += u2[1] * a1; acc2 += u2[2] * a2; acc2 += u2[3] * a3;
+    Amplitude acc3{};
+    acc3 += u3[0] * a0; acc3 += u3[1] * a1; acc3 += u3[2] * a2; acc3 += u3[3] * a3;
+    amp[i0] = acc0;
+    amp[i1] = acc1;
+    amp[i2] = acc2;
+    amp[i3] = acc3;
+  };
+
+  // Nested strided loops keep the innermost run contiguous (length
+  // m_small), which is what lets the compiler pipeline the complex
+  // arithmetic — a flat compressed-index loop ran ~2× slower.
+  if (dim >= kParallelThreshold) {
+#ifdef QTDA_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(dim >> 2); ++s) {
+      // Expand the compressed counter: insert zeros at the two positions.
+      std::uint64_t base = ((static_cast<std::uint64_t>(s) & ~(m_small - 1))
+                            << 1) |
+                           (static_cast<std::uint64_t>(s) & (m_small - 1));
+      base = ((base & ~(m_big - 1)) << 1) | (base & (m_big - 1));
+      body(base);
+    }
+    return;
+#endif
+  }
+  for (std::uint64_t a = 0; a < dim; a += m_big << 1) {
+    for (std::uint64_t b = a; b < a + m_big; b += m_small << 1) {
+      for (std::uint64_t i = b; i < b + m_small; ++i) body(i);
+    }
+  }
+}
+
+void Statevector::diagonal_kernel(const std::vector<Amplitude>& diag,
+                                  const DiagonalExtract& extract) {
+  // One multiply per amplitude, however many gates the diagonal absorbed:
+  // the big fusion win of the controlled-phase-dominated QPE networks.
+  const std::uint64_t dim = dimension();
+  Amplitude* amp = amplitudes_.data();
+  const Amplitude* table = diag.data();
+  if (dim >= kParallelThreshold) {
+#ifdef QTDA_HAVE_OPENMP
+    constexpr std::int64_t kChunks = 64;
+    const std::uint64_t span = (dim + kChunks - 1) / kChunks;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t chunk = 0; chunk < kChunks; ++chunk) {
+      const std::uint64_t lo = static_cast<std::uint64_t>(chunk) * span;
+      if (lo >= dim) continue;
+      const std::uint64_t hi = std::min(dim, lo + span);
+      apply_diagonal_run(amp + lo, lo, hi - lo, extract, table);
+    }
+    return;
+#endif
+  }
+  apply_diagonal_run(amp, 0, dim, extract, table);
+}
+
+void Statevector::apply_plan(const ExecutionPlan& plan) {
+  QTDA_REQUIRE(plan.num_qubits() == num_qubits_,
+               "plan width " << plan.num_qubits()
+                             << " does not match state width " << num_qubits_);
+  ExecutionScratch& scratch = plan.scratch();
+  for (const CompiledOp& op : plan.ops()) apply_plan_op(op, scratch);
+  if (plan.global_phase() != 0.0) apply_global_phase(plan.global_phase());
+}
+
+void Statevector::apply_plan_op(const CompiledOp& op,
+                                ExecutionScratch& scratch) {
+  switch (op.kind) {
+    case CompiledOp::Kind::kSingleQubit:
+      single_qubit_kernel(op.u00, op.u01, op.u10, op.u11, op.tmask, op.cmask);
+      break;
+    case CompiledOp::Kind::kBlock:
+      if (op.offsets.size() == 4 && op.cmask == 0) {
+        two_qubit_kernel(op.gate.matrix, op.offsets[2], op.offsets[1]);
+      } else {
+        block_kernel(op.gate.matrix, op.tmask, op.cmask, op.offsets,
+                     scratch.block);
+      }
+      break;
+    case CompiledOp::Kind::kDiagonal:
+      diagonal_kernel(op.diagonal, op.diag_extract);
+      break;
+    case CompiledOp::Kind::kOperator:
+      operator_kernel(*op.gate.op, op.contiguous, op.offsets, op.bases,
+                      scratch.packed_in, scratch.packed_out);
+      break;
   }
 }
 

@@ -14,6 +14,7 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/types.hpp"
 
 namespace qtda {
@@ -71,6 +72,16 @@ class Statevector {
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls = {});
+  /// Executes a compiled plan (quantum/compiler.hpp), including its global
+  /// phase: the fast path of the estimator — precomputed masks/offsets, no
+  /// per-gate setup, scratch from the plan's arena.  With fusion disabled
+  /// the result is bit-identical to apply_circuit on the source circuit;
+  /// with fusion it agrees to ~1e-12 (dense blocks reassociate the
+  /// floating-point order).
+  void apply_plan(const ExecutionPlan& plan);
+  /// Executes one compiled op — the building block apply_plan and the noisy
+  /// per-op walks share.
+  void apply_plan_op(const CompiledOp& op, ExecutionScratch& scratch);
   /// Multiplies the whole state by e^{iφ}.
   void apply_global_phase(double phi);
 
@@ -97,6 +108,29 @@ class Statevector {
   Amplitude inner_product(const Statevector& other) const;
 
  private:
+  /// Shared kernels: the legacy per-gate entry points and the compiled-plan
+  /// path both land here, so their arithmetic cannot drift (the root of the
+  /// QTDA_FUSE=0 bit-identity guarantee).
+  void single_qubit_kernel(Amplitude u00, Amplitude u01, Amplitude u10,
+                           Amplitude u11, std::uint64_t mask,
+                           std::uint64_t cmask);
+  /// Uncontrolled 4×4 block over two wires — the fused-pair workhorse: same
+  /// arithmetic as block_kernel but with mask-expansion enumeration instead
+  /// of the offset-table gather.
+  void two_qubit_kernel(const ComplexMatrix& u, std::uint64_t mask_high,
+                        std::uint64_t mask_low);
+  void block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
+                    std::uint64_t cmask,
+                    const std::vector<std::uint64_t>& offsets,
+                    std::vector<Amplitude>& scratch);
+  void diagonal_kernel(const std::vector<Amplitude>& diag,
+                       const DiagonalExtract& extract);
+  void operator_kernel(const LinearOperator& op, bool contiguous,
+                       const std::vector<std::uint64_t>& offsets,
+                       const std::vector<std::uint64_t>& bases,
+                       std::vector<Amplitude>& packed_in,
+                       std::vector<Amplitude>& packed_out);
+
   std::size_t num_qubits_;
   std::vector<Amplitude> amplitudes_;
 };

@@ -1,11 +1,12 @@
 /// \file scoped_env.hpp
-/// \brief Test-only RAII guard for the simulator factory's environment
-/// overrides (QTDA_SIMULATOR / QTDA_SHARDS).
+/// \brief Test-only RAII guard for the simulation environment overrides
+/// (QTDA_SIMULATOR / QTDA_SHARDS / QTDA_FUSE / QTDA_FUSE_WIDTH).
 ///
-/// Tests that pin factory behavior must neutralize the override the CI
-/// sharded leg sets process-wide, and tests that exercise the override must
-/// not strip it from the rest of a directly-invoked (non-ctest) run — both
-/// save the incoming values and restore them on destruction.
+/// Tests that pin factory or compiler behavior must neutralize the
+/// overrides the CI legs set process-wide, and tests that exercise an
+/// override must not strip it from the rest of a directly-invoked
+/// (non-ctest) run — both save the incoming values and restore them on
+/// destruction.
 #pragma once
 
 #include <cstdlib>
@@ -47,7 +48,8 @@ class ScopedSimulatorEnv {
   }
 
  private:
-  static constexpr const char* kNames[] = {"QTDA_SIMULATOR", "QTDA_SHARDS"};
+  static constexpr const char* kNames[] = {"QTDA_SIMULATOR", "QTDA_SHARDS",
+                                           "QTDA_FUSE", "QTDA_FUSE_WIDTH"};
   std::vector<std::pair<const char*, std::optional<std::string>>> saved_;
 };
 

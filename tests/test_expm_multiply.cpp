@@ -144,6 +144,27 @@ TEST(SparseExpOperator, PreservesNormAndBatches) {
   }
 }
 
+TEST(SparseExpOperator, LadderSharesCoefficientSetup) {
+  // The QPE ladder's coefficient vectors are a pure function of
+  // (θ·half-width, θ·center, tolerance): rebuilding an operator with the
+  // same setup — as every shot batch, trajectory and estimate does — must
+  // reuse the cached derivation, not rerun the Bessel recurrence.
+  const SparseMatrix h = SparseMatrix::from_triplets(
+      4, 4, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {3, 3, 1.5}});
+  const SparseExpOperator first(h, 4.0, 0.0, 6.0);
+  const SparseExpOperator rebuilt(h, 4.0, 0.0, 6.0);
+  EXPECT_EQ(first.coefficients(), rebuilt.coefficients());  // same object
+
+  // Distinct powers of the ladder have distinct coefficient vectors...
+  const SparseExpOperator other_power(h, 8.0, 0.0, 6.0);
+  EXPECT_NE(first.coefficients(), other_power.coefficients());
+  // ...but an equivalent setup reached through different (θ, bounds) with
+  // equal θh and θc shares: exp(i·2θ·A) over [0, λ] ≡ exp(i·θ·A') over
+  // [0, 2λ].
+  const SparseExpOperator equivalent(h, 2.0, 0.0, 12.0);
+  EXPECT_EQ(first.coefficients(), equivalent.coefficients());
+}
+
 TEST(ExpmMultiply, RejectsBadShapes) {
   const SparseMatrix rect(3, 4);
   EXPECT_THROW(expm_multiply(rect, 1.0, ComplexVector(4), 0.0, 1.0), Error);

@@ -164,5 +164,75 @@ TEST(PauliSum, SortedIsDeterministic) {
   EXPECT_EQ(sorted.terms()[1].string.to_string(), "ZI");
 }
 
+namespace {
+
+/// Random sparse symmetric matrix with ~density fraction of nonzero pairs.
+SparseMatrix random_sparse_symmetric(std::size_t n, double density,
+                                     Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, rng.uniform(-2.0, 2.0)});
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() > density) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      triplets.push_back({i, j, v});
+      triplets.push_back({j, i, v});
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(triplets));
+}
+
+}  // namespace
+
+TEST(SparsePauliDecompose, MatchesDenseOnRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const std::size_t dim = seed % 2 == 0 ? 8 : 16;
+    const SparseMatrix sparse = random_sparse_symmetric(dim, 0.3, rng);
+    const PauliSum from_sparse = pauli_decompose(sparse);
+    const PauliSum from_dense = pauli_decompose(sparse.to_dense());
+    ASSERT_EQ(from_sparse.size(), from_dense.size()) << "seed " << seed;
+    for (std::size_t t = 0; t < from_sparse.size(); ++t) {
+      // Same strings in the same (base-4 enumeration) order, coefficients
+      // equal up to summation rounding.
+      EXPECT_EQ(from_sparse.terms()[t].string.to_string(),
+                from_dense.terms()[t].string.to_string())
+          << "seed " << seed << " term " << t;
+      EXPECT_NEAR(from_sparse.terms()[t].coefficient,
+                  from_dense.terms()[t].coefficient, 1e-12)
+          << "seed " << seed << " term " << t;
+    }
+  }
+}
+
+TEST(SparsePauliDecompose, ReconstructsTheMatrix) {
+  Rng rng(11);
+  const SparseMatrix sparse = random_sparse_symmetric(8, 0.4, rng);
+  const PauliSum sum = pauli_decompose(sparse);
+  EXPECT_LT(max_abs_diff(sum.matrix(), to_complex(sparse.to_dense())), 1e-9);
+}
+
+TEST(SparsePauliDecompose, SkipsAbsentFlipPatterns) {
+  // A diagonal matrix has a single flip pattern (f = 0): only I/Z strings
+  // may appear, all 2^n of them reachable by one Walsh–Hadamard transform.
+  const SparseMatrix diagonal = SparseMatrix::from_triplets(
+      8, 8, {{0, 0, 1.0}, {3, 3, 2.0}, {5, 5, -1.0}});
+  const PauliSum sum = pauli_decompose(diagonal);
+  for (const PauliTerm& term : sum.terms()) {
+    for (PauliKind kind : term.string.kinds()) {
+      EXPECT_TRUE(kind == PauliKind::I || kind == PauliKind::Z)
+          << term.string.to_string();
+    }
+  }
+}
+
+TEST(SparsePauliDecompose, RejectsBadInput) {
+  EXPECT_THROW(pauli_decompose(SparseMatrix(3, 3)), Error);  // not a power of 2
+  EXPECT_THROW(pauli_decompose(SparseMatrix(4, 2)), Error);  // not square
+  const SparseMatrix asym =
+      SparseMatrix::from_triplets(4, 4, {{0, 1, 1.0}});  // not symmetric
+  EXPECT_THROW(pauli_decompose(asym), Error);
+}
+
 }  // namespace
 }  // namespace qtda
