@@ -31,6 +31,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/cpu_features.hpp"
 #include "common/random.hpp"
 #include "core/betti_estimator.hpp"
 #include "quantum/backend.hpp"
@@ -146,6 +147,15 @@ int main(int argc, char** argv) {
     const ExecutionPlan plan =
         compile_circuit(circuit, estimator_compiler_options(options.noise));
     std::printf("compiler: %s", plan.stats().to_string().c_str());
+    // Kernel dispatch of the run above: the probed CPU level, the level the
+    // engines actually used (QTDA_SIMD caps it), and the amplitude scalar
+    // (QTDA_PRECISION overrides the options default).
+    const Precision precision =
+        precision_from_env().value_or(options.precision);
+    std::printf("kernels: simd %s (detected %s), precision %s\n",
+                simd_level_name(active_simd_level()).c_str(),
+                simd_level_name(detected_simd_level()).c_str(),
+                precision_name(precision).c_str());
     OptimizerReport report;
     optimize_circuit(circuit, &report);
     std::printf(

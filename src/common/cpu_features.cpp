@@ -1,0 +1,67 @@
+#include "common/cpu_features.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+std::string simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel detected_simd_level() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const SimdLevel probed = [] {
+    __builtin_cpu_init();
+    // The AVX-512 kernels use F (foundation), DQ (vandpd/vxorpd on zmm) and
+    // VL (mixed-width shuffles); all three ship together on every AVX-512
+    // server core since Skylake-SP.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return SimdLevel::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    return SimdLevel::kScalar;
+  }();
+  return probed;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+std::optional<SimdLevel> simd_level_from_env() {
+  const char* value = std::getenv("QTDA_SIMD");
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  const std::string name(value);
+  if (name == "auto") return std::nullopt;
+  if (name == "0") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  QTDA_REQUIRE(false, "QTDA_SIMD=\"" << name
+                                     << "\" is not a valid SIMD level (valid: "
+                                        "0, avx2, avx512, auto)");
+  return std::nullopt;
+}
+
+SimdLevel active_simd_level() {
+  // Resolved once: mid-run environment edits must not flip kernels between
+  // levels (the two state-vector engines promise bit-identical results,
+  // which requires every kernel of a run to dispatch the same way).
+  static const SimdLevel active = [] {
+    const SimdLevel detected = detected_simd_level();
+    if (const std::optional<SimdLevel> forced = simd_level_from_env())
+      return std::min(*forced, detected);
+    return detected;
+  }();
+  return active;
+}
+
+}  // namespace qtda

@@ -1,0 +1,52 @@
+/// \file cpu_features.hpp
+/// \brief Runtime CPU-feature probe and SIMD dispatch level.
+///
+/// The hand-vectorized hot loops (quantum/simd_kernels.hpp) are compiled for
+/// several instruction sets and selected at runtime: one binary runs the
+/// widest path the executing CPU supports.  The probe runs once per process;
+/// the `QTDA_SIMD` environment variable overrides it for reproducibility
+/// studies and the CI scalar leg:
+///
+///   QTDA_SIMD=0        force the scalar fallbacks (bit-identical to the
+///                      pre-vectorization arithmetic)
+///   QTDA_SIMD=avx2     cap dispatch at the AVX2 kernels
+///   QTDA_SIMD=avx512   cap dispatch at the AVX-512 kernels
+///   QTDA_SIMD=auto     probe the CPU (the default)
+///
+/// A cap above what the CPU supports clamps down to the probed level — the
+/// override selects among *safe* levels, it cannot force illegal
+/// instructions.  Malformed values fail fast naming the variable, matching
+/// the QTDA_SIMULATOR convention.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace qtda {
+
+/// Widest vector path the dispatcher may take, in increasing order (the
+/// ordering is meaningful: levels clamp with std::min).
+enum class SimdLevel {
+  kScalar = 0,  ///< portable std::complex loops (the historical arithmetic)
+  kAvx2 = 1,    ///< 256-bit lanes (AVX2)
+  kAvx512 = 2,  ///< 512-bit lanes (AVX-512 F/DQ/VL)
+};
+
+/// Printable name ("scalar", "avx2", "avx512").
+std::string simd_level_name(SimdLevel level);
+
+/// What the executing CPU supports (probed once, then cached).
+SimdLevel detected_simd_level();
+
+/// Parses the QTDA_SIMD override: empty/unset or "auto" → nullopt (use the
+/// probe), "0" → scalar, "avx2"/"avx512" → that cap.  Throws an Error naming
+/// the variable on any other value.
+std::optional<SimdLevel> simd_level_from_env();
+
+/// The level the dispatch wrappers use: min(override, probe), cached on
+/// first call for the lifetime of the process (so every kernel of a run —
+/// and both state-vector engines, whose results must stay bit-identical to
+/// each other — dispatches identically).
+SimdLevel active_simd_level();
+
+}  // namespace qtda

@@ -147,8 +147,9 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   estimate.circuit_depth = circuit.depth();
 
   const std::vector<std::size_t> measured = layout.precision_wires();
-  const std::unique_ptr<SimulatorBackend> backend = make_simulator(
-      options.simulator, circuit.num_qubits(), options.simulator_shards);
+  const std::unique_ptr<SimulatorBackend> backend =
+      make_simulator(options.simulator, circuit.num_qubits(),
+                     options.simulator_shards, options.precision);
 
   // Compile once, execute many: every shot batch, sampled-basis state and
   // noise trajectory below reuses this one plan (fused sweeps, precomputed

@@ -76,6 +76,12 @@ struct EstimatorOptions {
   /// bit-identical estimates — the knob trades memory locality for
   /// parallelism, never results.
   std::size_t simulator_shards = 0;
+  /// Amplitude scalar of the simulation engine.  kFloat64 is the reference;
+  /// kFloat32 halves statevector memory and bandwidth at ~1e-7 relative
+  /// amplitude error — safe for Betti estimation whenever the QPE phase
+  /// gap is far above that (see README "Performance tuning").  Overridable
+  /// process-wide with QTDA_PRECISION.
+  Precision precision = Precision::kFloat64;
   MixedStateMode mixed_state = MixedStateMode::kPurification;
   PaddingScheme padding = PaddingScheme::kIdentityHalfLambdaMax;
   /// Trotter configuration for kCircuitTrotter; `steps` counts splitting

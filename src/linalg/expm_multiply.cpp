@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/simd_kernels.hpp"
 
 namespace qtda {
 
@@ -169,6 +170,91 @@ void SparseExpOperator::apply_serial(
     }
     t_prev.swap(t_cur);
   }
+}
+
+void SparseExpOperator::ensure_f32() const {
+  std::call_once(f32_once_, [this] {
+    const std::vector<double>& vals = a_->values();
+    values_f32_.resize(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      values_f32_[i] = static_cast<float>(vals[i]);
+    coefficients_f32_.reserve(coefficients_->size());
+    for (const std::complex<double>& c : *coefficients_)
+      coefficients_f32_.emplace_back(static_cast<float>(c.real()),
+                                     static_cast<float>(c.imag()));
+  });
+}
+
+void SparseExpOperator::apply_serial_f32(
+    const std::complex<float>* x, std::complex<float>* y,
+    std::vector<std::complex<float>>& t_prev,
+    std::vector<std::complex<float>>& t_cur,
+    std::vector<std::complex<float>>& scratch, bool parallel_matvec) const {
+  // The double recurrence of apply_serial, term for term, in float: float CSR
+  // values, float coefficients, float workspace — every matvec moves half the
+  // bytes.  B = (A − c·I)/h is formed with c, 1/h narrowed once up front.
+  const std::size_t n = a_->rows();
+  const std::size_t* offsets = a_->row_offsets().data();
+  const std::size_t* cols = a_->col_indices().data();
+  const float* vals = values_f32_.data();
+  const SimdLevel level = active_simd_level();
+  const auto matvec = [&](const std::complex<float>* in,
+                          std::complex<float>* out) {
+    const auto rows_body = [&](std::size_t lo, std::size_t hi) {
+      simd::csr_matvec_rows(level, offsets, cols, vals, in, out, lo, hi);
+    };
+    if (parallel_matvec) {
+      parallel_for_chunked(0, n, rows_body, /*min_parallel_size=*/4096);
+    } else {
+      rows_body(0, n);
+    }
+  };
+
+  const std::complex<float> a0 = coefficients_f32_[0];
+  for (std::size_t i = 0; i < n; ++i) y[i] = a0 * x[i];
+  if (coefficients_f32_.size() == 1) return;
+
+  const float center = static_cast<float>(center_);
+  const float inv_h = 1.0f / static_cast<float>(half_width_);
+  t_prev.assign(x, x + n);
+  matvec(x, t_cur.data());
+  for (std::size_t i = 0; i < n; ++i)
+    t_cur[i] = (t_cur[i] - center * x[i]) * inv_h;
+  const std::complex<float> a1 = coefficients_f32_[1];
+  for (std::size_t i = 0; i < n; ++i) y[i] += a1 * t_cur[i];
+
+  for (std::size_t k = 2; k < coefficients_f32_.size(); ++k) {
+    matvec(t_cur.data(), scratch.data());
+    const std::complex<float> ak = coefficients_f32_[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::complex<float> next =
+          2.0f * (scratch[i] - center * t_cur[i]) * inv_h - t_prev[i];
+      t_prev[i] = next;
+      y[i] += ak * next;
+    }
+    t_prev.swap(t_cur);
+  }
+}
+
+void SparseExpOperator::apply_batch_f32(const std::complex<float>* x,
+                                        std::complex<float>* y,
+                                        std::size_t count) const {
+  ensure_f32();
+  const std::size_t d = a_->rows();
+  if (count == 1) {
+    std::vector<std::complex<float>> t_prev(d), t_cur(d), scratch(d);
+    apply_serial_f32(x, y, t_prev, t_cur, scratch, /*parallel_matvec=*/true);
+    return;
+  }
+  parallel_for_chunked(
+      0, count,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::complex<float>> t_prev(d), t_cur(d), scratch(d);
+        for (std::size_t b = lo; b < hi; ++b)
+          apply_serial_f32(x + b * d, y + b * d, t_prev, t_cur, scratch,
+                           /*parallel_matvec=*/false);
+      },
+      /*min_parallel_size=*/2);
 }
 
 void SparseExpOperator::apply(const std::complex<double>* x,

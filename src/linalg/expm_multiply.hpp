@@ -21,6 +21,7 @@
 #include <complex>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "linalg/linear_operator.hpp"
@@ -73,6 +74,13 @@ class SparseExpOperator final : public LinearOperator {
   void apply_batch(const std::complex<double>* x, std::complex<double>* y,
                    std::size_t count) const override;
 
+  /// Native complex64 rail: the whole recurrence — CSR values, Chebyshev
+  /// coefficients, workspace — runs in float, halving the memory traffic of
+  /// every matvec instead of widening around the default rail.  The float
+  /// mirrors of the values and coefficients are narrowed once, lazily.
+  void apply_batch_f32(const std::complex<float>* x, std::complex<float>* y,
+                       std::size_t count) const override;
+
   /// Number of retained expansion terms (matvecs per application).
   std::size_t num_terms() const { return coefficients_->size(); }
 
@@ -92,6 +100,13 @@ class SparseExpOperator final : public LinearOperator {
                     std::vector<std::complex<double>>& t_cur,
                     std::vector<std::complex<double>>& scratch,
                     bool parallel_matvec) const;
+  void apply_serial_f32(const std::complex<float>* x, std::complex<float>* y,
+                        std::vector<std::complex<float>>& t_prev,
+                        std::vector<std::complex<float>>& t_cur,
+                        std::vector<std::complex<float>>& scratch,
+                        bool parallel_matvec) const;
+  /// Builds values_f32_/coefficients_f32_ on first float application.
+  void ensure_f32() const;
 
   std::shared_ptr<const SparseMatrix> a_;
   double theta_ = 0.0;
@@ -102,6 +117,11 @@ class SparseExpOperator final : public LinearOperator {
   /// (z = θh, φ = θc, tolerance), so every controlled power of the QPE
   /// ladder — and every rebuild of the same ladder — reuses one setup.
   std::shared_ptr<const std::vector<std::complex<double>>> coefficients_;
+  /// Narrowed mirrors for the float rail (values in CSR order).  Built under
+  /// call_once: apply_batch_f32 must stay safe for concurrent callers.
+  mutable std::once_flag f32_once_;
+  mutable std::vector<float> values_f32_;
+  mutable std::vector<std::complex<float>> coefficients_f32_;
 };
 
 }  // namespace qtda

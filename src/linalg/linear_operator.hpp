@@ -44,6 +44,25 @@ class LinearOperator {
     for (std::size_t b = 0; b < count; ++b)
       apply(x + b * d, y + b * d);
   }
+
+  /// complex64 batch rail for the float-precision engines.  The default
+  /// widens to double, runs apply_batch, and narrows back — correct for any
+  /// operator at the cost of a transient double buffer (the accuracy is set
+  /// by the float endpoints either way).  Operators with a profitable native
+  /// float path (the Chebyshev oracle) override this.
+  virtual void apply_batch_f32(const std::complex<float>* x,
+                               std::complex<float>* y,
+                               std::size_t count) const {
+    const std::size_t total = count * dimension();
+    std::vector<std::complex<double>> wide_x(total);
+    std::vector<std::complex<double>> wide_y(total);
+    for (std::size_t i = 0; i < total; ++i)
+      wide_x[i] = std::complex<double>(x[i].real(), x[i].imag());
+    apply_batch(wide_x.data(), wide_y.data(), count);
+    for (std::size_t i = 0; i < total; ++i)
+      y[i] = std::complex<float>(static_cast<float>(wide_y[i].real()),
+                                 static_cast<float>(wide_y[i].imag()));
+  }
 };
 
 /// Adapter presenting a dense matrix as a LinearOperator (reference
@@ -108,6 +127,18 @@ class ConjugatedOperator final : public LinearOperator {
     std::vector<std::complex<double>> conj_x(total);
     for (std::size_t i = 0; i < total; ++i) conj_x[i] = std::conj(x[i]);
     inner_->apply_batch(conj_x.data(), y, count);
+    for (std::size_t i = 0; i < total; ++i) y[i] = std::conj(y[i]);
+  }
+
+  /// Conjugation commutes with precision: conjugate the float batch and hand
+  /// it to the inner operator's float rail (keeping a native inner float
+  /// path native instead of widening around it).
+  void apply_batch_f32(const std::complex<float>* x, std::complex<float>* y,
+                       std::size_t count) const override {
+    const std::size_t total = count * dimension();
+    std::vector<std::complex<float>> conj_x(total);
+    for (std::size_t i = 0; i < total; ++i) conj_x[i] = std::conj(x[i]);
+    inner_->apply_batch_f32(conj_x.data(), y, count);
     for (std::size_t i = 0; i < total; ++i) y[i] = std::conj(y[i]);
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/simd_kernels.hpp"
 
 namespace qtda {
 
@@ -82,13 +83,12 @@ void SparseMatrix::multiply(const std::complex<double>* x,
   const std::size_t* offsets = row_offsets_.data();
   const std::size_t* cols = col_indices_.data();
   const double* vals = values_.data();
+  // Single shared hot kernel for every engine: at QTDA_SIMD=0 the scalar
+  // branch is the historical row-dot loop; the vector path lane-splits each
+  // row dot (the one reassociating kernel — see simd_kernels.hpp).
+  const SimdLevel level = active_simd_level();
   const auto rows_body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      std::complex<double> acc{};
-      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
-        acc += vals[k] * x[cols[k]];
-      y[r] = acc;
-    }
+    simd::csr_matvec_rows(level, offsets, cols, vals, x, y, lo, hi);
   };
   if (parallel) {
     parallel_for_chunked(0, rows_, rows_body, /*min_parallel_size=*/4096);

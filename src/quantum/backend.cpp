@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/cpu_features.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "quantum/noise.hpp"
@@ -147,26 +148,32 @@ void SimulatorBackend::apply_circuit_with_noise(const Circuit& circuit,
       [&](std::size_t q, double p) { apply_depolarizing(q, p, rng); });
 }
 
-StatevectorBackend::StatevectorBackend(std::size_t num_qubits)
+template <typename Real>
+BasicStatevectorBackend<Real>::BasicStatevectorBackend(std::size_t num_qubits)
     : state_(num_qubits) {}
 
-void StatevectorBackend::prepare_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::prepare_basis_state(std::uint64_t index) {
   state_.set_basis_state(index);
 }
 
-void StatevectorBackend::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_gate(const Gate& gate) {
   state_.apply_gate(gate);
 }
 
-void StatevectorBackend::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_circuit(const Circuit& circuit) {
   state_.apply_circuit(circuit);
 }
 
-void StatevectorBackend::apply_global_phase(double phi) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_global_phase(double phi) {
   state_.apply_global_phase(phi);
 }
 
-void StatevectorBackend::apply_plan(const ExecutionPlan& plan) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_plan(const ExecutionPlan& plan) {
   QTDA_REQUIRE(plan.num_qubits() == num_qubits(),
                "plan width " << plan.num_qubits()
                              << " does not match backend width "
@@ -174,9 +181,9 @@ void StatevectorBackend::apply_plan(const ExecutionPlan& plan) {
   state_.apply_plan(plan);
 }
 
-void StatevectorBackend::apply_plan_with_noise(const ExecutionPlan& plan,
-                                               const NoiseModel& noise,
-                                               Rng& rng) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_plan_with_noise(
+    const ExecutionPlan& plan, const NoiseModel& noise, Rng& rng) {
   QTDA_REQUIRE(plan.num_qubits() == num_qubits(),
                "plan width " << plan.num_qubits()
                              << " does not match backend width "
@@ -194,49 +201,63 @@ void StatevectorBackend::apply_plan_with_noise(const ExecutionPlan& plan,
       });
 }
 
-void StatevectorBackend::apply_operator(
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_operator(
     const LinearOperator& op, const std::vector<std::size_t>& targets,
     const std::vector<std::size_t>& controls) {
   state_.apply_operator(op, targets, controls);
 }
 
-void StatevectorBackend::apply_depolarizing(std::size_t qubit,
-                                            double probability, Rng& rng) {
+template <typename Real>
+void BasicStatevectorBackend<Real>::apply_depolarizing(std::size_t qubit,
+                                                       double probability,
+                                                       Rng& rng) {
   maybe_apply_depolarizing(state_, qubit, probability, rng);
 }
 
-std::vector<double> StatevectorBackend::marginal_probabilities(
+template <typename Real>
+std::vector<double> BasicStatevectorBackend<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   return state_.marginal_probabilities(qubits);
 }
 
-std::vector<std::uint64_t> StatevectorBackend::sample(
+template <typename Real>
+std::vector<std::uint64_t> BasicStatevectorBackend<Real>::sample(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return state_.sample_counts(qubits, shots, rng);
 }
 
-ShardedStatevectorBackend::ShardedStatevectorBackend(std::size_t num_qubits,
-                                                     std::size_t num_shards)
+template <typename Real>
+BasicShardedStatevectorBackend<Real>::BasicShardedStatevectorBackend(
+    std::size_t num_qubits, std::size_t num_shards)
     : state_(num_qubits, num_shards) {}
 
-void ShardedStatevectorBackend::prepare_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::prepare_basis_state(
+    std::uint64_t index) {
   state_.set_basis_state(index);
 }
 
-void ShardedStatevectorBackend::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_gate(const Gate& gate) {
   state_.apply_gate(gate);
 }
 
-void ShardedStatevectorBackend::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_circuit(
+    const Circuit& circuit) {
   state_.apply_circuit(circuit);
 }
 
-void ShardedStatevectorBackend::apply_global_phase(double phi) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_global_phase(double phi) {
   state_.apply_global_phase(phi);
 }
 
-void ShardedStatevectorBackend::apply_plan(const ExecutionPlan& plan) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_plan(
+    const ExecutionPlan& plan) {
   QTDA_REQUIRE(plan.num_qubits() == num_qubits(),
                "plan width " << plan.num_qubits()
                              << " does not match backend width "
@@ -244,8 +265,9 @@ void ShardedStatevectorBackend::apply_plan(const ExecutionPlan& plan) {
   for (const CompiledOp& op : plan.ops()) {
     if (op.kind == CompiledOp::Kind::kDiagonal) {
       // Native slab-local diagonal — bit-identical to the dense engine's
-      // diagonal kernel, no dense 2^m×2^m fallback.
-      state_.apply_diagonal(op.diagonal, op.diag_extract);
+      // diagonal kernel, no dense 2^m×2^m fallback.  The table is the
+      // plan's cached width-matched diagonal.
+      state_.apply_diagonal(compiled_diagonal<Real>(op), op.diag_extract);
     } else {
       state_.apply_gate(op.gate);
     }
@@ -253,50 +275,62 @@ void ShardedStatevectorBackend::apply_plan(const ExecutionPlan& plan) {
   if (plan.global_phase() != 0.0) state_.apply_global_phase(plan.global_phase());
 }
 
-void ShardedStatevectorBackend::apply_operator(
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_operator(
     const LinearOperator& op, const std::vector<std::size_t>& targets,
     const std::vector<std::size_t>& controls) {
   state_.apply_operator(op, targets, controls);
 }
 
-void ShardedStatevectorBackend::apply_depolarizing(std::size_t qubit,
-                                                   double probability,
-                                                   Rng& rng) {
+template <typename Real>
+void BasicShardedStatevectorBackend<Real>::apply_depolarizing(
+    std::size_t qubit, double probability, Rng& rng) {
   maybe_apply_depolarizing(state_, qubit, probability, rng);
 }
 
-std::vector<double> ShardedStatevectorBackend::marginal_probabilities(
+template <typename Real>
+std::vector<double>
+BasicShardedStatevectorBackend<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   return state_.marginal_probabilities(qubits);
 }
 
-std::vector<std::uint64_t> ShardedStatevectorBackend::sample(
+template <typename Real>
+std::vector<std::uint64_t> BasicShardedStatevectorBackend<Real>::sample(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return state_.sample_counts(qubits, shots, rng);
 }
 
-DensityMatrixBackend::DensityMatrixBackend(std::size_t num_qubits)
+template <typename Real>
+BasicDensityMatrixBackend<Real>::BasicDensityMatrixBackend(
+    std::size_t num_qubits)
     : state_(num_qubits) {}
 
-void DensityMatrixBackend::prepare_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::prepare_basis_state(
+    std::uint64_t index) {
   state_.set_basis_state(index);
 }
 
-void DensityMatrixBackend::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_gate(const Gate& gate) {
   state_.apply_gate(gate);
 }
 
-void DensityMatrixBackend::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_circuit(const Circuit& circuit) {
   state_.apply_circuit(circuit);
 }
 
-void DensityMatrixBackend::apply_global_phase(double phi) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_global_phase(double phi) {
   // e^{iφ}ρe^{−iφ} = ρ: nothing to do.
   (void)phi;
 }
 
-void DensityMatrixBackend::apply_plan(const ExecutionPlan& plan) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_plan(const ExecutionPlan& plan) {
   QTDA_REQUIRE(plan.num_qubits() == num_qubits(),
                "plan width " << plan.num_qubits()
                              << " does not match backend width "
@@ -304,7 +338,7 @@ void DensityMatrixBackend::apply_plan(const ExecutionPlan& plan) {
   for (const CompiledOp& op : plan.ops()) {
     if (op.kind == CompiledOp::Kind::kDiagonal) {
       // DρD† in one pass over vec(ρ), no dense 2^m×2^m fallback.
-      state_.apply_diagonal(op.diagonal, op.diag_extract);
+      state_.apply_diagonal(compiled_diagonal<Real>(op), op.diag_extract);
     } else {
       state_.apply_gate(op.gate);
     }
@@ -312,38 +346,73 @@ void DensityMatrixBackend::apply_plan(const ExecutionPlan& plan) {
   // Global phase cancels on ρ.
 }
 
-void DensityMatrixBackend::apply_operator(
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_operator(
     const LinearOperator& op, const std::vector<std::size_t>& targets,
     const std::vector<std::size_t>& controls) {
   state_.apply_operator(op, targets, controls);
 }
 
-void DensityMatrixBackend::apply_depolarizing(std::size_t qubit,
-                                              double probability, Rng& rng) {
+template <typename Real>
+void BasicDensityMatrixBackend<Real>::apply_depolarizing(std::size_t qubit,
+                                                         double probability,
+                                                         Rng& rng) {
   // Exact channel: deterministic, so the Rng of the trajectory-shaped
   // contract is intentionally untouched (exact_channels() advertises this).
   (void)rng;
   state_.apply_depolarizing(qubit, probability);
 }
 
-std::vector<double> DensityMatrixBackend::marginal_probabilities(
+template <typename Real>
+std::vector<double> BasicDensityMatrixBackend<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   return state_.marginal_probabilities(qubits);
 }
 
-std::vector<std::uint64_t> DensityMatrixBackend::sample(
+template <typename Real>
+std::vector<std::uint64_t> BasicDensityMatrixBackend<Real>::sample(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return state_.sample_counts(qubits, shots, rng);
 }
 
+template class BasicStatevectorBackend<double>;
+template class BasicStatevectorBackend<float>;
+template class BasicShardedStatevectorBackend<double>;
+template class BasicShardedStatevectorBackend<float>;
+template class BasicDensityMatrixBackend<double>;
+template class BasicDensityMatrixBackend<float>;
+
+namespace {
+
+template <typename Real>
+std::unique_ptr<SimulatorBackend> make_simulator_at(SimulatorKind kind,
+                                                    std::size_t num_qubits,
+                                                    std::size_t shards) {
+  switch (kind) {
+    case SimulatorKind::kStatevector:
+      return std::make_unique<BasicStatevectorBackend<Real>>(num_qubits);
+    case SimulatorKind::kShardedStatevector:
+      return std::make_unique<BasicShardedStatevectorBackend<Real>>(
+          num_qubits, shards == 0 ? hardware_concurrency() : shards);
+    case SimulatorKind::kDensityMatrix:
+      return std::make_unique<BasicDensityMatrixBackend<Real>>(num_qubits);
+  }
+  QTDA_REQUIRE(false, "unknown simulator kind");
+  return nullptr;
+}
+
+}  // namespace
+
 std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
                                                  std::size_t num_qubits,
-                                                 std::size_t shards) {
-  // CI / debugging hook: force every factory-built engine onto one kind and
-  // shard count without touching call sites.  Safe for the sharded engine
-  // (bit-identical to the dense one); the density-matrix engine additionally
-  // needs the width guard below because of its 4^n storage cap.
+                                                 std::size_t shards,
+                                                 Precision precision) {
+  // CI / debugging hook: force every factory-built engine onto one kind,
+  // shard count and precision without touching call sites.  Safe for the
+  // sharded engine (bit-identical to the dense one); the density-matrix
+  // engine additionally needs the width guard below because of its 4^n
+  // storage cap.
   bool kind_forced_by_env = false;
   if (const char* forced = std::getenv("QTDA_SIMULATOR");
       forced != nullptr && *forced != '\0') {
@@ -370,6 +439,13 @@ std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
                                      "integer >= 1)");
     shards = static_cast<std::size_t>(value);
   }
+  // Throws with the variable named on malformed values (see precision.hpp).
+  if (const std::optional<Precision> forced = precision_from_env())
+    precision = *forced;
+  // Validate QTDA_SIMD eagerly too: a typo'd SIMD override should fail at
+  // engine construction, attributed to its variable, not when the first hot
+  // kernel dispatches.
+  (void)simd_level_from_env();
   if (kind == SimulatorKind::kDensityMatrix &&
       num_qubits > kDensityMatrixMaxQubits) {
     QTDA_REQUIRE(false,
@@ -383,17 +459,9 @@ std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
                                "for registers this wide)"
                              : ""));
   }
-  switch (kind) {
-    case SimulatorKind::kStatevector:
-      return std::make_unique<StatevectorBackend>(num_qubits);
-    case SimulatorKind::kShardedStatevector:
-      return std::make_unique<ShardedStatevectorBackend>(
-          num_qubits, shards == 0 ? hardware_concurrency() : shards);
-    case SimulatorKind::kDensityMatrix:
-      return std::make_unique<DensityMatrixBackend>(num_qubits);
-  }
-  QTDA_REQUIRE(false, "unknown simulator kind");
-  return nullptr;
+  return precision == Precision::kFloat64
+             ? make_simulator_at<double>(kind, num_qubits, shards)
+             : make_simulator_at<float>(kind, num_qubits, shards);
 }
 
 }  // namespace qtda

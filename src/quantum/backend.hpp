@@ -8,6 +8,13 @@
 /// touching the algorithm layer.  The contract is deliberately small:
 /// prepare a basis state, apply gates/circuits, apply a matrix-free
 /// operator to a sub-register, inject depolarizing noise, and sample.
+///
+/// Every engine exists at two precisions (quantum/precision.hpp): the
+/// backend classes are templated over the amplitude scalar and the factory
+/// picks the width from EstimatorOptions::precision or the QTDA_PRECISION
+/// environment override.  A backend's name() reports its *kind* only —
+/// "statevector" at float is still interchangeable with "statevector" at
+/// double through this interface.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,7 @@
 #include "quantum/compiler.hpp"
 #include "quantum/density_matrix.hpp"
 #include "quantum/noise.hpp"
+#include "quantum/precision.hpp"
 #include "quantum/sharded_statevector.hpp"
 #include "quantum/statevector.hpp"
 
@@ -52,6 +60,9 @@ class SimulatorBackend {
 
   virtual std::string name() const = 0;
   virtual std::size_t num_qubits() const = 0;
+
+  /// The amplitude scalar width this engine runs at.
+  virtual Precision precision() const = 0;
 
   /// Resets the state to the computational basis state |index⟩.
   virtual void prepare_basis_state(std::uint64_t index) = 0;
@@ -120,12 +131,14 @@ class SimulatorBackend {
 };
 
 /// Dense state-vector implementation — the first (reference) backend.
-class StatevectorBackend final : public SimulatorBackend {
+template <typename Real>
+class BasicStatevectorBackend final : public SimulatorBackend {
  public:
-  explicit StatevectorBackend(std::size_t num_qubits);
+  explicit BasicStatevectorBackend(std::size_t num_qubits);
 
   std::string name() const override { return "statevector"; }
   std::size_t num_qubits() const override { return state_.num_qubits(); }
+  Precision precision() const override { return precision_of<Real>(); }
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
@@ -146,26 +159,33 @@ class StatevectorBackend final : public SimulatorBackend {
                                     std::size_t shots, Rng& rng) const override;
 
   /// The underlying state, for backend-aware diagnostics and tests.
-  const Statevector& state() const { return state_; }
-  Statevector& state() { return state_; }
+  const BasicStatevector<Real>& state() const { return state_; }
+  BasicStatevector<Real>& state() { return state_; }
 
  private:
-  Statevector state_;
+  BasicStatevector<Real> state_;
 };
+
+using StatevectorBackend = BasicStatevectorBackend<double>;
+using StatevectorBackendF32 = BasicStatevectorBackend<float>;
 
 /// Slab-parallel state-vector implementation (quantum/sharded_statevector.hpp):
 /// the amplitudes are split into num_shards contiguous slabs updated by a
 /// private worker pool, one barrier step per gate.  Every result — state,
-/// marginals, samples — is bit-identical to StatevectorBackend for every
-/// shard count, so the two engines are interchangeable mid-experiment.
-class ShardedStatevectorBackend final : public SimulatorBackend {
+/// marginals, samples — is bit-identical to the dense backend *of the same
+/// precision* for every shard count, so the two engines are interchangeable
+/// mid-experiment.
+template <typename Real>
+class BasicShardedStatevectorBackend final : public SimulatorBackend {
  public:
   /// \p num_shards ≥ 1 (clamped to the dimension); it need not divide the
   /// dimension or be a power of two.
-  ShardedStatevectorBackend(std::size_t num_qubits, std::size_t num_shards);
+  BasicShardedStatevectorBackend(std::size_t num_qubits,
+                                 std::size_t num_shards);
 
   std::string name() const override { return "sharded-statevector"; }
   std::size_t num_qubits() const override { return state_.num_qubits(); }
+  Precision precision() const override { return precision_of<Real>(); }
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
@@ -184,12 +204,15 @@ class ShardedStatevectorBackend final : public SimulatorBackend {
                                     std::size_t shots, Rng& rng) const override;
 
   /// The underlying slab state, for backend-aware diagnostics and tests.
-  const ShardedStatevector& state() const { return state_; }
-  ShardedStatevector& state() { return state_; }
+  const BasicShardedStatevector<Real>& state() const { return state_; }
+  BasicShardedStatevector<Real>& state() { return state_; }
 
  private:
-  ShardedStatevector state_;
+  BasicShardedStatevector<Real> state_;
 };
+
+using ShardedStatevectorBackend = BasicShardedStatevectorBackend<double>;
+using ShardedStatevectorBackendF32 = BasicShardedStatevectorBackend<float>;
 
 /// Exact-channel implementation: evolves ρ itself (4^n vectorized storage,
 /// at most 13 qubits), so depolarizing noise is applied *exactly* instead of
@@ -200,12 +223,14 @@ class ShardedStatevectorBackend final : public SimulatorBackend {
 /// apply_depolarizing keeps the Rng signature of the contract but never
 /// consumes it (exact_channels() returns true): one noisy evolution is the
 /// whole ensemble, and every shot samples from it.
-class DensityMatrixBackend final : public SimulatorBackend {
+template <typename Real>
+class BasicDensityMatrixBackend final : public SimulatorBackend {
  public:
-  explicit DensityMatrixBackend(std::size_t num_qubits);
+  explicit BasicDensityMatrixBackend(std::size_t num_qubits);
 
   std::string name() const override { return "density-matrix"; }
   std::size_t num_qubits() const override { return state_.num_qubits(); }
+  Precision precision() const override { return precision_of<Real>(); }
   void prepare_basis_state(std::uint64_t index) override;
   void apply_gate(const Gate& gate) override;
   void apply_circuit(const Circuit& circuit) override;
@@ -224,26 +249,40 @@ class DensityMatrixBackend final : public SimulatorBackend {
                                     std::size_t shots, Rng& rng) const override;
 
   /// The underlying density matrix, for backend-aware diagnostics and tests.
-  const DensityMatrix& state() const { return state_; }
-  DensityMatrix& state() { return state_; }
+  const BasicDensityMatrix<Real>& state() const { return state_; }
+  BasicDensityMatrix<Real>& state() { return state_; }
 
  private:
-  DensityMatrix state_;
+  BasicDensityMatrix<Real> state_;
 };
 
+using DensityMatrixBackend = BasicDensityMatrixBackend<double>;
+using DensityMatrixBackendF32 = BasicDensityMatrixBackend<float>;
+
+extern template class BasicStatevectorBackend<double>;
+extern template class BasicStatevectorBackend<float>;
+extern template class BasicShardedStatevectorBackend<double>;
+extern template class BasicShardedStatevectorBackend<float>;
+extern template class BasicDensityMatrixBackend<double>;
+extern template class BasicDensityMatrixBackend<float>;
+
 /// Factory used by the estimator options plumbing.  \p shards only matters
-/// for kShardedStatevector (0 = one slab per hardware thread).
+/// for kShardedStatevector (0 = one slab per hardware thread); \p precision
+/// selects the amplitude scalar (complex128 by default).
 ///
 /// Environment overrides (read per call): QTDA_SIMULATOR forces the engine
-/// by name and QTDA_SHARDS forces the slab count — the hook the CI sharded
-/// leg uses to route the whole unmodified test suite through the sharded
-/// engine, which its bit-identical contract must survive.  Malformed values
-/// fail fast with the variable named in the error, and forcing
-/// density-matrix onto a register wider than its 13-qubit 4^n storage cap is
-/// rejected here (clearly attributed to the override) instead of surfacing a
-/// construction failure from deep inside a run.
-std::unique_ptr<SimulatorBackend> make_simulator(SimulatorKind kind,
-                                                 std::size_t num_qubits,
-                                                 std::size_t shards = 0);
+/// by name, QTDA_SHARDS forces the slab count, and QTDA_PRECISION forces
+/// the scalar width — the hooks the CI legs use to route the whole
+/// unmodified test suite through the sharded engine or the complex64
+/// engines.  QTDA_SIMD is validated eagerly here too, so a malformed SIMD
+/// override fails at backend construction with the variable named instead
+/// of deep inside the first hot kernel.  Malformed values fail fast with
+/// the variable named in the error, and forcing density-matrix onto a
+/// register wider than its 13-qubit 4^n storage cap is rejected here
+/// (clearly attributed to the override) instead of surfacing a construction
+/// failure from deep inside a run.
+std::unique_ptr<SimulatorBackend> make_simulator(
+    SimulatorKind kind, std::size_t num_qubits, std::size_t shards = 0,
+    Precision precision = Precision::kFloat64);
 
 }  // namespace qtda

@@ -44,6 +44,7 @@
 /// mutable state.
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -133,6 +134,38 @@ struct CompiledOp {
 
   /// How many source gates this op absorbed (1 unless fused).
   std::size_t fused_gates = 1;
+
+  /// Lazily-built complex64 mirror of `diagonal`, for the float-precision
+  /// executors (compiled_diagonal<float>).  Built on first use without
+  /// locking — safe under the plan's one-executor-at-a-time contract, the
+  /// same contract the shared scratch arena already relies on.
+  const std::vector<std::complex<float>>& diagonal_f32() const {
+    if (diagonal_f32_.empty() && !diagonal.empty()) {
+      diagonal_f32_.reserve(diagonal.size());
+      for (const Amplitude& d : diagonal)
+        diagonal_f32_.emplace_back(static_cast<float>(d.real()),
+                                   static_cast<float>(d.imag()));
+    }
+    return diagonal_f32_;
+  }
+
+  /// Lazily-built complex64 mirror of the dense matrix (row-major), same
+  /// contract as diagonal_f32().
+  const std::vector<std::complex<float>>& matrix_f32() const {
+    const std::size_t n = gate.matrix.rows() * gate.matrix.cols();
+    if (matrix_f32_.empty() && n != 0) {
+      matrix_f32_.reserve(n);
+      const Amplitude* src = gate.matrix.data();
+      for (std::size_t i = 0; i < n; ++i)
+        matrix_f32_.emplace_back(static_cast<float>(src[i].real()),
+                                 static_cast<float>(src[i].imag()));
+    }
+    return matrix_f32_;
+  }
+
+ private:
+  mutable std::vector<std::complex<float>> diagonal_f32_;
+  mutable std::vector<std::complex<float>> matrix_f32_;
 };
 
 /// What the compiler did — surfaced by `--stats` drivers and asserted by
@@ -156,9 +189,94 @@ struct CompilerStats {
 /// subsequent execution of the plan.
 struct ExecutionScratch {
   std::vector<Amplitude> block;
+  std::vector<Amplitude> block_out;  ///< vectorized block-apply output rows
   std::vector<Amplitude> packed_in;
   std::vector<Amplitude> packed_out;
+  // complex64 mirrors used by the float-precision executors (the plan does
+  // not know the precision of the engine that will run it).
+  std::vector<std::complex<float>> block_f32;
+  std::vector<std::complex<float>> block_out_f32;
+  std::vector<std::complex<float>> packed_in_f32;
+  std::vector<std::complex<float>> packed_out_f32;
 };
+
+/// Precision-keyed views of the scratch arena and of a CompiledOp's
+/// materialized tables: the templated engines pick their buffers through
+/// these so one executor body serves both scalars.
+template <typename Real>
+std::vector<std::complex<Real>>& scratch_block(ExecutionScratch& s);
+template <>
+inline std::vector<Amplitude>& scratch_block<double>(ExecutionScratch& s) {
+  return s.block;
+}
+template <>
+inline std::vector<std::complex<float>>& scratch_block<float>(
+    ExecutionScratch& s) {
+  return s.block_f32;
+}
+
+template <typename Real>
+std::vector<std::complex<Real>>& scratch_block_out(ExecutionScratch& s);
+template <>
+inline std::vector<Amplitude>& scratch_block_out<double>(ExecutionScratch& s) {
+  return s.block_out;
+}
+template <>
+inline std::vector<std::complex<float>>& scratch_block_out<float>(
+    ExecutionScratch& s) {
+  return s.block_out_f32;
+}
+
+template <typename Real>
+std::vector<std::complex<Real>>& scratch_packed_in(ExecutionScratch& s);
+template <>
+inline std::vector<Amplitude>& scratch_packed_in<double>(ExecutionScratch& s) {
+  return s.packed_in;
+}
+template <>
+inline std::vector<std::complex<float>>& scratch_packed_in<float>(
+    ExecutionScratch& s) {
+  return s.packed_in_f32;
+}
+
+template <typename Real>
+std::vector<std::complex<Real>>& scratch_packed_out(ExecutionScratch& s);
+template <>
+inline std::vector<Amplitude>& scratch_packed_out<double>(
+    ExecutionScratch& s) {
+  return s.packed_out;
+}
+template <>
+inline std::vector<std::complex<float>>& scratch_packed_out<float>(
+    ExecutionScratch& s) {
+  return s.packed_out_f32;
+}
+
+/// The diagonal table of a kDiagonal op at the executor's precision.
+template <typename Real>
+const std::complex<Real>* compiled_diagonal(const CompiledOp& op);
+template <>
+inline const Amplitude* compiled_diagonal<double>(const CompiledOp& op) {
+  return op.diagonal.data();
+}
+template <>
+inline const std::complex<float>* compiled_diagonal<float>(
+    const CompiledOp& op) {
+  return op.diagonal_f32().data();
+}
+
+/// The dense matrix of a kBlock op (row-major) at the executor's precision.
+template <typename Real>
+const std::complex<Real>* compiled_matrix_data(const CompiledOp& op);
+template <>
+inline const Amplitude* compiled_matrix_data<double>(const CompiledOp& op) {
+  return op.gate.matrix.data();
+}
+template <>
+inline const std::complex<float>* compiled_matrix_data<float>(
+    const CompiledOp& op) {
+  return op.matrix_f32().data();
+}
 
 /// A compiled, immutable, execute-many circuit.
 class ExecutionPlan {

@@ -16,10 +16,6 @@ ComplexMatrix conjugate(const ComplexMatrix& m) {
   return out;
 }
 
-}  // namespace
-
-namespace {
-
 // Validated before the 4^n vectorized storage is allocated.
 std::size_t checked_density_width(std::size_t num_qubits) {
   QTDA_REQUIRE(num_qubits >= 1 && num_qubits <= kDensityMatrixMaxQubits,
@@ -30,17 +26,22 @@ std::size_t checked_density_width(std::size_t num_qubits) {
 
 }  // namespace
 
-DensityMatrix::DensityMatrix(std::size_t num_qubits)
+template <typename Real>
+BasicDensityMatrix<Real>::BasicDensityMatrix(std::size_t num_qubits)
     : num_qubits_(checked_density_width(num_qubits)),
       vectorized_(2 * num_qubits) {}
 
-DensityMatrix::DensityMatrix(std::size_t num_qubits, Statevector vectorized)
+template <typename Real>
+BasicDensityMatrix<Real>::BasicDensityMatrix(
+    std::size_t num_qubits, BasicStatevector<Real> vectorized)
     : num_qubits_(num_qubits), vectorized_(std::move(vectorized)) {}
 
-DensityMatrix DensityMatrix::from_statevector(const Statevector& psi) {
-  DensityMatrix rho(psi.num_qubits());
+template <typename Real>
+BasicDensityMatrix<Real> BasicDensityMatrix<Real>::from_statevector(
+    const BasicStatevector<Real>& psi) {
+  BasicDensityMatrix rho(psi.num_qubits());
   const std::uint64_t dim = psi.dimension();
-  std::vector<Amplitude> vec(dim * dim);
+  std::vector<C> vec(dim * dim);
   for (std::uint64_t r = 0; r < dim; ++r)
     for (std::uint64_t c = 0; c < dim; ++c)
       vec[r * dim + c] = psi.amplitude(r) * std::conj(psi.amplitude(c));
@@ -48,28 +49,34 @@ DensityMatrix DensityMatrix::from_statevector(const Statevector& psi) {
   return rho;
 }
 
-DensityMatrix DensityMatrix::maximally_mixed(std::size_t num_qubits) {
-  DensityMatrix rho(num_qubits);
+template <typename Real>
+BasicDensityMatrix<Real> BasicDensityMatrix<Real>::maximally_mixed(
+    std::size_t num_qubits) {
+  BasicDensityMatrix rho(num_qubits);
   const std::uint64_t dim = rho.dimension();
-  std::vector<Amplitude> vec(dim * dim);
-  const double weight = 1.0 / static_cast<double>(dim);
+  std::vector<C> vec(dim * dim);
+  const Real weight = static_cast<Real>(1.0 / static_cast<double>(dim));
   for (std::uint64_t r = 0; r < dim; ++r) vec[r * dim + r] = weight;
   rho.vectorized_.set_amplitudes(std::move(vec));
   return rho;
 }
 
-Amplitude DensityMatrix::element(std::uint64_t row, std::uint64_t col) const {
+template <typename Real>
+Amplitude BasicDensityMatrix<Real>::element(std::uint64_t row,
+                                            std::uint64_t col) const {
   QTDA_REQUIRE(row < dimension() && col < dimension(),
                "density matrix index out of range");
-  return vectorized_.amplitude(row * dimension() + col);
+  return widen(vectorized_.amplitude(row * dimension() + col));
 }
 
-void DensityMatrix::set_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicDensityMatrix<Real>::set_basis_state(std::uint64_t index) {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
   vectorized_.set_basis_state(index * dimension() + index);
 }
 
-void DensityMatrix::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_gate(const Gate& gate) {
   if (gate.kind == GateKind::kOperator) {
     QTDA_REQUIRE(gate.op != nullptr, "operator gate without an operator");
     apply_operator(*gate.op, gate.targets, gate.controls);
@@ -88,9 +95,10 @@ void DensityMatrix::apply_gate(const Gate& gate) {
   vectorized_.apply_gate(column);
 }
 
-void DensityMatrix::apply_operator(const LinearOperator& op,
-                                   const std::vector<std::size_t>& targets,
-                                   const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_operator(
+    const LinearOperator& op, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
   for (std::size_t q : targets)
     QTDA_REQUIRE(q < num_qubits_, "operator target out of range");
   for (std::size_t q : controls)
@@ -108,22 +116,23 @@ void DensityMatrix::apply_operator(const LinearOperator& op,
   vectorized_.apply_operator(conjugated, column_targets, column_controls);
 }
 
-void DensityMatrix::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_circuit(const Circuit& circuit) {
   QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
                "circuit width mismatch");
   for (const Gate& gate : circuit.gates()) apply_gate(gate);
   // e^{iφ}ρe^{−iφ} = ρ: the global phase cancels.
 }
 
-void DensityMatrix::apply_diagonal(const std::vector<Amplitude>& diag,
-                                   const DiagonalExtract& extract) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_diagonal(const C* table,
+                                              const DiagonalExtract& extract) {
   // vec(DρD†) entry (r, c) scales by table[l(r)]·conj(table[l(c)]).  The
   // row register holds the high n bits of the vectorized index, the column
   // register the low n bits; both reuse the n-register extraction recipe on
   // their own half.
   const std::size_t runs = extract.shifts.size();
-  const Amplitude* table = diag.data();
-  Amplitude* v = vectorized_.mutable_amplitudes();
+  C* v = vectorized_.mutable_amplitudes();
   const std::uint64_t dim = vectorized_.dimension();
   const std::uint64_t col_mask = (std::uint64_t{1} << num_qubits_) - 1;
   for (std::uint64_t i = 0; i < dim; ++i) {
@@ -139,7 +148,9 @@ void DensityMatrix::apply_diagonal(const std::vector<Amplitude>& diag,
   }
 }
 
-void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_depolarizing(std::size_t qubit,
+                                                  double probability) {
   QTDA_REQUIRE(qubit < num_qubits_, "qubit out of range");
   QTDA_REQUIRE(probability >= 0.0 && probability <= 1.0,
                "error probability out of [0,1]");
@@ -147,13 +158,15 @@ void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
   // Closed form of (1−p)ρ + (p/3)(XρX + YρY + ZρZ) on one qubit:
   //   off-diagonal (in that qubit):  scaled by (1 − 4p/3)
   //   diagonal pair (a, d):          a' = (1−2p/3)a + (2p/3)d  (and sym.)
-  // One pass over vec(ρ), no temporaries.
-  const double shrink = 1.0 - 4.0 * probability / 3.0;
-  const double mix = 2.0 * probability / 3.0;
+  // One pass over vec(ρ), no temporaries.  The weights are evaluated in
+  // double and narrowed once, so the double path's expressions are
+  // unchanged.
+  const Real shrink = static_cast<Real>(1.0 - 4.0 * probability / 3.0);
+  const Real mix = static_cast<Real>(2.0 * probability / 3.0);
   const std::size_t total = 2 * num_qubits_;
   const std::uint64_t row_mask = qubit_mask(qubit, total);
   const std::uint64_t col_mask = qubit_mask(qubit + num_qubits_, total);
-  Amplitude* v = vectorized_.mutable_amplitudes();
+  C* v = vectorized_.mutable_amplitudes();
   const std::uint64_t dim = std::uint64_t{1} << total;
   for (std::uint64_t i = 0; i < dim; ++i) {
     if ((i & row_mask) != 0 || (i & col_mask) != 0) continue;
@@ -161,8 +174,8 @@ void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
     const std::uint64_t i01 = i | col_mask;
     const std::uint64_t i10 = i | row_mask;
     const std::uint64_t i11 = i | row_mask | col_mask;
-    const Amplitude a = v[i00];
-    const Amplitude d = v[i11];
+    const C a = v[i00];
+    const C d = v[i11];
     v[i00] = shrink * a + mix * (a + d);
     v[i11] = shrink * d + mix * (a + d);
     v[i01] *= shrink;
@@ -170,8 +183,9 @@ void DensityMatrix::apply_depolarizing(std::size_t qubit, double probability) {
   }
 }
 
-void DensityMatrix::apply_circuit_with_noise(const Circuit& circuit,
-                                             const NoiseModel& noise) {
+template <typename Real>
+void BasicDensityMatrix<Real>::apply_circuit_with_noise(
+    const Circuit& circuit, const NoiseModel& noise) {
   QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
                "circuit width mismatch");
   for_each_gate_with_noise(
@@ -179,26 +193,30 @@ void DensityMatrix::apply_circuit_with_noise(const Circuit& circuit,
       [&](std::size_t q, double p) { apply_depolarizing(q, p); });
 }
 
-double DensityMatrix::trace() const {
+template <typename Real>
+double BasicDensityMatrix<Real>::trace() const {
   double t = 0.0;
   for (std::uint64_t r = 0; r < dimension(); ++r)
     t += element(r, r).real();
   return t;
 }
 
-double DensityMatrix::purity() const {
+template <typename Real>
+double BasicDensityMatrix<Real>::purity() const {
   // Tr ρ² = Σ_{r,c} |ρ(r,c)|² for Hermitian ρ — the vectorized 2-norm.
   return vectorized_.norm_squared();
 }
 
-std::vector<double> DensityMatrix::probabilities() const {
+template <typename Real>
+std::vector<double> BasicDensityMatrix<Real>::probabilities() const {
   std::vector<double> p(dimension());
   for (std::uint64_t r = 0; r < dimension(); ++r)
     p[r] = std::max(element(r, r).real(), 0.0);
   return p;
 }
 
-std::vector<double> DensityMatrix::marginal_probabilities(
+template <typename Real>
+std::vector<double> BasicDensityMatrix<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   QTDA_REQUIRE(!qubits.empty(), "marginal over an empty qubit set");
   const std::size_t m = qubits.size();
@@ -218,11 +236,15 @@ std::vector<double> DensityMatrix::marginal_probabilities(
   return marginal;
 }
 
-std::vector<std::uint64_t> DensityMatrix::sample_counts(
+template <typename Real>
+std::vector<std::uint64_t> BasicDensityMatrix<Real>::sample_counts(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return multinomial_sample(marginal_probabilities(qubits), shots, rng);
 }
+
+template class BasicDensityMatrix<double>;
+template class BasicDensityMatrix<float>;
 
 DensityMatrix run_circuit_density(const Circuit& circuit,
                                   const NoiseModel& noise) {

@@ -12,8 +12,15 @@
 /// adapter on the column register, so the sparse QPE oracle composes with
 /// exact channels without any 2^q×2^q densification.  A depolarizing
 /// channel is the convex combination (1−p)·ρ + (p/3)·(XρX + YρY + ZρZ).
+///
+/// Like the pure-state engines the class is templated over the amplitude
+/// scalar (`BasicDensityMatrix<Real>`, Real ∈ {double, float}): vec(ρ) is a
+/// `BasicStatevector<Real>`, so every kernel — including the SIMD routing —
+/// is inherited, and traces/purities/probabilities accumulate in double at
+/// every precision.
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <vector>
 
@@ -31,21 +38,24 @@ namespace qtda {
 inline constexpr std::size_t kDensityMatrixMaxQubits = 13;
 
 /// An n-qubit density matrix (2n-qubit vectorized storage: 4^n amplitudes).
-class DensityMatrix {
+template <typename Real>
+class BasicDensityMatrix {
  public:
+  using C = std::complex<Real>;
+
   /// |0…0⟩⟨0…0|.
-  explicit DensityMatrix(std::size_t num_qubits);
+  explicit BasicDensityMatrix(std::size_t num_qubits);
 
   /// ρ = |ψ⟩⟨ψ| from a pure state.
-  static DensityMatrix from_statevector(const Statevector& psi);
+  static BasicDensityMatrix from_statevector(const BasicStatevector<Real>& psi);
 
   /// ρ = I/2^n.
-  static DensityMatrix maximally_mixed(std::size_t num_qubits);
+  static BasicDensityMatrix maximally_mixed(std::size_t num_qubits);
 
   std::size_t num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
 
-  /// Matrix element ρ(r, c).
+  /// Matrix element ρ(r, c), widened to the double boundary type.
   Amplitude element(std::uint64_t row, std::uint64_t col) const;
 
   /// Resets to the pure basis state |index⟩⟨index|.
@@ -67,9 +77,9 @@ class DensityMatrix {
   /// Fused diagonal D (quantum/compiler.hpp convention: 2^m table over the
   /// ordered target list, extraction recipe for the n-qubit register):
   /// applies DρD† in one pass over vec(ρ) — each entry picks up
-  /// table[row index]·conj(table[column index]).
-  void apply_diagonal(const std::vector<Amplitude>& diag,
-                      const DiagonalExtract& extract);
+  /// table[row index]·conj(table[column index]).  \p table is pre-cast to
+  /// the amplitude scalar (CompiledOp caches both widths).
+  void apply_diagonal(const C* table, const DiagonalExtract& extract);
   /// Exact depolarizing channel of strength p on one qubit.
   void apply_depolarizing(std::size_t qubit, double probability);
   /// Applies a circuit with the noise model applied exactly after each gate
@@ -93,11 +103,21 @@ class DensityMatrix {
       Rng& rng) const;
 
  private:
-  explicit DensityMatrix(std::size_t num_qubits, Statevector vectorized);
+  explicit BasicDensityMatrix(std::size_t num_qubits,
+                              BasicStatevector<Real> vectorized);
 
   std::size_t num_qubits_;
-  Statevector vectorized_;  // 2n qubits: row block [0, n), column block [n, 2n)
+  // 2n qubits: row block [0, n), column block [n, 2n).
+  BasicStatevector<Real> vectorized_;
 };
+
+/// The historical (and default) double-precision engine.
+using DensityMatrix = BasicDensityMatrix<double>;
+/// The complex64 engine.
+using DensityMatrixF32 = BasicDensityMatrix<float>;
+
+extern template class BasicDensityMatrix<double>;
+extern template class BasicDensityMatrix<float>;
 
 /// Runs a circuit on |0…0⟩⟨0…0| with exact noise; convenience wrapper.
 DensityMatrix run_circuit_density(const Circuit& circuit,

@@ -134,13 +134,14 @@ inline DiagonalExtract build_diagonal_extract(
 /// global indices [first_index, first_index + count).  The run count is a
 /// template parameter so the extraction fully unrolls — shared by the
 /// dense and sharded engines, whose per-amplitude arithmetic must match
-/// bit for bit.
-template <std::size_t R>
-inline void apply_diagonal_run_fixed(Amplitude* amp, std::uint64_t first_index,
+/// bit for bit.  Templated over the complex amplitude type so the float32
+/// engines reuse the identical kernel shape.
+template <std::size_t R, typename C>
+inline void apply_diagonal_run_fixed(C* amp, std::uint64_t first_index,
                                      std::uint64_t count,
                                      const std::uint64_t* shifts,
                                      const std::uint64_t* masks,
-                                     const Amplitude* table) {
+                                     const C* table) {
   for (std::uint64_t k = 0; k < count; ++k) {
     const std::uint64_t i = first_index + k;
     std::uint64_t local = 0;
@@ -151,10 +152,11 @@ inline void apply_diagonal_run_fixed(Amplitude* amp, std::uint64_t first_index,
 
 /// Runtime dispatch of apply_diagonal_run_fixed (a fused diagonal of width
 /// ≤ 8 has at most 8 runs).
-inline void apply_diagonal_run(Amplitude* amp, std::uint64_t first_index,
+template <typename C>
+inline void apply_diagonal_run(C* amp, std::uint64_t first_index,
                                std::uint64_t count,
                                const DiagonalExtract& extract,
-                               const Amplitude* table) {
+                               const C* table) {
   const std::uint64_t* s = extract.shifts.data();
   const std::uint64_t* m = extract.masks.data();
   switch (extract.shifts.size()) {

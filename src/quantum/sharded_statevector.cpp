@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "quantum/register_layout.hpp"
+#include "quantum/simd_kernels.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qtda {
@@ -29,10 +30,51 @@ constexpr std::size_t kMaxPoolThreads = 64;
 /// sharded engine exists precisely to parallelize mid-sized states.
 constexpr std::uint64_t kSerialBarrierThreshold = std::uint64_t{1} << 9;
 
+/// Casts a double gate matrix to the amplitude scalar: zero-copy for double,
+/// a one-time narrowing into \p scratch for float (mirroring the dense
+/// engine's boundary rule: matrices arrive as ComplexMatrix, the state
+/// scalar is chosen at kernel entry).
+template <typename Real>
+const std::complex<Real>* cast_matrix(const ComplexMatrix& u,
+                                      std::vector<std::complex<Real>>& scratch);
+
+template <>
+const std::complex<double>* cast_matrix<double>(
+    const ComplexMatrix& u, std::vector<std::complex<double>>& /*scratch*/) {
+  return u.data();
+}
+
+template <>
+const std::complex<float>* cast_matrix<float>(
+    const ComplexMatrix& u, std::vector<std::complex<float>>& scratch) {
+  const std::size_t count = u.rows() * u.cols();
+  scratch.resize(count);
+  const std::complex<double>* src = u.data();
+  for (std::size_t i = 0; i < count; ++i)
+    scratch[i] = std::complex<float>(static_cast<float>(src[i].real()),
+                                     static_cast<float>(src[i].imag()));
+  return scratch.data();
+}
+
+/// Routes a packed batch to the operator's rail for the amplitude scalar.
+inline void operator_apply_batch(const LinearOperator& op,
+                                 const std::complex<double>* in,
+                                 std::complex<double>* out,
+                                 std::size_t count) {
+  op.apply_batch(in, out, count);
+}
+
+inline void operator_apply_batch(const LinearOperator& op,
+                                 const std::complex<float>* in,
+                                 std::complex<float>* out, std::size_t count) {
+  op.apply_batch_f32(in, out, count);
+}
+
 }  // namespace
 
-ShardedStatevector::ShardedStatevector(std::size_t num_qubits,
-                                       std::size_t num_shards)
+template <typename Real>
+BasicShardedStatevector<Real>::BasicShardedStatevector(std::size_t num_qubits,
+                                                       std::size_t num_shards)
     : num_qubits_(num_qubits) {
   QTDA_REQUIRE(num_qubits > 0 && num_qubits <= 30,
                "statevector width " << num_qubits << " unsupported");
@@ -45,15 +87,16 @@ ShardedStatevector::ShardedStatevector(std::size_t num_qubits,
   for (std::uint64_t s = 0; s <= shards; ++s)
     begins_[static_cast<std::size_t>(s)] = dim * s / shards;
   for (std::size_t s = 0; s < slabs_.size(); ++s)
-    slabs_[s].assign(begins_[s + 1] - begins_[s], Amplitude{0.0, 0.0});
-  slabs_[0][0] = Amplitude{1.0, 0.0};
+    slabs_[s].assign(begins_[s + 1] - begins_[s], C{});
+  slabs_[0][0] = C{Real{1}, Real{0}};
   if (slabs_.size() > 1) {
     pool_ = std::make_unique<ThreadPool>(
         std::min(slabs_.size(), kMaxPoolThreads));
   }
 }
 
-std::size_t ShardedStatevector::shard_of(std::uint64_t index) const {
+template <typename Real>
+std::size_t BasicShardedStatevector<Real>::shard_of(std::uint64_t index) const {
   // Slabs are the balanced partition begins_[s] = ⌊dim·s/S⌋, whose inverse
   // is ⌊index·S/dim⌋ up to a ±1 boundary adjustment.
   std::size_t s = static_cast<std::size_t>((index * num_shards()) >>
@@ -63,23 +106,30 @@ std::size_t ShardedStatevector::shard_of(std::uint64_t index) const {
   return s;
 }
 
-Amplitude& ShardedStatevector::at(std::uint64_t index) {
+template <typename Real>
+typename BasicShardedStatevector<Real>::C& BasicShardedStatevector<Real>::at(
+    std::uint64_t index) {
   const std::size_t s = shard_of(index);
   return slabs_[s][index - begins_[s]];
 }
 
-const Amplitude& ShardedStatevector::at(std::uint64_t index) const {
+template <typename Real>
+const typename BasicShardedStatevector<Real>::C&
+BasicShardedStatevector<Real>::at(std::uint64_t index) const {
   const std::size_t s = shard_of(index);
   return slabs_[s][index - begins_[s]];
 }
 
-ShardedStatevector::Span ShardedStatevector::span_at(std::uint64_t index) {
+template <typename Real>
+typename BasicShardedStatevector<Real>::Span
+BasicShardedStatevector<Real>::span_at(std::uint64_t index) {
   const std::size_t s = shard_of(index);
   return Span{slabs_[s].data() + (index - begins_[s]),
               begins_[s + 1] - index};
 }
 
-void ShardedStatevector::barrier_step(
+template <typename Real>
+void BasicShardedStatevector<Real>::barrier_step(
     const std::function<void(std::size_t)>& slab_task) {
   if (pool_ && dimension() >= kSerialBarrierThreshold) {
     pool_->run_batch(slabs_.size(), slab_task);
@@ -88,29 +138,35 @@ void ShardedStatevector::barrier_step(
   }
 }
 
-Amplitude ShardedStatevector::amplitude(std::uint64_t index) const {
+template <typename Real>
+typename BasicShardedStatevector<Real>::C
+BasicShardedStatevector<Real>::amplitude(std::uint64_t index) const {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
   return at(index);
 }
 
-std::vector<Amplitude> ShardedStatevector::amplitudes() const {
-  std::vector<Amplitude> all;
+template <typename Real>
+std::vector<typename BasicShardedStatevector<Real>::C>
+BasicShardedStatevector<Real>::amplitudes() const {
+  std::vector<C> all;
   all.reserve(static_cast<std::size_t>(dimension()));
   for (const auto& slab : slabs_)
     all.insert(all.end(), slab.begin(), slab.end());
   return all;
 }
 
-void ShardedStatevector::set_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicShardedStatevector<Real>::set_basis_state(std::uint64_t index) {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
   barrier_step([&](std::size_t s) {
-    std::fill(slabs_[s].begin(), slabs_[s].end(), Amplitude{});
+    std::fill(slabs_[s].begin(), slabs_[s].end(), C{});
   });
-  at(index) = Amplitude{1.0, 0.0};
+  at(index) = C{Real{1}, Real{0}};
 }
 
-void ShardedStatevector::set_amplitudes(
-    const std::vector<Amplitude>& amplitudes) {
+template <typename Real>
+void BasicShardedStatevector<Real>::set_amplitudes(
+    const std::vector<C>& amplitudes) {
   QTDA_REQUIRE(amplitudes.size() == dimension(),
                "amplitude vector length mismatch");
   barrier_step([&](std::size_t s) {
@@ -120,7 +176,8 @@ void ShardedStatevector::set_amplitudes(
   });
 }
 
-void ShardedStatevector::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_gate(const Gate& gate) {
   if (gate.kind == GateKind::kUnitary) {
     apply_unitary(gate.matrix, gate.targets, gate.controls);
   } else if (gate.kind == GateKind::kOperator) {
@@ -131,7 +188,8 @@ void ShardedStatevector::apply_gate(const Gate& gate) {
   }
 }
 
-void ShardedStatevector::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_circuit(const Circuit& circuit) {
   QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
                "circuit width " << circuit.num_qubits()
                                 << " does not match state width "
@@ -140,7 +198,8 @@ void ShardedStatevector::apply_circuit(const Circuit& circuit) {
   if (circuit.global_phase() != 0.0) apply_global_phase(circuit.global_phase());
 }
 
-void ShardedStatevector::apply_single_qubit(
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_single_qubit(
     const ComplexMatrix& u, std::size_t target,
     const std::vector<std::size_t>& controls) {
   QTDA_REQUIRE(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
@@ -151,7 +210,10 @@ void ShardedStatevector::apply_single_qubit(
     QTDA_REQUIRE(c < num_qubits_ && c != target, "bad control qubit");
     cmask |= qubit_mask(c, num_qubits_);
   }
-  const Amplitude u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const C u2x2[4] = {static_cast<C>(u(0, 0)), static_cast<C>(u(0, 1)),
+                     static_cast<C>(u(1, 0)), static_cast<C>(u(1, 1))};
+  const C u00 = u2x2[0], u01 = u2x2[1], u10 = u2x2[2], u11 = u2x2[3];
+  const SimdLevel level = active_simd_level();
 
   // One task per slab: anchors (pair indices with the target bit clear) in
   // [lo, hi) come in runs [B, B+mask) every 2·mask; the partner run
@@ -160,31 +222,28 @@ void ShardedStatevector::apply_single_qubit(
   barrier_step([&](std::size_t s) {
     const std::uint64_t lo = begins_[s];
     const std::uint64_t hi = begins_[s + 1];
-    Amplitude* own = slabs_[s].data();
+    C* own = slabs_[s].data();
     for (std::uint64_t block = lo & ~(2 * mask - 1); block < hi;
          block += 2 * mask) {
       const std::uint64_t run_lo = std::max(block, lo);
       const std::uint64_t run_hi = std::min(block + mask, hi);
       if (run_lo >= run_hi) continue;
-      Amplitude* p0 = own + (run_lo - lo);
+      C* p0 = own + (run_lo - lo);
       const std::uint64_t n = run_hi - run_lo;
       if (run_hi + mask <= hi) {
         // Slab-local qubit: the partner run lives in the own slab too (the
         // overwhelmingly common case for low qubits) — plain strided kernel,
-        // no per-run slab resolution; branch-free when uncontrolled.
-        Amplitude* p1 = p0 + mask;
+        // no per-run slab resolution; branch-free when uncontrolled.  The
+        // uncontrolled sweep is the shared SIMD pair kernel, bit-identical
+        // to its scalar form at every level.
+        C* p1 = p0 + mask;
         if (cmask == 0) {
-          for (std::uint64_t k = 0; k < n; ++k) {
-            const Amplitude a0 = p0[k];
-            const Amplitude a1 = p1[k];
-            p0[k] = u00 * a0 + u01 * a1;
-            p1[k] = u10 * a0 + u11 * a1;
-          }
+          simd::pair_sweep(level, p0, p1, n, u2x2);
         } else {
           for (std::uint64_t k = 0; k < n; ++k) {
             if (((run_lo + k) & cmask) != cmask) continue;
-            const Amplitude a0 = p0[k];
-            const Amplitude a1 = p1[k];
+            const C a0 = p0[k];
+            const C a1 = p1[k];
             p0[k] = u00 * a0 + u01 * a1;
             p1[k] = u10 * a0 + u11 * a1;
           }
@@ -197,13 +256,17 @@ void ShardedStatevector::apply_single_qubit(
       while (done < n) {
         const Span partner = span_at(run_lo + done + mask);
         const std::uint64_t len = std::min(n - done, partner.length);
-        for (std::uint64_t k = 0; k < len; ++k) {
-          const std::uint64_t i0 = run_lo + done + k;
-          if ((i0 & cmask) != cmask) continue;
-          const Amplitude a0 = p0[done + k];
-          const Amplitude a1 = partner.data[k];
-          p0[done + k] = u00 * a0 + u01 * a1;
-          partner.data[k] = u10 * a0 + u11 * a1;
+        if (cmask == 0) {
+          simd::pair_sweep(level, p0 + done, partner.data, len, u2x2);
+        } else {
+          for (std::uint64_t k = 0; k < len; ++k) {
+            const std::uint64_t i0 = run_lo + done + k;
+            if ((i0 & cmask) != cmask) continue;
+            const C a0 = p0[done + k];
+            const C a1 = partner.data[k];
+            p0[done + k] = u00 * a0 + u01 * a1;
+            partner.data[k] = u10 * a0 + u11 * a1;
+          }
         }
         done += len;
       }
@@ -211,9 +274,10 @@ void ShardedStatevector::apply_single_qubit(
   });
 }
 
-void ShardedStatevector::apply_unitary(const ComplexMatrix& u,
-                                       const std::vector<std::size_t>& targets,
-                                       const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_unitary(
+    const ComplexMatrix& u, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
   if (targets.size() == 1) {
     apply_single_qubit(u, targets[0], controls);
     return;
@@ -229,27 +293,32 @@ void ShardedStatevector::apply_unitary(const ComplexMatrix& u,
   const std::uint64_t cmask = layout.cmask;
   const std::vector<std::uint64_t> offset =
       block_offsets(layout.local_bit_mask);
+  std::vector<C> matrix_scratch;
+  const C* uc = cast_matrix<Real>(u, matrix_scratch);
+  const SimdLevel level = active_simd_level();
 
   // Anchors are the block base indices; each worker owns the bases in its
-  // slab and gathers/scatters block elements wherever they live.
+  // slab and gathers/scatters block elements wherever they live.  The
+  // gathered block runs through the shared dense-block matvec (one
+  // accumulator per row, ascending column order — the scalar row-dot's
+  // arithmetic at every SIMD level).
   barrier_step([&](std::size_t s) {
-    std::vector<Amplitude> buf(block);
+    std::vector<C> buf(block);
+    std::vector<C> out(block);
     for (std::uint64_t i = begins_[s]; i < begins_[s + 1]; ++i) {
       if ((i & tmask) != 0 || (i & cmask) != cmask) continue;
       for (std::uint64_t l = 0; l < block; ++l) buf[l] = at(i | offset[l]);
-      for (std::uint64_t r = 0; r < block; ++r) {
-        Amplitude acc{};
-        const Amplitude* urow = u.row(r);
-        for (std::uint64_t c = 0; c < block; ++c) acc += urow[c] * buf[c];
-        at(i | offset[r]) = acc;
-      }
+      simd::block_matvec(level, uc, buf.data(), out.data(),
+                         static_cast<std::size_t>(block));
+      for (std::uint64_t r = 0; r < block; ++r) at(i | offset[r]) = out[r];
     }
   });
 }
 
-void ShardedStatevector::apply_operator(const LinearOperator& op,
-                                        const std::vector<std::size_t>& targets,
-                                        const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_operator(
+    const LinearOperator& op, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
   const std::size_t m = targets.size();
   QTDA_REQUIRE(m >= 1 && m <= num_qubits_, "bad operator target count");
   const std::uint64_t block = std::uint64_t{1} << m;
@@ -259,7 +328,7 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
   const TargetLayout layout =
       build_target_layout(targets, controls, num_qubits_);
 
-  // Same block decomposition as Statevector::apply_operator: contiguous
+  // Same block decomposition as BasicStatevector::apply_operator: contiguous
   // blocks exactly when the targets are the trailing wires in order, and
   // block-column bases enumerated in the same order as the dense engine.
   const bool contiguous = targets_are_trailing(targets, num_qubits_);
@@ -284,8 +353,8 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
     const std::size_t strip_lo = bases.size() * s / strips;
     const std::size_t strip_hi = bases.size() * (s + 1) / strips;
     if (strip_lo >= strip_hi) return;
-    std::vector<Amplitude> packed_in;
-    std::vector<Amplitude> packed_out;
+    std::vector<C> packed_in;
+    std::vector<C> packed_out;
     for (std::size_t first = strip_lo; first < strip_hi;
          first += per_strip_cap) {
       const std::size_t count = std::min(per_strip_cap, strip_hi - first);
@@ -301,7 +370,7 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
             const Span src = span_at(base + done);
             const std::uint64_t len = std::min(block - done, src.length);
             std::memcpy(packed_in.data() + b * block + done, src.data,
-                        len * sizeof(Amplitude));
+                        len * sizeof(C));
             done += len;
           }
         } else {
@@ -309,7 +378,7 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
             packed_in[b * block + l] = at(base | offset[l]);
         }
       }
-      op.apply_batch(packed_in.data(), packed_out.data(), count);
+      operator_apply_batch(op, packed_in.data(), packed_out.data(), count);
       for (std::size_t b = 0; b < count; ++b) {
         const std::uint64_t base = bases[first + b];
         if (contiguous) {
@@ -318,7 +387,7 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
             const Span dst = span_at(base + done);
             const std::uint64_t len = std::min(block - done, dst.length);
             std::memcpy(dst.data, packed_out.data() + b * block + done,
-                        len * sizeof(Amplitude));
+                        len * sizeof(C));
             done += len;
           }
         } else {
@@ -330,29 +399,36 @@ void ShardedStatevector::apply_operator(const LinearOperator& op,
   });
 }
 
-void ShardedStatevector::apply_global_phase(double phi) {
-  const Amplitude factor{std::cos(phi), std::sin(phi)};
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_global_phase(double phi) {
+  // cos/sin evaluated in double at every precision, then narrowed — the
+  // float engine's phase factor is the rounded double one, matching the
+  // dense engine.
+  const C factor{static_cast<Real>(std::cos(phi)),
+                 static_cast<Real>(std::sin(phi))};
   barrier_step([&](std::size_t s) {
-    for (Amplitude& a : slabs_[s]) a *= factor;
+    for (C& a : slabs_[s]) a *= factor;
   });
 }
 
-void ShardedStatevector::apply_diagonal(const std::vector<Amplitude>& diag,
-                                        const DiagonalExtract& extract) {
-  const Amplitude* table = diag.data();
+template <typename Real>
+void BasicShardedStatevector<Real>::apply_diagonal(
+    const C* table, const DiagonalExtract& extract) {
+  const SimdLevel level = active_simd_level();
   barrier_step([&](std::size_t s) {
-    apply_diagonal_run(slabs_[s].data(), begins_[s],
-                       begins_[s + 1] - begins_[s], extract, table);
+    simd::diagonal_pass(level, slabs_[s].data(), begins_[s],
+                        begins_[s + 1] - begins_[s], extract, table);
   });
 }
 
-std::vector<double> ShardedStatevector::marginal_probabilities(
+template <typename Real>
+std::vector<double> BasicShardedStatevector<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   const std::vector<std::uint64_t> bit_mask =
       marginal_bit_masks(qubits, num_qubits_);
   const std::size_t m = qubits.size();
   const std::uint64_t out_dim = std::uint64_t{1} << m;
-  // The exact reduction of Statevector::marginal_probabilities — same
+  // The exact reduction of BasicStatevector::marginal_probabilities — same
   // shared-pool chunking, same index-ascending accumulation, same merge
   // order — which is what makes the sharded marginals (and therefore
   // samples) bit-identical to the dense engine for every shard count.  Each
@@ -361,10 +437,10 @@ std::vector<double> ShardedStatevector::marginal_probabilities(
   std::vector<double> marginal(out_dim, 0.0);
   reduce_ordered_over_slabs(
       std::vector<double>(out_dim, 0.0),
-      [&](const Amplitude* amp, std::uint64_t index, std::uint64_t length,
+      [&](const C* amp, std::uint64_t index, std::uint64_t length,
           std::vector<double>& into) {
         for (std::uint64_t k = 0; k < length; ++k) {
-          const double p = std::norm(amp[k]);
+          const double p = norm_sq_as_double(amp[k]);
           if (p == 0.0) continue;
           const std::uint64_t i = index + k;
           std::uint64_t outcome = 0;
@@ -380,22 +456,28 @@ std::vector<double> ShardedStatevector::marginal_probabilities(
   return marginal;
 }
 
-std::vector<std::uint64_t> ShardedStatevector::sample_counts(
+template <typename Real>
+std::vector<std::uint64_t> BasicShardedStatevector<Real>::sample_counts(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return multinomial_sample(marginal_probabilities(qubits), shots, rng);
 }
 
-double ShardedStatevector::norm_squared() const {
+template <typename Real>
+double BasicShardedStatevector<Real>::norm_squared() const {
   double s = 0.0;
   reduce_ordered_over_slabs(
       0.0,
-      [](const Amplitude* amp, std::uint64_t /*index*/, std::uint64_t length,
+      [](const C* amp, std::uint64_t /*index*/, std::uint64_t length,
          double& acc) {
-        for (std::uint64_t k = 0; k < length; ++k) acc += std::norm(amp[k]);
+        for (std::uint64_t k = 0; k < length; ++k)
+          acc += norm_sq_as_double(amp[k]);
       },
       [](double& total, double part) { total += part; }, s);
   return s;
 }
+
+template class BasicShardedStatevector<double>;
+template class BasicShardedStatevector<float>;
 
 }  // namespace qtda

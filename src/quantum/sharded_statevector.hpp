@@ -1,5 +1,5 @@
 /// \file sharded_statevector.hpp
-/// \brief Slab-parallel state-vector engine.
+/// \brief Slab-parallel state-vector engine, templated over the scalar.
 ///
 /// The 2^n amplitudes are split into num_shards() contiguous *slabs*, each a
 /// separately allocated buffer conceptually owned by one worker of a private
@@ -17,15 +17,18 @@
 /// the anchor-owning (lower-index) half of the workers carries the step —
 /// the usual load shape of a slab-exchange engine.
 ///
-/// Every kernel performs bit-identical arithmetic to Statevector: the same
-/// expression per amplitude pair, the same gather → apply_batch → scatter
-/// block decomposition for matrix-free operators (split one block-column
-/// strip per worker), and the very same ordered-chunk reduction for
-/// marginals and norms.  Results are therefore reproducible and *equal* to
-/// the dense engine, bit for bit, for every shard count — the property the
-/// backend tests and the CI sharded leg assert.
+/// Every kernel performs bit-identical arithmetic to BasicStatevector<Real>
+/// at the same precision: the same expression per amplitude pair (both
+/// engines route their hot sweeps through quantum/simd_kernels.hpp, so the
+/// guarantee holds at every SIMD level), the same gather → apply_batch →
+/// scatter block decomposition for matrix-free operators (split one
+/// block-column strip per worker), and the very same ordered-chunk reduction
+/// for marginals and norms.  Results are therefore reproducible and *equal*
+/// to the dense engine, bit for bit, for every shard count — the property
+/// the backend tests and the CI sharded leg assert.
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -35,18 +38,21 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/linear_operator.hpp"
 #include "quantum/circuit.hpp"
-#include "quantum/statevector.hpp"  // kStatevectorParallelThreshold
+#include "quantum/statevector.hpp"  // kStatevectorParallelThreshold, widen
 #include "quantum/types.hpp"
 
 namespace qtda {
 
 /// A pure n-qubit state stored as contiguous amplitude slabs.
-class ShardedStatevector {
+template <typename Real>
+class BasicShardedStatevector {
  public:
+  using C = std::complex<Real>;
+
   /// |0…0⟩ on \p num_qubits qubits over \p num_shards slabs (clamped to the
   /// dimension so every slab is non-empty; any count ≥ 1 is valid, powers of
   /// two not required).
-  ShardedStatevector(std::size_t num_qubits, std::size_t num_shards);
+  BasicShardedStatevector(std::size_t num_qubits, std::size_t num_shards);
 
   std::size_t num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
@@ -55,17 +61,17 @@ class ShardedStatevector {
   /// Slab s owns global indices [slab_begin(s), slab_begin(s+1)).
   std::uint64_t slab_begin(std::size_t shard) const { return begins_[shard]; }
 
-  Amplitude amplitude(std::uint64_t index) const;
+  C amplitude(std::uint64_t index) const;
   /// Dense copy of the full amplitude vector in global index order
   /// (diagnostics and tests; allocates 2^n scalars).
-  std::vector<Amplitude> amplitudes() const;
+  std::vector<C> amplitudes() const;
 
   /// Resets to the computational basis state |index⟩.
   void set_basis_state(std::uint64_t index);
   /// Sets arbitrary amplitudes (must have length 2^n).
-  void set_amplitudes(const std::vector<Amplitude>& amplitudes);
+  void set_amplitudes(const std::vector<C>& amplitudes);
 
-  // -- gate application (same contracts as Statevector) ----------------------
+  // -- gate application (same contracts as BasicStatevector) -----------------
   void apply_gate(const Gate& gate);
   void apply_circuit(const Circuit& circuit);
   void apply_single_qubit(const ComplexMatrix& u, std::size_t target,
@@ -74,42 +80,46 @@ class ShardedStatevector {
                      const std::vector<std::size_t>& targets,
                      const std::vector<std::size_t>& controls = {});
   /// Matrix-free operator over ordered targets (MSB-first, as
-  /// Statevector::apply_operator): the block gather/scatter decomposition is
-  /// identical, with the block-column list split into one strip per worker.
+  /// BasicStatevector::apply_operator): the block gather/scatter
+  /// decomposition is identical, with the block-column list split into one
+  /// strip per worker.
   void apply_operator(const LinearOperator& op,
                       const std::vector<std::size_t>& targets,
                       const std::vector<std::size_t>& controls = {});
   /// Fused diagonal (quantum/compiler.hpp): a diagonal never pairs
   /// amplitudes, so every slab multiplies its own run independently — one
   /// barrier step, no partner-slab traffic, and per-amplitude arithmetic
-  /// bit-identical to the dense engine's diagonal kernel.
-  void apply_diagonal(const std::vector<Amplitude>& diag,
-                      const DiagonalExtract& extract);
+  /// bit-identical to the dense engine's diagonal kernel.  \p table is the
+  /// 2^m-entry diagonal pre-cast to the amplitude scalar (the plan caches
+  /// both widths — see CompiledOp::diagonal_f32).
+  void apply_diagonal(const C* table, const DiagonalExtract& extract);
   void apply_global_phase(double phi);
 
   // -- measurement -----------------------------------------------------------
   /// Marginal distribution over an ordered qubit subset (MSB-first).
-  /// Deterministic ordered-chunk reduction, bit-identical to Statevector.
+  /// Deterministic ordered-chunk reduction, bit-identical to the dense
+  /// engine; accumulation is in double at every precision.
   std::vector<double> marginal_probabilities(
       const std::vector<std::size_t>& qubits) const;
   /// Exact multinomial sampling from the marginal; identical RNG consumption
-  /// to Statevector::sample_counts.
+  /// to BasicStatevector::sample_counts.
   std::vector<std::uint64_t> sample_counts(
       const std::vector<std::size_t>& qubits, std::size_t shots,
       Rng& rng) const;
-  /// Σ|amp|², via the same ordered reduction as Statevector::norm_squared.
+  /// Σ|amp|² (double accumulation), via the same ordered reduction as
+  /// BasicStatevector::norm_squared.
   double norm_squared() const;
 
  private:
   /// A contiguous run of amplitudes inside one slab.
   struct Span {
-    Amplitude* data;
+    C* data;
     std::uint64_t length;  ///< run length from `data` to the slab's end
   };
 
   std::size_t shard_of(std::uint64_t index) const;
-  Amplitude& at(std::uint64_t index);
-  const Amplitude& at(std::uint64_t index) const;
+  C& at(std::uint64_t index);
+  const C& at(std::uint64_t index) const;
 
   /// The ordered-chunk reduction of parallel_reduce_ordered, specialized to
   /// the slab layout: the same chunk split (a function of the shared-pool
@@ -159,9 +169,17 @@ class ShardedStatevector {
   void barrier_step(const std::function<void(std::size_t)>& slab_task);
 
   std::size_t num_qubits_;
-  std::vector<std::uint64_t> begins_;          ///< size num_shards()+1
-  std::vector<std::vector<Amplitude>> slabs_;  ///< one buffer per worker
-  std::unique_ptr<ThreadPool> pool_;           ///< null when num_shards()==1
+  std::vector<std::uint64_t> begins_;  ///< size num_shards()+1
+  std::vector<std::vector<C>> slabs_;  ///< one buffer per worker
+  std::unique_ptr<ThreadPool> pool_;   ///< null when num_shards()==1
 };
+
+/// The historical (and default) double-precision slab engine.
+using ShardedStatevector = BasicShardedStatevector<double>;
+/// The complex64 slab engine.
+using ShardedStatevectorF32 = BasicShardedStatevector<float>;
+
+extern template class BasicShardedStatevector<double>;
+extern template class BasicShardedStatevector<float>;
 
 }  // namespace qtda

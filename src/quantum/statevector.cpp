@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "quantum/register_layout.hpp"
+#include "quantum/simd_kernels.hpp"
 
 namespace qtda {
 
@@ -19,54 +20,119 @@ namespace {
 /// ordered-reduction chunkings — the root of their bit-identical marginals.
 constexpr std::uint64_t kParallelThreshold = kStatevectorParallelThreshold;
 
+/// Contiguous runs shorter than this stay on the scalar pair/four-point
+/// sweeps: a sub-vector-width run per dispatch call costs more than it
+/// saves.  Safe to mix freely with the vector paths — they are bitwise
+/// identical by construction.
+constexpr std::uint64_t kMinSimdRun = 4;
+
 /// Reusable per-thread buffers for the non-plan entry points: apply_unitary
 /// and apply_operator used to allocate their gather/scatter scratch on every
 /// call (and every OpenMP worker allocated its own per gate); these persist
-/// for the thread's lifetime instead.  Plan execution uses the plan's own
-/// arena, not these.
-std::vector<Amplitude>& thread_block_scratch() {
-  thread_local std::vector<Amplitude> buffer;
+/// for the thread's lifetime.  Plan execution uses the plan's own arena, not
+/// these.  Templated over the amplitude type: each engine precision owns its
+/// buffers.
+template <typename C>
+std::vector<C>& thread_block_scratch() {
+  thread_local std::vector<C> buffer;
   return buffer;
 }
 
-std::vector<Amplitude>& thread_packed_in() {
-  thread_local std::vector<Amplitude> buffer;
+template <typename C>
+std::vector<C>& thread_block_out() {
+  thread_local std::vector<C> buffer;
   return buffer;
 }
 
-std::vector<Amplitude>& thread_packed_out() {
-  thread_local std::vector<Amplitude> buffer;
+template <typename C>
+std::vector<C>& thread_packed_in() {
+  thread_local std::vector<C> buffer;
   return buffer;
+}
+
+template <typename C>
+std::vector<C>& thread_packed_out() {
+  thread_local std::vector<C> buffer;
+  return buffer;
+}
+
+template <typename C>
+std::vector<C>& thread_matrix_scratch() {
+  thread_local std::vector<C> buffer;
+  return buffer;
+}
+
+/// Row-major matrix entries at the engine's precision: the double engine
+/// reads the ComplexMatrix storage directly (no copy — and no change to the
+/// historical arithmetic); the float engine narrows into a reusable scratch.
+template <typename Real>
+const std::complex<Real>* cast_matrix(const ComplexMatrix& u,
+                                      std::vector<std::complex<Real>>& scratch);
+
+template <>
+const Amplitude* cast_matrix<double>(const ComplexMatrix& u,
+                                     std::vector<Amplitude>&) {
+  return u.data();
+}
+
+template <>
+const std::complex<float>* cast_matrix<float>(
+    const ComplexMatrix& u, std::vector<std::complex<float>>& scratch) {
+  const std::size_t n = u.rows() * u.cols();
+  scratch.resize(n);
+  const Amplitude* src = u.data();
+  for (std::size_t i = 0; i < n; ++i)
+    scratch[i] = std::complex<float>(static_cast<float>(src[i].real()),
+                                     static_cast<float>(src[i].imag()));
+  return scratch.data();
+}
+
+/// Batch apply at the engine's precision (LinearOperator's native rail for
+/// double, its complex64 rail for float).
+inline void operator_apply_batch(const LinearOperator& op, const Amplitude* in,
+                                 Amplitude* out, std::size_t count) {
+  op.apply_batch(in, out, count);
+}
+inline void operator_apply_batch(const LinearOperator& op,
+                                 const std::complex<float>* in,
+                                 std::complex<float>* out, std::size_t count) {
+  op.apply_batch_f32(in, out, count);
 }
 
 }  // namespace
 
-Statevector::Statevector(std::size_t num_qubits)
+template <typename Real>
+BasicStatevector<Real>::BasicStatevector(std::size_t num_qubits)
     : num_qubits_(num_qubits),
-      amplitudes_(std::uint64_t{1} << num_qubits, Amplitude{0.0, 0.0}) {
+      amplitudes_(std::uint64_t{1} << num_qubits, C{}) {
   QTDA_REQUIRE(num_qubits > 0 && num_qubits <= 30,
                "statevector width " << num_qubits << " unsupported");
-  amplitudes_[0] = Amplitude{1.0, 0.0};
+  amplitudes_[0] = C{Real{1}, Real{0}};
 }
 
-Amplitude Statevector::amplitude(std::uint64_t index) const {
+template <typename Real>
+typename BasicStatevector<Real>::C BasicStatevector<Real>::amplitude(
+    std::uint64_t index) const {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
   return amplitudes_[index];
 }
 
-void Statevector::set_basis_state(std::uint64_t index) {
+template <typename Real>
+void BasicStatevector<Real>::set_basis_state(std::uint64_t index) {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
-  std::fill(amplitudes_.begin(), amplitudes_.end(), Amplitude{});
-  amplitudes_[index] = Amplitude{1.0, 0.0};
+  std::fill(amplitudes_.begin(), amplitudes_.end(), C{});
+  amplitudes_[index] = C{Real{1}, Real{0}};
 }
 
-void Statevector::set_amplitudes(std::vector<Amplitude> amplitudes) {
+template <typename Real>
+void BasicStatevector<Real>::set_amplitudes(std::vector<C> amplitudes) {
   QTDA_REQUIRE(amplitudes.size() == dimension(),
                "amplitude vector length mismatch");
   amplitudes_ = std::move(amplitudes);
 }
 
-void Statevector::apply_gate(const Gate& gate) {
+template <typename Real>
+void BasicStatevector<Real>::apply_gate(const Gate& gate) {
   if (gate.kind == GateKind::kUnitary) {
     apply_unitary(gate.matrix, gate.targets, gate.controls);
   } else if (gate.kind == GateKind::kOperator) {
@@ -77,7 +143,8 @@ void Statevector::apply_gate(const Gate& gate) {
   }
 }
 
-void Statevector::apply_circuit(const Circuit& circuit) {
+template <typename Real>
+void BasicStatevector<Real>::apply_circuit(const Circuit& circuit) {
   QTDA_REQUIRE(circuit.num_qubits() == num_qubits_,
                "circuit width " << circuit.num_qubits()
                                 << " does not match state width "
@@ -86,9 +153,10 @@ void Statevector::apply_circuit(const Circuit& circuit) {
   if (circuit.global_phase() != 0.0) apply_global_phase(circuit.global_phase());
 }
 
-void Statevector::apply_single_qubit(const ComplexMatrix& u,
-                                     std::size_t target,
-                                     const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicStatevector<Real>::apply_single_qubit(
+    const ComplexMatrix& u, std::size_t target,
+    const std::vector<std::size_t>& controls) {
   QTDA_REQUIRE(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
   QTDA_REQUIRE(target < num_qubits_, "target out of range");
   const std::uint64_t mask = qubit_mask(target, num_qubits_);
@@ -97,21 +165,34 @@ void Statevector::apply_single_qubit(const ComplexMatrix& u,
     QTDA_REQUIRE(c < num_qubits_ && c != target, "bad control qubit");
     cmask |= qubit_mask(c, num_qubits_);
   }
-  single_qubit_kernel(u(0, 0), u(0, 1), u(1, 0), u(1, 1), mask, cmask);
+  single_qubit_kernel(static_cast<C>(u(0, 0)), static_cast<C>(u(0, 1)),
+                      static_cast<C>(u(1, 0)), static_cast<C>(u(1, 1)), mask,
+                      cmask);
 }
 
-void Statevector::single_qubit_kernel(Amplitude u00, Amplitude u01,
-                                      Amplitude u10, Amplitude u11,
-                                      std::uint64_t mask,
-                                      std::uint64_t cmask) {
+template <typename Real>
+void BasicStatevector<Real>::single_qubit_kernel(C u00, C u01, C u10, C u11,
+                                                 std::uint64_t mask,
+                                                 std::uint64_t cmask) {
   const std::uint64_t dim = dimension();
-  Amplitude* amp = amplitudes_.data();
+  C* amp = amplitudes_.data();
+
+  // Uncontrolled gates sweep disjoint contiguous pair runs — the top hot
+  // loop, dispatched to the vector kernels (bitwise identical to the scalar
+  // expressions below; see simd_kernels.hpp).
+  const SimdLevel level = active_simd_level();
+  if (level != SimdLevel::kScalar && cmask == 0 && mask >= kMinSimdRun) {
+    const C u[4] = {u00, u01, u10, u11};
+    for (std::uint64_t block = 0; block < dim; block += 2 * mask)
+      simd::pair_sweep(level, amp + block, amp + block + mask, mask, u);
+    return;
+  }
 
   const auto body = [&](std::uint64_t i0) {
     if ((i0 & cmask) != cmask) return;
     const std::uint64_t i1 = i0 | mask;
-    const Amplitude a0 = amp[i0];
-    const Amplitude a1 = amp[i1];
+    const C a0 = amp[i0];
+    const C a1 = amp[i1];
     amp[i0] = u00 * a0 + u01 * a1;
     amp[i1] = u10 * a0 + u11 * a1;
   };
@@ -131,9 +212,10 @@ void Statevector::single_qubit_kernel(Amplitude u00, Amplitude u01,
   }
 }
 
-void Statevector::apply_unitary(const ComplexMatrix& u,
-                                const std::vector<std::size_t>& targets,
-                                const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicStatevector<Real>::apply_unitary(
+    const ComplexMatrix& u, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
   if (targets.size() == 1) {
     apply_single_qubit(u, targets[0], controls);
     return;
@@ -145,23 +227,45 @@ void Statevector::apply_unitary(const ComplexMatrix& u,
                "unitary shape does not match target count");
   const TargetLayout layout =
       build_target_layout(targets, controls, num_qubits_);
-  block_kernel(u, layout.tmask, layout.cmask,
-               block_offsets(layout.local_bit_mask), thread_block_scratch());
+  block_kernel(cast_matrix<Real>(u, thread_matrix_scratch<C>()), layout.tmask,
+               layout.cmask, block_offsets(layout.local_bit_mask),
+               thread_block_scratch<C>(), thread_block_out<C>());
 }
 
-void Statevector::block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
-                               std::uint64_t cmask,
-                               const std::vector<std::uint64_t>& offset,
-                               std::vector<Amplitude>& scratch) {
+template <typename Real>
+void BasicStatevector<Real>::block_kernel(
+    const C* u, std::uint64_t tmask, std::uint64_t cmask,
+    const std::vector<std::uint64_t>& offset, std::vector<C>& scratch,
+    std::vector<C>& scratch_out) {
   const std::uint64_t block = offset.size();
   const std::uint64_t dim = dimension();
-  Amplitude* amp = amplitudes_.data();
+  C* amp = amplitudes_.data();
 
-  const auto body = [&](std::uint64_t base, std::vector<Amplitude>& buf) {
+  // Vector path: gather, row-vectorized matvec into the out buffer, scatter.
+  // Per-row accumulation order matches the scalar row-dot exactly (see
+  // simd_kernels.hpp), so mixing paths cannot change results.
+  const SimdLevel level = active_simd_level();
+  if (level != SimdLevel::kScalar) {
+    scratch.resize(block);
+    scratch_out.resize(block);
+    for (std::uint64_t i = 0; i < dim; ++i) {
+      if ((i & tmask) == 0 && (i & cmask) == cmask) {
+        for (std::uint64_t l = 0; l < block; ++l)
+          scratch[l] = amp[i | offset[l]];
+        simd::block_matvec(level, u, scratch.data(), scratch_out.data(),
+                           block);
+        for (std::uint64_t r = 0; r < block; ++r)
+          amp[i | offset[r]] = scratch_out[r];
+      }
+    }
+    return;
+  }
+
+  const auto body = [&](std::uint64_t base, std::vector<C>& buf) {
     for (std::uint64_t l = 0; l < block; ++l) buf[l] = amp[base | offset[l]];
     for (std::uint64_t r = 0; r < block; ++r) {
-      Amplitude acc{};
-      const Amplitude* urow = u.row(r);
+      C acc{};
+      const C* urow = u + r * block;
       for (std::uint64_t c = 0; c < block; ++c) acc += urow[c] * buf[c];
       amp[base | offset[r]] = acc;
     }
@@ -172,7 +276,7 @@ void Statevector::block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
 #pragma omp parallel
     {
       // Per-OpenMP-thread reusable buffer (persists across gates).
-      std::vector<Amplitude>& local = thread_block_scratch();
+      std::vector<C>& local = thread_block_scratch<C>();
       local.resize(block);
 #pragma omp for schedule(static)
       for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim); ++i) {
@@ -189,9 +293,10 @@ void Statevector::block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
   }
 }
 
-void Statevector::apply_operator(const LinearOperator& op,
-                                 const std::vector<std::size_t>& targets,
-                                 const std::vector<std::size_t>& controls) {
+template <typename Real>
+void BasicStatevector<Real>::apply_operator(
+    const LinearOperator& op, const std::vector<std::size_t>& targets,
+    const std::vector<std::size_t>& controls) {
   const std::size_t m = targets.size();
   QTDA_REQUIRE(m >= 1 && m <= num_qubits_, "bad operator target count");
   const std::uint64_t block = std::uint64_t{1} << m;
@@ -210,24 +315,25 @@ void Statevector::apply_operator(const LinearOperator& op,
 
   const std::vector<std::uint64_t> bases =
       enumerate_block_bases(dimension(), layout.tmask, layout.cmask);
-  operator_kernel(op, contiguous, offset, bases, thread_packed_in(),
-                  thread_packed_out());
+  operator_kernel(op, contiguous, offset, bases, thread_packed_in<C>(),
+                  thread_packed_out<C>());
   // Reuse is worth keeping only at moderate size: the batch buffers grow to
   // the ~64 MB batch cap on large states, and a thread_local would pin that
   // for the thread's lifetime.  (Plan execution bounds the same buffers to
   // the plan's lifetime via its arena instead.)
   constexpr std::size_t kRetainedAmplitudeCap = std::size_t{1} << 18;
-  if (thread_packed_in().capacity() > kRetainedAmplitudeCap) {
-    thread_packed_in() = {};
-    thread_packed_out() = {};
+  if (thread_packed_in<C>().capacity() > kRetainedAmplitudeCap) {
+    thread_packed_in<C>() = {};
+    thread_packed_out<C>() = {};
   }
 }
 
-void Statevector::operator_kernel(const LinearOperator& op, bool contiguous,
-                                  const std::vector<std::uint64_t>& offset,
-                                  const std::vector<std::uint64_t>& bases,
-                                  std::vector<Amplitude>& packed_in,
-                                  std::vector<Amplitude>& packed_out) {
+template <typename Real>
+void BasicStatevector<Real>::operator_kernel(
+    const LinearOperator& op, bool contiguous,
+    const std::vector<std::uint64_t>& offset,
+    const std::vector<std::uint64_t>& bases, std::vector<C>& packed_in,
+    std::vector<C>& packed_out) {
   const std::uint64_t block = op.dimension();
   // Batch blocks through packed buffers so the operator can amortize setup
   // and parallelize across blocks; the batch cap bounds the extra memory at
@@ -235,7 +341,7 @@ void Statevector::operator_kernel(const LinearOperator& op, bool contiguous,
   constexpr std::uint64_t kBatchAmplitudeCap = std::uint64_t{1} << 22;
   const std::size_t blocks_per_batch = static_cast<std::size_t>(
       std::max<std::uint64_t>(1, kBatchAmplitudeCap / block));
-  Amplitude* amp = amplitudes_.data();
+  C* amp = amplitudes_.data();
   for (std::size_t first = 0; first < bases.size();
        first += blocks_per_batch) {
     const std::size_t count =
@@ -246,18 +352,18 @@ void Statevector::operator_kernel(const LinearOperator& op, bool contiguous,
       const std::uint64_t base = bases[first + b];
       if (contiguous) {
         std::memcpy(packed_in.data() + b * block, amp + base,
-                    block * sizeof(Amplitude));
+                    block * sizeof(C));
       } else {
         for (std::uint64_t l = 0; l < block; ++l)
           packed_in[b * block + l] = amp[base | offset[l]];
       }
     }
-    op.apply_batch(packed_in.data(), packed_out.data(), count);
+    operator_apply_batch(op, packed_in.data(), packed_out.data(), count);
     for (std::size_t b = 0; b < count; ++b) {
       const std::uint64_t base = bases[first + b];
       if (contiguous) {
         std::memcpy(amp + base, packed_out.data() + b * block,
-                    block * sizeof(Amplitude));
+                    block * sizeof(C));
       } else {
         for (std::uint64_t l = 0; l < block; ++l)
           amp[base | offset[l]] = packed_out[b * block + l];
@@ -266,38 +372,55 @@ void Statevector::operator_kernel(const LinearOperator& op, bool contiguous,
   }
 }
 
-void Statevector::two_qubit_kernel(const ComplexMatrix& u,
-                                   std::uint64_t mask_high,
-                                   std::uint64_t mask_low) {
+template <typename Real>
+void BasicStatevector<Real>::two_qubit_kernel(const C* u,
+                                              std::uint64_t mask_high,
+                                              std::uint64_t mask_low) {
   // mask_high carries local bit 1 (targets[0]), mask_low local bit 0
   // (targets[1]) — the gather order of block_kernel, so results match the
   // generic path bit for bit.
   const std::uint64_t m_small = std::min(mask_high, mask_low);
   const std::uint64_t m_big = std::max(mask_high, mask_low);
   const std::uint64_t dim = dimension();
-  Amplitude* amp = amplitudes_.data();
-  const Amplitude* u0 = u.row(0);
-  const Amplitude* u1 = u.row(1);
-  const Amplitude* u2 = u.row(2);
-  const Amplitude* u3 = u.row(3);
+  C* amp = amplitudes_.data();
+
+  // Vector path: the innermost run [b, b+m_small) gives four contiguous
+  // streams at constant offsets — the four-point sweep (bitwise identical
+  // to the scalar accumulation chains below).
+  const SimdLevel level = active_simd_level();
+  if (level != SimdLevel::kScalar && m_small >= kMinSimdRun) {
+    for (std::uint64_t a = 0; a < dim; a += m_big << 1) {
+      for (std::uint64_t b = a; b < a + m_big; b += m_small << 1) {
+        simd::four_point_sweep(level, amp + b, amp + (b | mask_low),
+                               amp + (b | mask_high),
+                               amp + (b | mask_high | mask_low), m_small, u);
+      }
+    }
+    return;
+  }
+
+  const C* u0 = u;
+  const C* u1 = u + 4;
+  const C* u2 = u + 8;
+  const C* u3 = u + 12;
 
   const auto body = [&](std::uint64_t i) {
     const std::uint64_t i0 = i;
     const std::uint64_t i1 = i | mask_low;
     const std::uint64_t i2 = i | mask_high;
     const std::uint64_t i3 = i | mask_high | mask_low;
-    const Amplitude a0 = amp[i0];
-    const Amplitude a1 = amp[i1];
-    const Amplitude a2 = amp[i2];
-    const Amplitude a3 = amp[i3];
+    const C a0 = amp[i0];
+    const C a1 = amp[i1];
+    const C a2 = amp[i2];
+    const C a3 = amp[i3];
     // Accumulation order identical to block_kernel's row loop.
-    Amplitude acc0{};
+    C acc0{};
     acc0 += u0[0] * a0; acc0 += u0[1] * a1; acc0 += u0[2] * a2; acc0 += u0[3] * a3;
-    Amplitude acc1{};
+    C acc1{};
     acc1 += u1[0] * a0; acc1 += u1[1] * a1; acc1 += u1[2] * a2; acc1 += u1[3] * a3;
-    Amplitude acc2{};
+    C acc2{};
     acc2 += u2[0] * a0; acc2 += u2[1] * a1; acc2 += u2[2] * a2; acc2 += u2[3] * a3;
-    Amplitude acc3{};
+    C acc3{};
     acc3 += u3[0] * a0; acc3 += u3[1] * a1; acc3 += u3[2] * a2; acc3 += u3[3] * a3;
     amp[i0] = acc0;
     amp[i1] = acc1;
@@ -329,13 +452,14 @@ void Statevector::two_qubit_kernel(const ComplexMatrix& u,
   }
 }
 
-void Statevector::diagonal_kernel(const std::vector<Amplitude>& diag,
-                                  const DiagonalExtract& extract) {
+template <typename Real>
+void BasicStatevector<Real>::diagonal_kernel(const C* table,
+                                             const DiagonalExtract& extract) {
   // One multiply per amplitude, however many gates the diagonal absorbed:
   // the big fusion win of the controlled-phase-dominated QPE networks.
   const std::uint64_t dim = dimension();
-  Amplitude* amp = amplitudes_.data();
-  const Amplitude* table = diag.data();
+  C* amp = amplitudes_.data();
+  const SimdLevel level = active_simd_level();
   if (dim >= kParallelThreshold) {
 #ifdef QTDA_HAVE_OPENMP
     constexpr std::int64_t kChunks = 64;
@@ -345,15 +469,16 @@ void Statevector::diagonal_kernel(const std::vector<Amplitude>& diag,
       const std::uint64_t lo = static_cast<std::uint64_t>(chunk) * span;
       if (lo >= dim) continue;
       const std::uint64_t hi = std::min(dim, lo + span);
-      apply_diagonal_run(amp + lo, lo, hi - lo, extract, table);
+      simd::diagonal_pass(level, amp + lo, lo, hi - lo, extract, table);
     }
     return;
 #endif
   }
-  apply_diagonal_run(amp, 0, dim, extract, table);
+  simd::diagonal_pass(level, amp, 0, dim, extract, table);
 }
 
-void Statevector::apply_plan(const ExecutionPlan& plan) {
+template <typename Real>
+void BasicStatevector<Real>::apply_plan(const ExecutionPlan& plan) {
   QTDA_REQUIRE(plan.num_qubits() == num_qubits_,
                "plan width " << plan.num_qubits()
                              << " does not match state width " << num_qubits_);
@@ -362,53 +487,66 @@ void Statevector::apply_plan(const ExecutionPlan& plan) {
   if (plan.global_phase() != 0.0) apply_global_phase(plan.global_phase());
 }
 
-void Statevector::apply_plan_op(const CompiledOp& op,
-                                ExecutionScratch& scratch) {
+template <typename Real>
+void BasicStatevector<Real>::apply_plan_op(const CompiledOp& op,
+                                           ExecutionScratch& scratch) {
   switch (op.kind) {
     case CompiledOp::Kind::kSingleQubit:
-      single_qubit_kernel(op.u00, op.u01, op.u10, op.u11, op.tmask, op.cmask);
+      single_qubit_kernel(static_cast<C>(op.u00), static_cast<C>(op.u01),
+                          static_cast<C>(op.u10), static_cast<C>(op.u11),
+                          op.tmask, op.cmask);
       break;
     case CompiledOp::Kind::kBlock:
       if (op.offsets.size() == 4 && op.cmask == 0) {
-        two_qubit_kernel(op.gate.matrix, op.offsets[2], op.offsets[1]);
+        two_qubit_kernel(compiled_matrix_data<Real>(op), op.offsets[2],
+                         op.offsets[1]);
       } else {
-        block_kernel(op.gate.matrix, op.tmask, op.cmask, op.offsets,
-                     scratch.block);
+        block_kernel(compiled_matrix_data<Real>(op), op.tmask, op.cmask,
+                     op.offsets, scratch_block<Real>(scratch),
+                     scratch_block_out<Real>(scratch));
       }
       break;
     case CompiledOp::Kind::kDiagonal:
-      diagonal_kernel(op.diagonal, op.diag_extract);
+      diagonal_kernel(compiled_diagonal<Real>(op), op.diag_extract);
       break;
     case CompiledOp::Kind::kOperator:
       operator_kernel(*op.gate.op, op.contiguous, op.offsets, op.bases,
-                      scratch.packed_in, scratch.packed_out);
+                      scratch_packed_in<Real>(scratch),
+                      scratch_packed_out<Real>(scratch));
       break;
   }
 }
 
-void Statevector::apply_global_phase(double phi) {
-  const Amplitude factor{std::cos(phi), std::sin(phi)};
-  for (Amplitude& a : amplitudes_) a *= factor;
+template <typename Real>
+void BasicStatevector<Real>::apply_global_phase(double phi) {
+  // cos/sin evaluate in double at every precision; only the stored factor
+  // narrows.
+  const C factor{static_cast<Real>(std::cos(phi)),
+                 static_cast<Real>(std::sin(phi))};
+  for (C& a : amplitudes_) a *= factor;
 }
 
-double Statevector::probability(std::uint64_t index) const {
+template <typename Real>
+double BasicStatevector<Real>::probability(std::uint64_t index) const {
   QTDA_REQUIRE(index < dimension(), "basis index out of range");
-  return std::norm(amplitudes_[index]);
+  return norm_sq_as_double(amplitudes_[index]);
 }
 
-std::vector<double> Statevector::probabilities() const {
+template <typename Real>
+std::vector<double> BasicStatevector<Real>::probabilities() const {
   std::vector<double> p(amplitudes_.size());
   parallel_for_chunked(
       0, amplitudes_.size(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-          p[i] = std::norm(amplitudes_[i]);
+          p[i] = norm_sq_as_double(amplitudes_[i]);
       },
       kParallelThreshold);
   return p;
 }
 
-std::vector<double> Statevector::marginal_probabilities(
+template <typename Real>
+std::vector<double> BasicStatevector<Real>::marginal_probabilities(
     const std::vector<std::size_t>& qubits) const {
   const std::vector<std::uint64_t> bit_mask =
       marginal_bit_masks(qubits, num_qubits_);
@@ -421,7 +559,7 @@ std::vector<double> Statevector::marginal_probabilities(
       0, static_cast<std::size_t>(dimension()), marginal,
       std::vector<double>(out_dim, 0.0),
       [&](std::size_t i, std::vector<double>& into) {
-        const double p = std::norm(amplitudes_[i]);
+        const double p = norm_sq_as_double(amplitudes_[i]);
         if (p == 0.0) return;
         std::uint64_t outcome = 0;
         for (std::size_t j = 0; j < m; ++j)
@@ -435,36 +573,47 @@ std::vector<double> Statevector::marginal_probabilities(
   return marginal;
 }
 
-std::vector<std::uint64_t> Statevector::sample_counts(
+template <typename Real>
+std::vector<std::uint64_t> BasicStatevector<Real>::sample_counts(
     const std::vector<std::size_t>& qubits, std::size_t shots,
     Rng& rng) const {
   return multinomial_sample(marginal_probabilities(qubits), shots, rng);
 }
 
-double Statevector::norm_squared() const {
+template <typename Real>
+double BasicStatevector<Real>::norm_squared() const {
   double s = 0.0;
   parallel_reduce_ordered(
       0, static_cast<std::size_t>(dimension()), s, 0.0,
-      [&](std::size_t i, double& acc) { acc += std::norm(amplitudes_[i]); },
+      [&](std::size_t i, double& acc) {
+        acc += norm_sq_as_double(amplitudes_[i]);
+      },
       [](double& total, double part) { total += part; }, kParallelThreshold);
   return s;
 }
 
-void Statevector::normalize() {
+template <typename Real>
+void BasicStatevector<Real>::normalize() {
   const double n2 = norm_squared();
   QTDA_REQUIRE(n2 > 0.0, "cannot normalize the zero vector");
   const double inv = 1.0 / std::sqrt(n2);
-  for (Amplitude& a : amplitudes_) a *= inv;
+  const Real scale = static_cast<Real>(inv);
+  for (C& a : amplitudes_) a *= scale;
 }
 
-Amplitude Statevector::inner_product(const Statevector& other) const {
+template <typename Real>
+Amplitude BasicStatevector<Real>::inner_product(
+    const BasicStatevector& other) const {
   QTDA_REQUIRE(other.num_qubits() == num_qubits_,
                "inner product width mismatch");
   Amplitude acc{};
   for (std::uint64_t i = 0; i < dimension(); ++i)
-    acc += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+    acc += std::conj(widen(amplitudes_[i])) * widen(other.amplitudes_[i]);
   return acc;
 }
+
+template class BasicStatevector<double>;
+template class BasicStatevector<float>;
 
 std::vector<std::uint64_t> multinomial_sample(
     const std::vector<double>& distribution, std::size_t shots, Rng& rng) {

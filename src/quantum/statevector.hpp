@@ -1,12 +1,23 @@
 /// \file statevector.hpp
-/// \brief Dense state-vector simulator.
+/// \brief Dense state-vector simulator, templated over the amplitude scalar.
 ///
 /// Amplitudes are stored for all 2^n basis states under the MSB-first qubit
 /// convention of types.hpp.  Gate kernels are cache-friendly strided loops,
 /// parallelized with OpenMP above a size threshold (the state for the
 /// paper's circuits ranges from 2^3 to 2^20 amplitudes).
+///
+/// The engine is `BasicStatevector<Real>` with `Real` ∈ {double, float}
+/// (explicitly instantiated in statevector.cpp): complex128 is the default
+/// and the reference arithmetic, complex64 halves the memory traffic of
+/// every sweep.  The *boundary* of the engine stays double regardless of
+/// Real — gate matrices arrive as ComplexMatrix and are cast at kernel
+/// entry, probabilities/marginals accumulate in double — so only the state
+/// itself and the per-amplitude arithmetic change width.  Hot loops route
+/// through quantum/simd_kernels.hpp (runtime AVX2/AVX-512 dispatch); at
+/// QTDA_SIMD=0 they run the historical scalar expressions unchanged.
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <vector>
 
@@ -27,28 +38,52 @@ namespace qtda {
 /// order — the discipline behind their bit-identical results.
 inline constexpr std::uint64_t kStatevectorParallelThreshold = 1ULL << 17;
 
-/// A pure n-qubit state.
-class Statevector {
+/// Widens an amplitude to the double boundary type (identity for double —
+/// the double engine's reductions are source-identical to the historical
+/// ones; the float engine widens per element and accumulates in double).
+inline Amplitude widen(const std::complex<double>& a) { return a; }
+inline Amplitude widen(const std::complex<float>& a) {
+  return Amplitude{static_cast<double>(a.real()),
+                   static_cast<double>(a.imag())};
+}
+
+/// |a|² accumulated at the double boundary: std::norm for double (the
+/// historical expression), widen-then-square for float so probabilities
+/// lose no precision beyond what the float amplitudes already lost.
+inline double norm_sq_as_double(const std::complex<double>& a) {
+  return std::norm(a);
+}
+inline double norm_sq_as_double(const std::complex<float>& a) {
+  const double re = a.real();
+  const double im = a.imag();
+  return re * re + im * im;
+}
+
+/// A pure n-qubit state over std::complex<Real> amplitudes.
+template <typename Real>
+class BasicStatevector {
  public:
+  using C = std::complex<Real>;
+
   /// |0…0⟩ on \p num_qubits qubits.
-  explicit Statevector(std::size_t num_qubits);
+  explicit BasicStatevector(std::size_t num_qubits);
 
   std::size_t num_qubits() const { return num_qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << num_qubits_; }
-  const std::vector<Amplitude>& amplitudes() const { return amplitudes_; }
+  const std::vector<C>& amplitudes() const { return amplitudes_; }
   /// Mutable view of the 2^n amplitudes (length dimension()) for in-place
   /// channel kernels — the exact depolarizing channel rewrites vec(ρ)
   /// directly instead of copying the full vector out and back in.  Callers
   /// own normalization, exactly as with set_amplitudes().
-  Amplitude* mutable_amplitudes() { return amplitudes_.data(); }
-  Amplitude amplitude(std::uint64_t index) const;
+  C* mutable_amplitudes() { return amplitudes_.data(); }
+  C amplitude(std::uint64_t index) const;
 
   /// Resets to the computational basis state |index⟩.
   void set_basis_state(std::uint64_t index);
 
   /// Sets arbitrary amplitudes (must have length 2^n; normalized by caller
   /// or via normalize()).
-  void set_amplitudes(std::vector<Amplitude> amplitudes);
+  void set_amplitudes(std::vector<C> amplitudes);
 
   // -- gate application -------------------------------------------------------
   /// Applies a named or dense gate (with controls) from the circuit IR.
@@ -100,40 +135,47 @@ class Statevector {
       const std::vector<std::size_t>& qubits, std::size_t shots,
       Rng& rng) const;
 
-  /// Σ|amp|²; 1 for a normalized state.
+  /// Σ|amp|² (double accumulation at every precision); 1 for a normalized
+  /// state.
   double norm_squared() const;
   /// Rescales to unit norm (throws on the zero vector).
   void normalize();
-  /// ⟨this|other⟩.
-  Amplitude inner_product(const Statevector& other) const;
+  /// ⟨this|other⟩, accumulated in double.
+  Amplitude inner_product(const BasicStatevector& other) const;
 
  private:
   /// Shared kernels: the legacy per-gate entry points and the compiled-plan
   /// path both land here, so their arithmetic cannot drift (the root of the
-  /// QTDA_FUSE=0 bit-identity guarantee).
-  void single_qubit_kernel(Amplitude u00, Amplitude u01, Amplitude u10,
-                           Amplitude u11, std::uint64_t mask,
+  /// QTDA_FUSE=0 bit-identity guarantee).  Matrices arrive pre-cast to the
+  /// amplitude scalar (row-major pointers) so one kernel body serves both
+  /// precisions.
+  void single_qubit_kernel(C u00, C u01, C u10, C u11, std::uint64_t mask,
                            std::uint64_t cmask);
   /// Uncontrolled 4×4 block over two wires — the fused-pair workhorse: same
   /// arithmetic as block_kernel but with mask-expansion enumeration instead
-  /// of the offset-table gather.
-  void two_qubit_kernel(const ComplexMatrix& u, std::uint64_t mask_high,
+  /// of the offset-table gather.  \p u is the row-major 4×4 matrix.
+  void two_qubit_kernel(const C* u, std::uint64_t mask_high,
                         std::uint64_t mask_low);
-  void block_kernel(const ComplexMatrix& u, std::uint64_t tmask,
-                    std::uint64_t cmask,
+  void block_kernel(const C* u, std::uint64_t tmask, std::uint64_t cmask,
                     const std::vector<std::uint64_t>& offsets,
-                    std::vector<Amplitude>& scratch);
-  void diagonal_kernel(const std::vector<Amplitude>& diag,
-                       const DiagonalExtract& extract);
+                    std::vector<C>& scratch, std::vector<C>& scratch_out);
+  void diagonal_kernel(const C* table, const DiagonalExtract& extract);
   void operator_kernel(const LinearOperator& op, bool contiguous,
                        const std::vector<std::uint64_t>& offsets,
                        const std::vector<std::uint64_t>& bases,
-                       std::vector<Amplitude>& packed_in,
-                       std::vector<Amplitude>& packed_out);
+                       std::vector<C>& packed_in, std::vector<C>& packed_out);
 
   std::size_t num_qubits_;
-  std::vector<Amplitude> amplitudes_;
+  std::vector<C> amplitudes_;
 };
+
+/// The historical (and default) double-precision engine.
+using Statevector = BasicStatevector<double>;
+/// The complex64 engine: same kernels, half the bandwidth.
+using StatevectorF32 = BasicStatevector<float>;
+
+extern template class BasicStatevector<double>;
+extern template class BasicStatevector<float>;
 
 /// Multinomial sampling helper shared with the analytic backend: draws
 /// \p shots outcomes from \p distribution (need not be perfectly normalized;

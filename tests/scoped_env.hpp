@@ -1,6 +1,7 @@
 /// \file scoped_env.hpp
 /// \brief Test-only RAII guard for the simulation environment overrides
-/// (QTDA_SIMULATOR / QTDA_SHARDS / QTDA_FUSE / QTDA_FUSE_WIDTH).
+/// (QTDA_SIMULATOR / QTDA_SHARDS / QTDA_FUSE / QTDA_FUSE_WIDTH /
+/// QTDA_PRECISION / QTDA_SIMD).
 ///
 /// Tests that pin factory or compiler behavior must neutralize the
 /// overrides the CI legs set process-wide, and tests that exercise an
@@ -42,14 +43,22 @@ class ScopedSimulatorEnv {
   ScopedSimulatorEnv(const ScopedSimulatorEnv&) = delete;
   ScopedSimulatorEnv& operator=(const ScopedSimulatorEnv&) = delete;
 
-  /// Removes both override variables for the remainder of the scope.
+  /// Removes the engine/compiler override variables for the remainder of
+  /// the scope.  QTDA_PRECISION and QTDA_SIMD are deliberately left alone:
+  /// the float32 and scalar-SIMD CI legs set them process-wide to route the
+  /// whole suite through those configurations, and a test that cleared them
+  /// would silently fall back to the double/SIMD engines it meant to cover.
+  /// They are still saved/restored, so tests that *set* them stay hermetic.
   static void clear() {
-    for (const char* name : kNames) unsetenv(name);
+    for (const char* name : kClearedNames) unsetenv(name);
   }
 
  private:
+  static constexpr const char* kClearedNames[] = {
+      "QTDA_SIMULATOR", "QTDA_SHARDS", "QTDA_FUSE", "QTDA_FUSE_WIDTH"};
   static constexpr const char* kNames[] = {"QTDA_SIMULATOR", "QTDA_SHARDS",
-                                           "QTDA_FUSE", "QTDA_FUSE_WIDTH"};
+                                           "QTDA_FUSE",      "QTDA_FUSE_WIDTH",
+                                           "QTDA_PRECISION", "QTDA_SIMD"};
   std::vector<std::pair<const char*, std::optional<std::string>>> saved_;
 };
 

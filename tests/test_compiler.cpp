@@ -331,6 +331,7 @@ class GenericBackend final : public SimulatorBackend {
  public:
   explicit GenericBackend(std::size_t num_qubits) : state_(num_qubits) {}
   std::string name() const override { return "generic"; }
+  Precision precision() const override { return Precision::kFloat64; }
   std::size_t num_qubits() const override { return state_.num_qubits(); }
   void prepare_basis_state(std::uint64_t index) override {
     state_.set_basis_state(index);

@@ -1,0 +1,95 @@
+/// \file test_cpu_features.cpp
+/// \brief Contract of the CPUID probe, the QTDA_SIMD override parsing, and
+/// the QTDA_PRECISION parsing (the two fast-fail environment knobs the
+/// simulation spine grew with the SIMD/precision refactor).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/cpu_features.hpp"
+#include "common/error.hpp"
+#include "quantum/precision.hpp"
+#include "scoped_env.hpp"
+
+namespace qtda {
+namespace {
+
+using testing::ScopedSimulatorEnv;
+
+TEST(CpuFeatures, LevelNamesRoundTrip) {
+  EXPECT_EQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_EQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_EQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(CpuFeatures, DetectionIsStableAcrossCalls) {
+  EXPECT_EQ(detected_simd_level(), detected_simd_level());
+}
+
+TEST(CpuFeatures, ActiveLevelNeverExceedsDetected) {
+  EXPECT_LE(static_cast<int>(active_simd_level()),
+            static_cast<int>(detected_simd_level()));
+}
+
+TEST(CpuFeatures, EnvOverrideParsesEveryDocumentedValue) {
+  ScopedSimulatorEnv guard;
+  unsetenv("QTDA_SIMD");
+  EXPECT_EQ(simd_level_from_env(), std::nullopt);
+  setenv("QTDA_SIMD", "", 1);
+  EXPECT_EQ(simd_level_from_env(), std::nullopt);
+  setenv("QTDA_SIMD", "auto", 1);
+  EXPECT_EQ(simd_level_from_env(), std::nullopt);
+  setenv("QTDA_SIMD", "0", 1);
+  EXPECT_EQ(simd_level_from_env(), SimdLevel::kScalar);
+  setenv("QTDA_SIMD", "avx2", 1);
+  EXPECT_EQ(simd_level_from_env(), SimdLevel::kAvx2);
+  setenv("QTDA_SIMD", "avx512", 1);
+  EXPECT_EQ(simd_level_from_env(), SimdLevel::kAvx512);
+}
+
+TEST(CpuFeatures, MalformedOverrideNamesTheVariable) {
+  ScopedSimulatorEnv guard;
+  setenv("QTDA_SIMD", "sse9", 1);
+  try {
+    (void)simd_level_from_env();
+    FAIL() << "expected an Error for a malformed QTDA_SIMD";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QTDA_SIMD"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sse9"), std::string::npos);
+  }
+}
+
+TEST(Precision, NamesRoundTrip) {
+  EXPECT_EQ(precision_name(Precision::kFloat64), "float64");
+  EXPECT_EQ(precision_name(Precision::kFloat32), "float32");
+  EXPECT_EQ(precision_from_name("float64"), Precision::kFloat64);
+  EXPECT_EQ(precision_from_name("float32"), Precision::kFloat32);
+  EXPECT_THROW(precision_from_name("double"), Error);
+}
+
+TEST(Precision, CompileTimeTagMatchesScalar) {
+  static_assert(precision_of<double>() == Precision::kFloat64);
+  static_assert(precision_of<float>() == Precision::kFloat32);
+}
+
+TEST(Precision, EnvOverrideParsesAndFailsFastWithTheVariableNamed) {
+  ScopedSimulatorEnv guard;
+  unsetenv("QTDA_PRECISION");
+  EXPECT_EQ(precision_from_env(), std::nullopt);
+  setenv("QTDA_PRECISION", "float32", 1);
+  EXPECT_EQ(precision_from_env(), Precision::kFloat32);
+  setenv("QTDA_PRECISION", "float64", 1);
+  EXPECT_EQ(precision_from_env(), Precision::kFloat64);
+  setenv("QTDA_PRECISION", "half", 1);
+  try {
+    (void)precision_from_env();
+    FAIL() << "expected an Error for a malformed QTDA_PRECISION";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("QTDA_PRECISION"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qtda
