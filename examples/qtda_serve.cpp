@@ -1,0 +1,146 @@
+/// \file qtda_serve.cpp
+/// \brief The qtda_serve daemon: long-running Betti estimation service.
+///
+/// Default mode binds a Unix stream socket and serves the line protocol
+/// until a client sends `shutdown` (or the process receives SIGINT/SIGTERM,
+/// which the parked main thread translates into a graceful stop):
+///
+///   qtda_serve --socket /tmp/qtda.sock --cache-mb 256
+///
+/// `--smoke` instead drives an in-process loopback end to end — cold
+/// request, warm repeat (asserting the plan cache hit and bit-identical
+/// results), a concurrent burst exercising the batcher, and a clean
+/// shutdown — exiting non-zero on any violation.  CI runs this as the
+/// serve-smoke step.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace {
+
+using namespace qtda;
+
+BettiServer* g_signal_server = nullptr;
+
+void handle_signal(int) {
+  if (g_signal_server != nullptr) g_signal_server->request_stop();
+}
+
+std::vector<std::vector<double>> circle_points(std::size_t n, double radius) {
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 6.283185307179586 * static_cast<double>(i) /
+                         static_cast<double>(n);
+    points.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return points;
+}
+
+EstimateRequest smoke_request(std::uint64_t seed) {
+  EstimateRequest request;
+  request.points = circle_points(8, 1.0);
+  request.epsilon = 1.0;
+  request.k = 1;
+  request.options.backend = EstimatorBackend::kCircuitSparse;
+  request.options.precision_qubits = 3;
+  request.options.shots = 512;
+  request.options.seed = seed;
+  return request;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "serve smoke FAILED: %s\n", what);
+  return 1;
+}
+
+/// In-process end-to-end exercise over the loopback transport.
+int run_smoke() {
+  ServerOptions options;
+  options.cache.budget_bytes = std::size_t{64} << 20;
+  BettiServer server(options);
+  LoopbackTransport transport;
+  server.start(transport);
+
+  // Cold request: every cache level misses.
+  ServeClient client(transport.connect());
+  const EstimateResponse cold = client.estimate(smoke_request(7));
+  if (!cold.ok) return fail(cold.error.c_str());
+  if (cold.plan_hit || cold.complex_hit) return fail("cold request hit");
+
+  // Warm repeat: all levels hit, payload bit-identical to the cold run.
+  const EstimateResponse warm = client.estimate(smoke_request(7));
+  if (!warm.ok) return fail(warm.error.c_str());
+  if (!warm.plan_hit || !warm.complex_hit || !warm.laplacian_hit)
+    return fail("warm request missed a cache level");
+  if (warm.estimate.zero_counts != cold.estimate.zero_counts ||
+      warm.estimate.estimated_betti != cold.estimate.estimated_betti)
+    return fail("warm result deviated from cold result");
+
+  // Concurrent burst from several connections: exercises admission,
+  // batching, and the completion queue.
+  std::atomic<int> burst_failures{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&transport, &burst_failures, d] {
+      ServeClient burst_client(transport.connect());
+      for (int i = 0; i < 8; ++i) {
+        const auto seed = static_cast<std::uint64_t>(100 + d * 8 + i);
+        const EstimateResponse response =
+            burst_client.estimate(smoke_request(seed));
+        if (!response.ok) burst_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  if (burst_failures.load() != 0) return fail("burst request errored");
+
+  const std::string stats = client.stats();
+  std::printf("%s\n", stats.c_str());
+
+  client.shutdown();
+  server.stop();
+  std::printf("serve smoke OK: cold=miss warm=hit burst=32 shutdown=clean\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("smoke")) return run_smoke();
+
+  const std::string path = args.get_string("socket", "/tmp/qtda_serve.sock");
+  ServerOptions options;
+  options.cache.budget_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+  options.cache.shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  options.batching = !args.get_bool("no-batching");
+
+  BettiServer server(options);
+  UnixSocketTransport transport(path);
+  g_signal_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  server.start(transport);
+  std::printf("qtda_serve listening on %s (cache %lld MiB, %s)\n",
+              path.c_str(), static_cast<long long>(args.get_int("cache-mb", 256)),
+              options.batching ? "batching on" : "batching off");
+  std::fflush(stdout);
+  server.wait();
+  server.stop();
+  g_signal_server = nullptr;
+  std::printf("qtda_serve stopped\n");
+  return 0;
+}

@@ -166,6 +166,12 @@ void parallel_for(std::size_t begin, std::size_t end,
       min_parallel_size);
 }
 
+std::size_t fair_thread_share(std::size_t active_requests) {
+  const std::size_t pool = ThreadPool::shared().size();
+  if (active_requests <= 1) return pool;
+  return std::max<std::size_t>(1, pool / active_requests);
+}
+
 double parallel_reduce_sum(std::size_t begin, std::size_t end,
                            const std::function<double(std::size_t)>& body,
                            std::size_t min_parallel_size) {

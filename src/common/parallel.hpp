@@ -66,6 +66,15 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+/// Fair-share split of the shared pool among \p active_requests concurrent
+/// consumers: how many workers one request should claim so no single huge
+/// register starves the rest.  Never below 1, never above the pool size.
+/// The serving layer clamps each request's simulator shard count with this —
+/// safe to apply at any moment because shard count trades locality for
+/// parallelism, never results (the sharded engine is bit-identical for
+/// every count).
+std::size_t fair_thread_share(std::size_t active_requests);
+
 /// Runs body(i) for i in [begin, end) across the shared pool, blocking until
 /// completion.  Work is split into contiguous chunks, one per worker, which
 /// is the right grain for the memory-bound kernels in this library.  Runs

@@ -135,29 +135,18 @@ Circuit build_estimator_circuit_sparse(const SparseScaledHamiltonian& scaled,
   return circuit;
 }
 
-/// Executes the prepared circuit through the configured simulator backend
-/// and fills the shot-dependent fields of the estimate.  Shared by the
-/// exact, sparse and Trotter paths.
-void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
-                              const QpeLayout& layout,
-                              const EstimatorOptions& options, bool purify,
-                              Rng& rng) {
-  estimate.total_qubits = circuit.num_qubits();
-  estimate.circuit_gates = circuit.gate_count();
-  estimate.circuit_depth = circuit.depth();
-
+/// Executes a compiled plan through the configured simulator backend and
+/// fills the shot-dependent fields of the estimate.  Shared by the cold
+/// (compile-then-run) and served (cached-plan) paths — which is what makes
+/// the two bit-identical by construction.
+void execute_plan_estimate(BettiEstimate& estimate, const ExecutionPlan& plan,
+                           const QpeLayout& layout,
+                           const EstimatorOptions& options, bool purify,
+                           Rng& rng) {
   const std::vector<std::size_t> measured = layout.precision_wires();
   const std::unique_ptr<SimulatorBackend> backend =
-      make_simulator(options.simulator, circuit.num_qubits(),
+      make_simulator(options.simulator, plan.num_qubits(),
                      options.simulator_shards, options.precision);
-
-  // Compile once, execute many: every shot batch, sampled-basis state and
-  // noise trajectory below reuses this one plan (fused sweeps, precomputed
-  // masks/offsets, persistent scratch).  Noisy runs compile with noise
-  // slots preserved so the error placement and RNG draw order match the
-  // uncompiled walk exactly.
-  const ExecutionPlan plan =
-      compile_circuit(circuit, estimator_compiler_options(options.noise));
 
   // Noisy evolution runs through the backend's own channel semantics
   // (run_noisy_trajectory's error placement and RNG consumption order).
@@ -193,7 +182,7 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
   const std::vector<double> uniform(dim, 1.0);
   const auto shots_per_state = multinomial_sample(uniform, options.shots, rng);
   const std::size_t shift =
-      circuit.num_qubits() - layout.precision_qubits - layout.system_qubits;
+      plan.num_qubits() - layout.precision_qubits - layout.system_qubits;
   std::uint64_t zeros = 0;
   for (std::uint64_t basis = 0; basis < dim; ++basis) {
     const std::uint64_t s = shots_per_state[basis];
@@ -219,6 +208,23 @@ void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
     }
   }
   estimate.zero_counts = zeros;
+}
+
+/// Circuit-level convenience: compile once, then execute.  Every shot
+/// batch, sampled-basis state and noise trajectory reuses the one plan
+/// (fused sweeps, precomputed masks/offsets, persistent scratch).  Noisy
+/// runs compile with noise slots preserved so the error placement and RNG
+/// draw order match the uncompiled walk exactly.
+void execute_circuit_estimate(BettiEstimate& estimate, const Circuit& circuit,
+                              const QpeLayout& layout,
+                              const EstimatorOptions& options, bool purify,
+                              Rng& rng) {
+  estimate.total_qubits = circuit.num_qubits();
+  estimate.circuit_gates = circuit.gate_count();
+  estimate.circuit_depth = circuit.depth();
+  const ExecutionPlan plan =
+      compile_circuit(circuit, estimator_compiler_options(options.noise));
+  execute_plan_estimate(estimate, plan, layout, options, purify, rng);
 }
 
 /// Finalizes p̂(0) → β̃ from the accumulated zero counts.
@@ -335,6 +341,146 @@ BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
   return estimate;
 }
 
+CompiledEstimate compile_betti_estimate(const SparseMatrix& laplacian,
+                                        const EstimatorOptions& options) {
+  QTDA_REQUIRE(options.backend == EstimatorBackend::kCircuitSparse ||
+                   options.backend == EstimatorBackend::kCircuitTrotter,
+               "compile_betti_estimate serves the plan-based circuit "
+               "backends (kCircuitSparse, kCircuitTrotter)");
+  validate_options(options);
+
+  const SparsePaddedLaplacian padded =
+      pad_laplacian_sparse(laplacian, options.padding);
+  const double delta = options.delta > 0.0 ? options.delta : default_delta();
+  const SparseScaledHamiltonian scaled =
+      rescale_laplacian_sparse(padded, delta);
+
+  CompiledEstimate compiled;
+  compiled.backend = options.backend;
+  compiled.system_qubits = scaled.num_qubits;
+  compiled.lambda_max = scaled.lambda_max;
+  compiled.delta = delta;
+
+  const std::uint64_t dim = std::uint64_t{1} << scaled.num_qubits;
+  if (dim <= options.exact_reference_max_dim) {
+    // Diagnostic dense eigensolve, feasible only at small q; the estimate
+    // itself is matrix-free.
+    const RealVector eigenvalues =
+        symmetric_eigenvalues(scaled.matrix.to_dense());
+    compiled.exact_zero_probability =
+        analytic_zero_probability(eigenvalues, options.precision_qubits);
+  }
+
+  compiled.purify = options.mixed_state == MixedStateMode::kPurification;
+  const Circuit circuit =
+      options.backend == EstimatorBackend::kCircuitSparse
+          ? build_estimator_circuit_sparse(scaled, options, compiled.purify)
+          : build_estimator_circuit_trotter_sparse(scaled, options,
+                                                   compiled.purify);
+  compiled.layout = make_layout(options, scaled.num_qubits, compiled.purify);
+  compiled.total_qubits = circuit.num_qubits();
+  compiled.circuit_gates = circuit.gate_count();
+  compiled.circuit_depth = circuit.depth();
+  compiled.plan = std::make_shared<const ExecutionPlan>(
+      compile_circuit(circuit, estimator_compiler_options(options.noise)));
+  return compiled;
+}
+
+BettiEstimate estimate_betti_with_plan(const CompiledEstimate& compiled,
+                                       const EstimatorOptions& options) {
+  validate_options(options);
+  QTDA_REQUIRE(compiled.plan != nullptr, "CompiledEstimate carries no plan");
+  QTDA_REQUIRE(options.backend == compiled.backend,
+               "estimate options switched circuit backend after compilation");
+  QTDA_REQUIRE(options.precision_qubits == compiled.layout.precision_qubits,
+               "estimate options changed the precision register after "
+               "compilation");
+  QTDA_REQUIRE((options.mixed_state == MixedStateMode::kPurification) ==
+                   compiled.purify,
+               "estimate options changed the mixed-state mode after "
+               "compilation");
+  QTDA_REQUIRE(options.noise.is_noiseless() ||
+                   compiled.plan->preserves_noise_slots(),
+               "noisy execution needs a plan compiled with noise slots "
+               "preserved");
+
+  BettiEstimate estimate;
+  estimate.shots = options.shots;
+  estimate.system_qubits = compiled.system_qubits;
+  estimate.precision_qubits = options.precision_qubits;
+  estimate.lambda_max = compiled.lambda_max;
+  estimate.delta = compiled.delta;
+  estimate.exact_zero_probability = compiled.exact_zero_probability;
+  estimate.total_qubits = compiled.total_qubits;
+  estimate.circuit_gates = compiled.circuit_gates;
+  estimate.circuit_depth = compiled.circuit_depth;
+
+  Rng rng(options.seed);
+  execute_plan_estimate(estimate, *compiled.plan, compiled.layout, options,
+                        compiled.purify, rng);
+  finalize_estimate(estimate, options,
+                    std::uint64_t{1} << compiled.system_qubits);
+  return estimate;
+}
+
+std::vector<BettiEstimate> estimate_betti_batch(
+    const CompiledEstimate& compiled,
+    const std::vector<EstimatorOptions>& requests) {
+  QTDA_REQUIRE(!requests.empty(), "estimate_betti_batch needs requests");
+  QTDA_REQUIRE(compiled.plan != nullptr, "CompiledEstimate carries no plan");
+  QTDA_REQUIRE(compiled.purify,
+               "batched execution needs purification circuits (the "
+               "sampled-basis mixture draws its basis states per request)");
+  const EstimatorOptions& first = requests.front();
+  for (const EstimatorOptions& options : requests) {
+    validate_options(options);
+    QTDA_REQUIRE(options.noise.is_noiseless(),
+                 "batched execution shares one evolution; noise makes the "
+                 "evolution request-dependent");
+    QTDA_REQUIRE(options.backend == compiled.backend &&
+                     options.precision_qubits ==
+                         compiled.layout.precision_qubits &&
+                     options.mixed_state == MixedStateMode::kPurification,
+                 "batched request is not plan-compatible");
+    QTDA_REQUIRE(options.simulator == first.simulator &&
+                     options.simulator_shards == first.simulator_shards &&
+                     options.precision == first.precision,
+                 "batched requests must share the simulation engine");
+  }
+
+  // One deterministic evolution...
+  const std::unique_ptr<SimulatorBackend> backend =
+      make_simulator(first.simulator, compiled.plan->num_qubits(),
+                     first.simulator_shards, first.precision);
+  backend->prepare_basis_state(0);
+  backend->apply_plan(*compiled.plan);
+
+  // ...then per-request sampling, each from its own seed exactly as the
+  // serial path would (sampling reads the final probabilities and never
+  // perturbs the register, so request order cannot leak between requests).
+  const std::vector<std::size_t> measured = compiled.layout.precision_wires();
+  std::vector<BettiEstimate> estimates;
+  estimates.reserve(requests.size());
+  for (const EstimatorOptions& options : requests) {
+    BettiEstimate estimate;
+    estimate.shots = options.shots;
+    estimate.system_qubits = compiled.system_qubits;
+    estimate.precision_qubits = options.precision_qubits;
+    estimate.lambda_max = compiled.lambda_max;
+    estimate.delta = compiled.delta;
+    estimate.exact_zero_probability = compiled.exact_zero_probability;
+    estimate.total_qubits = compiled.total_qubits;
+    estimate.circuit_gates = compiled.circuit_gates;
+    estimate.circuit_depth = compiled.circuit_depth;
+    Rng rng(options.seed);
+    estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
+    finalize_estimate(estimate, options,
+                      std::uint64_t{1} << compiled.system_qubits);
+    estimates.push_back(estimate);
+  }
+  return estimates;
+}
+
 BettiEstimate estimate_betti_from_sparse_laplacian(
     const SparseMatrix& laplacian, const EstimatorOptions& options) {
   if (options.backend != EstimatorBackend::kCircuitSparse &&
@@ -344,41 +490,11 @@ BettiEstimate estimate_betti_from_sparse_laplacian(
     // Pauli decomposition reads CSR directly.
     return estimate_betti_from_laplacian(laplacian.to_dense(), options);
   }
-  validate_options(options);
-
-  const SparsePaddedLaplacian padded =
-      pad_laplacian_sparse(laplacian, options.padding);
-  const double delta = options.delta > 0.0 ? options.delta : default_delta();
-  const SparseScaledHamiltonian scaled =
-      rescale_laplacian_sparse(padded, delta);
-
-  BettiEstimate estimate;
-  estimate.shots = options.shots;
-  estimate.system_qubits = scaled.num_qubits;
-  estimate.precision_qubits = options.precision_qubits;
-  estimate.lambda_max = scaled.lambda_max;
-  estimate.delta = delta;
-
-  const std::uint64_t dim = std::uint64_t{1} << scaled.num_qubits;
-  if (dim <= options.exact_reference_max_dim) {
-    // Diagnostic dense eigensolve, feasible only at small q; the estimate
-    // itself is matrix-free.
-    const RealVector eigenvalues =
-        symmetric_eigenvalues(scaled.matrix.to_dense());
-    estimate.exact_zero_probability =
-        analytic_zero_probability(eigenvalues, options.precision_qubits);
-  }
-
-  Rng rng(options.seed);
-  const bool purify = options.mixed_state == MixedStateMode::kPurification;
-  const Circuit circuit =
-      options.backend == EstimatorBackend::kCircuitSparse
-          ? build_estimator_circuit_sparse(scaled, options, purify)
-          : build_estimator_circuit_trotter_sparse(scaled, options, purify);
-  const QpeLayout layout = make_layout(options, scaled.num_qubits, purify);
-  execute_circuit_estimate(estimate, circuit, layout, options, purify, rng);
-  finalize_estimate(estimate, options, dim);
-  return estimate;
+  // Compile + execute: the same two halves the serving layer's plan cache
+  // splits across requests, so served estimates are bit-identical to this
+  // cold path by construction.
+  return estimate_betti_with_plan(compile_betti_estimate(laplacian, options),
+                                  options);
 }
 
 BettiEstimate estimate_betti(const SimplicialComplex& complex, int k,

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <optional>
 
+#include <memory>
+
 #include "common/random.hpp"
 #include "core/analytic_qpe.hpp"
 #include "core/padding.hpp"
@@ -40,6 +42,7 @@
 #include "quantum/circuit.hpp"
 #include "quantum/compiler.hpp"
 #include "quantum/noise.hpp"
+#include "quantum/qpe.hpp"
 #include "quantum/trotter.hpp"
 #include "topology/simplicial_complex.hpp"
 
@@ -135,6 +138,70 @@ Circuit build_qtda_circuit(const RealMatrix& laplacian,
 /// round-trip that could reorder nonzeros.
 Circuit build_qtda_circuit(const SparseMatrix& laplacian,
                            const EstimatorOptions& options);
+
+/// The reusable, request-independent half of a sparse estimate: padding and
+/// rescaling bookkeeping, the diagnostic reference probability, and the
+/// compiled ExecutionPlan of the full QPE circuit.  Produced once by
+/// compile_betti_estimate, executed any number of times by
+/// estimate_betti_with_plan — the cold estimate_betti_from_sparse_laplacian
+/// path *is* compile + execute, so handing a cached CompiledEstimate to the
+/// execute half changes where the plan comes from, never what it computes
+/// (the serving layer's bit-identity contract).
+///
+/// A CompiledEstimate may be shared across threads, but executions of one
+/// instance must be externally serialized: the plan's scratch arena is
+/// shared mutable state (same one-executor-at-a-time contract as
+/// ExecutionPlan itself).
+struct CompiledEstimate {
+  std::shared_ptr<const ExecutionPlan> plan;
+  QpeLayout layout;
+  bool purify = true;            ///< mixed-state mode baked into the circuit
+  EstimatorBackend backend = EstimatorBackend::kCircuitSparse;
+  std::size_t system_qubits = 0;  ///< q
+  std::size_t total_qubits = 0;   ///< register width of the circuit
+  std::size_t circuit_gates = 0;
+  std::size_t circuit_depth = 0;
+  double lambda_max = 0.0;
+  double delta = 0.0;
+  double exact_zero_probability = 0.0;  ///< 0 when the eigensolve was skipped
+
+  /// Approximate resident size (plan + bookkeeping) — the byte-accounting
+  /// unit of the serving layer's artifact cache.
+  std::size_t memory_bytes() const {
+    return sizeof(CompiledEstimate) +
+           (plan == nullptr ? 0 : plan->memory_bytes());
+  }
+};
+
+/// Builds and compiles everything about an estimate that does not depend on
+/// the per-request shot state (seed, shots, engine choice): pad → rescale →
+/// circuit → ExecutionPlan, plus the diagnostic dense eigensolve when the
+/// dimension permits.  Requires kCircuitSparse or kCircuitTrotter (the
+/// backends whose circuits the plan cache serves).
+CompiledEstimate compile_betti_estimate(const SparseMatrix& laplacian,
+                                        const EstimatorOptions& options);
+
+/// Executes a previously compiled estimate.  \p options must be
+/// plan-compatible with the options the estimate was compiled under (same
+/// backend, precision qubits, mixed-state mode, and — when noisy — a plan
+/// compiled with noise slots); shots, seed, simulator kind/shards and
+/// amplitude precision are free to vary per call.  Bit-identical to running
+/// estimate_betti_from_sparse_laplacian with the same options.
+BettiEstimate estimate_betti_with_plan(const CompiledEstimate& compiled,
+                                       const EstimatorOptions& options);
+
+/// Executes one compiled estimate for many requests off a single state
+/// evolution.  Restricted to the batchable regime: noiseless purification
+/// circuits, where the final state is a deterministic function of the plan —
+/// so one evolution followed by per-request shot sampling (each request's
+/// own Rng seeded from its own seed, in request order) is *bit-identical* to
+/// running estimate_betti_with_plan once per request.  Every request must be
+/// plan-compatible (same checks as estimate_betti_with_plan) and share the
+/// simulator kind, shard count, and amplitude precision; shots and seed are
+/// free to vary.  Returns the estimates in request order.
+std::vector<BettiEstimate> estimate_betti_batch(
+    const CompiledEstimate& compiled,
+    const std::vector<EstimatorOptions>& requests);
 
 /// Estimates β̃_k from a combinatorial Laplacian.
 BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,

@@ -1,6 +1,7 @@
 #include "linalg/expm_multiply.hpp"
 
 #include <cmath>
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -53,30 +54,91 @@ std::vector<std::complex<double>> exp_coefficients(double z, double phi,
 /// function of (z, φ, tolerance), so the 2^j ladder of one QPE circuit and
 /// every rebuild of that ladder (each estimate, trajectory study, and bench
 /// iteration constructs the operators afresh) share one Bessel derivation.
-/// Bounded: cleared wholesale when it grows past a generous cap — the
-/// working set of any one experiment is a handful of ladders.
+/// LRU-bounded: a long-running server touches a new (z, φ) pair for every
+/// distinct (Laplacian, δ) it compiles, so the memo evicts the coldest entry
+/// instead of dumping the hot ladders wholesale — the working set of any one
+/// experiment (a handful of ladders) always stays resident.
+class ExpmCoefficientCache {
+ public:
+  using Key = std::tuple<double, double, double>;
+  using Value = std::shared_ptr<const std::vector<std::complex<double>>>;
+
+  static ExpmCoefficientCache& instance() {
+    static ExpmCoefficientCache* cache =
+        new ExpmCoefficientCache();  // intentionally leaked
+    return *cache;
+  }
+
+  Value get(double z, double phi, double tolerance) {
+    const Key key{z, phi, tolerance};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+        return it->second->second;
+      }
+      ++stats_.misses;
+    }
+    // Compute outside the lock (a miss costs a full Bessel recurrence); a
+    // racing thread may duplicate the work, but whichever insert lands first
+    // wins and both callers get a valid vector.
+    auto computed = std::make_shared<const std::vector<std::complex<double>>>(
+        exp_coefficients(z, phi, tolerance));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(key, std::move(computed));
+    index_[key] = lru_.begin();
+    while (lru_.size() > kMaxEntries) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    return lru_.front().second;
+  }
+
+  ExpmCoefficientCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ExpmCoefficientCacheStats out = stats_;
+    out.entries = lru_.size();
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_ = ExpmCoefficientCacheStats{};
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 512;
+
+  mutable std::mutex mutex_;
+  std::list<std::pair<Key, Value>> lru_;  ///< front = most recently used
+  std::map<Key, std::list<std::pair<Key, Value>>::iterator> index_;
+  ExpmCoefficientCacheStats stats_;
+};
+
 std::shared_ptr<const std::vector<std::complex<double>>>
 shared_exp_coefficients(double z, double phi, double tolerance) {
-  using Key = std::tuple<double, double, double>;
-  static std::mutex mutex;
-  static std::map<Key, std::shared_ptr<const std::vector<std::complex<double>>>>
-      cache;
-  constexpr std::size_t kMaxEntries = 512;
-
-  const Key key{z, phi, tolerance};
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-  }
-  auto computed = std::make_shared<const std::vector<std::complex<double>>>(
-      exp_coefficients(z, phi, tolerance));
-  std::lock_guard<std::mutex> lock(mutex);
-  if (cache.size() >= kMaxEntries) cache.clear();
-  return cache.emplace(key, std::move(computed)).first->second;
+  return ExpmCoefficientCache::instance().get(z, phi, tolerance);
 }
 
 }  // namespace
+
+ExpmCoefficientCacheStats expm_coefficient_cache_stats() {
+  return ExpmCoefficientCache::instance().stats();
+}
+
+void expm_coefficient_cache_clear() {
+  ExpmCoefficientCache::instance().clear();
+}
 
 std::vector<double> bessel_j_sequence(std::size_t n, double z) {
   QTDA_REQUIRE(z >= 0.0, "bessel_j_sequence needs z >= 0");

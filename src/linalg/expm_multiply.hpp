@@ -40,6 +40,24 @@ struct ExpmOptions {
 /// (self-contained: libc++ lacks std::cyl_bessel_j).  Exposed for tests.
 std::vector<double> bessel_j_sequence(std::size_t n, double z);
 
+/// Counters of the process-wide Chebyshev/Bessel coefficient memo shared by
+/// every SparseExpOperator.  The memo is LRU-bounded (a long-running daemon
+/// must not leak one entry per distinct θ it ever served), and these
+/// counters are how the serving layer's stats surface reports its health.
+struct ExpmCoefficientCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;  ///< currently resident coefficient vectors
+};
+
+/// Snapshot of the memo counters (thread-safe).
+ExpmCoefficientCacheStats expm_coefficient_cache_stats();
+
+/// Empties the memo and zeroes the counters (tests and cold-cache benches;
+/// outstanding shared_ptr holders keep their coefficient vectors alive).
+void expm_coefficient_cache_clear();
+
 /// One-shot y = exp(i·theta·A)·x for symmetric A with spectrum inside
 /// [lambda_min, lambda_max] (bounds need not be tight — Gershgorin is fine).
 ComplexVector expm_multiply(const SparseMatrix& a, double theta,

@@ -425,6 +425,42 @@ CompilerOptions compiler_options_from_env(CompilerOptions base) {
   return base;
 }
 
+std::string compiler_options_cache_key(const CompilerOptions& options) {
+  std::ostringstream os;
+  os << "fuse=" << (options.fuse ? 1 : 0) << ",width=" << options.fuse_width
+     << ",diag=" << options.diagonal_width
+     << ",noise=" << (options.preserve_noise_slots ? 1 : 0);
+  return os.str();
+}
+
+std::size_t ExecutionPlan::memory_bytes() const {
+  std::size_t bytes = sizeof(ExecutionPlan);
+  for (const CompiledOp& op : ops_) {
+    bytes += sizeof(CompiledOp);
+    const std::size_t matrix_entries =
+        op.gate.matrix.rows() * op.gate.matrix.cols();
+    // Dense matrix + diagonal table, plus their complex64 mirrors as if
+    // already materialized.
+    bytes += matrix_entries *
+             (sizeof(Amplitude) + sizeof(std::complex<float>));
+    bytes += op.diagonal.size() *
+             (sizeof(Amplitude) + sizeof(std::complex<float>));
+    bytes += op.offsets.size() * sizeof(std::uint64_t);
+    bytes += op.bases.size() * sizeof(std::uint64_t);
+    bytes += op.noise_qubits.size() * sizeof(std::size_t);
+    bytes += op.gate.targets.size() * sizeof(std::size_t);
+    bytes += op.gate.controls.size() * sizeof(std::size_t);
+  }
+  bytes += (scratch_.block.capacity() + scratch_.block_out.capacity() +
+            scratch_.packed_in.capacity() + scratch_.packed_out.capacity()) *
+           sizeof(Amplitude);
+  bytes += (scratch_.block_f32.capacity() + scratch_.block_out_f32.capacity() +
+            scratch_.packed_in_f32.capacity() +
+            scratch_.packed_out_f32.capacity()) *
+           sizeof(std::complex<float>);
+  return bytes;
+}
+
 std::string CompilerStats::to_string() const {
   std::ostringstream os;
   os << "compiled " << gates_before << " gates -> " << gates_after

@@ -85,6 +85,14 @@ struct CompilerOptions {
 /// variable, mirroring the QTDA_SIMULATOR convention.
 CompilerOptions compiler_options_from_env(CompilerOptions base = {});
 
+/// Canonical cache-key token of the options ("fuse=1,width=4,diag=12,
+/// noise=0"): two CompilerOptions produce interchangeable plans for the
+/// same circuit iff their tokens are equal.  This is the fuse-settings
+/// component of the serving layer's content-keyed plan cache — keying on
+/// the token (instead of a hash of it) keeps distinct settings structurally
+/// incapable of colliding.
+std::string compiler_options_cache_key(const CompilerOptions& options);
+
 /// Hard ceiling of CompilerOptions::diagonal_width (4096-entry tables,
 /// 64 KB — cache-resident, and wide enough that a whole QPE
 /// controlled-phase ladder collapses into a handful of passes;
@@ -293,6 +301,14 @@ class ExecutionPlan {
   /// these buffers, which is why one plan must not be executed from two
   /// threads at once (parallelism lives *inside* the kernels).
   ExecutionScratch& scratch() const { return scratch_; }
+
+  /// Approximate resident size of the plan: compiled matrices, diagonal
+  /// tables, offset/base enumerations, and the scratch arena's current
+  /// capacity.  The byte-budget accounting unit of the serving layer's
+  /// plan cache (the lazily-built complex64 mirrors are counted as if
+  /// materialized, so a cached plan cannot quietly outgrow its admission
+  /// size on first float execution).
+  std::size_t memory_bytes() const;
 
  private:
   friend ExecutionPlan compile_circuit(const Circuit&, const CompilerOptions&);

@@ -153,6 +153,27 @@ PauliSum PauliSum::sorted() const {
   return PauliSum(std::move(out));
 }
 
+std::vector<std::vector<PauliTerm>> group_commuting_terms(const PauliSum& sum) {
+  // Signature = letters with Z erased to I: equal signatures ⇒ the terms
+  // agree at every non-diagonal position and are I/Z elsewhere, so every
+  // qubit-wise factor pair commutes.
+  std::vector<std::vector<PauliTerm>> groups;
+  std::map<std::vector<PauliKind>, std::size_t> group_of;
+  for (const PauliTerm& term : sum.terms()) {
+    std::vector<PauliKind> signature = term.string.kinds();
+    for (PauliKind& k : signature)
+      if (k == PauliKind::Z) k = PauliKind::I;
+    const auto it = group_of.find(signature);
+    if (it == group_of.end()) {
+      group_of.emplace(std::move(signature), groups.size());
+      groups.push_back({term});
+    } else {
+      groups[it->second].push_back(term);
+    }
+  }
+  return groups;
+}
+
 namespace {
 
 PauliSum decompose_impl(const ComplexMatrix& h, double tolerance) {

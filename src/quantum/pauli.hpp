@@ -93,6 +93,17 @@ class PauliSum {
   std::vector<PauliTerm> terms_;
 };
 
+/// Partitions the terms of a sum into mutually commuting families, grouped
+/// by *basis signature*: the string with every diagonal letter (I or Z)
+/// erased to I.  Two terms with the same signature agree letter-for-letter
+/// at every X/Y position and are diagonal everywhere else, so they commute
+/// qubit-wise — and, crucially for circuit synthesis, they share one
+/// basis-change conjugation into the Z eigenbasis.  The partition is stable:
+/// families appear in first-occurrence order and terms keep their original
+/// relative order inside each family, so flattening the groups is a
+/// reordering of the sum, never a rewrite.
+std::vector<std::vector<PauliTerm>> group_commuting_terms(const PauliSum& sum);
+
 /// Expands a Hermitian matrix (given as real symmetric, the Laplacian case)
 /// into the Pauli basis.  The matrix dimension must be a power of two.
 /// Terms with |coefficient| ≤ \p tolerance are dropped.

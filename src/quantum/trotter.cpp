@@ -5,58 +5,84 @@
 
 namespace qtda {
 
+namespace {
+
+/// The conjugation into the Z eigenbasis for a family's shared X/Y letters:
+/// X = H·Z·H, Y = RX(π/2)†·Z·RX(π/2).  \p invert emits the closing wall.
+void append_basis_wall(Circuit& circuit, const PauliString& p,
+                       std::size_t offset, bool invert) {
+  for (std::size_t q = 0; q < p.num_qubits(); ++q) {
+    const std::size_t wire = offset + q;
+    switch (p.kind(q)) {
+      case PauliKind::X:
+        circuit.h(wire);
+        break;
+      case PauliKind::Y:
+        circuit.rx(wire, invert ? -kPi / 2.0 : kPi / 2.0);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// e^{iθ·Z…Z} over the non-identity wires of \p p, assuming the basis wall
+/// is already in place: CNOT parity ladder, RZ(−2θ), un-compute.
+void append_diagonalized_exponential(Circuit& circuit, const PauliString& p,
+                                     double theta, std::size_t offset) {
+  std::vector<std::size_t> active;
+  for (std::size_t q = 0; q < p.num_qubits(); ++q)
+    if (p.kind(q) != PauliKind::I) active.push_back(offset + q);
+  if (active.empty()) {
+    circuit.add_global_phase(theta);
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < active.size(); ++i)
+    circuit.cnot(active[i], active[i + 1]);
+  circuit.rz(active.back(), -2.0 * theta);
+  for (std::size_t i = active.size() - 1; i-- > 0;)
+    circuit.cnot(active[i], active[i + 1]);
+}
+
+/// Π_t e^{i·c_t·scale·P_t} for one commuting family under a single pair of
+/// basis-change walls.  Exactly (B†D₁B)(B†D₂B)… = B†(ΠD)B — the inner walls
+/// of the per-term synthesis cancel pairwise, so eliding them changes the
+/// gate count, never the unitary.
+void append_family_exponential(Circuit& circuit,
+                               const std::vector<PauliTerm>& family,
+                               double scale, std::size_t offset) {
+  bool needs_wall = false;
+  for (const PauliTerm& t : family)
+    if (t.coefficient * scale != 0.0 && !t.string.is_identity())
+      needs_wall = true;
+  if (!needs_wall) {
+    // Pure identity (global phase) family, or every angle vanished.
+    for (const PauliTerm& t : family) {
+      const double theta = t.coefficient * scale;
+      if (theta != 0.0) circuit.add_global_phase(theta);
+    }
+    return;
+  }
+  append_basis_wall(circuit, family.front().string, offset, /*invert=*/false);
+  for (const PauliTerm& t : family) {
+    const double theta = t.coefficient * scale;
+    if (theta == 0.0) continue;
+    append_diagonalized_exponential(circuit, t.string, theta, offset);
+  }
+  append_basis_wall(circuit, family.front().string, offset, /*invert=*/true);
+}
+
+}  // namespace
+
 void append_pauli_exponential(Circuit& circuit, const PauliString& p,
                               double theta, std::size_t offset) {
   const std::size_t n = p.num_qubits();
   QTDA_REQUIRE(offset + n <= circuit.num_qubits(),
                "Pauli exponential exceeds register");
   if (theta == 0.0) return;
-
-  std::vector<std::size_t> active;
-  for (std::size_t q = 0; q < n; ++q)
-    if (p.kind(q) != PauliKind::I) active.push_back(offset + q);
-
-  if (active.empty()) {
-    // e^{iθ·I} is a pure global phase.
-    circuit.add_global_phase(theta);
-    return;
-  }
-
-  // Basis changes into the Z eigenbasis: X = H·Z·H, Y = RX(π/2)†·Z·RX(π/2).
-  for (std::size_t q = 0; q < n; ++q) {
-    const std::size_t wire = offset + q;
-    switch (p.kind(q)) {
-      case PauliKind::X:
-        circuit.h(wire);
-        break;
-      case PauliKind::Y:
-        circuit.rx(wire, kPi / 2.0);
-        break;
-      default:
-        break;
-    }
-  }
-  // Parity ladder onto the last active wire.
-  for (std::size_t i = 0; i + 1 < active.size(); ++i)
-    circuit.cnot(active[i], active[i + 1]);
-  // e^{iθZ} = RZ(−2θ) on the parity wire.
-  circuit.rz(active.back(), -2.0 * theta);
-  // Un-compute.
-  for (std::size_t i = active.size() - 1; i-- > 0;)
-    circuit.cnot(active[i], active[i + 1]);
-  for (std::size_t q = 0; q < n; ++q) {
-    const std::size_t wire = offset + q;
-    switch (p.kind(q)) {
-      case PauliKind::X:
-        circuit.h(wire);
-        break;
-      case PauliKind::Y:
-        circuit.rx(wire, -kPi / 2.0);
-        break;
-      default:
-        break;
-    }
-  }
+  append_basis_wall(circuit, p, offset, /*invert=*/false);
+  append_diagonalized_exponential(circuit, p, theta, offset);
+  append_basis_wall(circuit, p, offset, /*invert=*/true);
 }
 
 Circuit trotter_circuit(const PauliSum& hamiltonian, double time,
@@ -66,10 +92,33 @@ Circuit trotter_circuit(const PauliSum& hamiltonian, double time,
   QTDA_REQUIRE(options.order == 1 || options.order == 2,
                "Trotter order must be 1 or 2");
   QTDA_REQUIRE(hamiltonian.size() > 0, "empty Hamiltonian");
+  QTDA_REQUIRE(offset + hamiltonian.num_qubits() <= total_qubits,
+               "Trotter circuit exceeds register");
   Circuit circuit(total_qubits);
   const double dt = time / static_cast<double>(options.steps);
-  const auto& terms = hamiltonian.terms();
 
+  if (options.group_commuting) {
+    // Split over commuting families instead of raw terms: each family costs
+    // one basis wall per appearance, and within a family the exponentials
+    // multiply exactly, so only the between-family splitting error remains.
+    const auto families = group_commuting_terms(hamiltonian);
+    for (std::size_t step = 0; step < options.steps; ++step) {
+      if (options.order == 1) {
+        for (const auto& family : families)
+          append_family_exponential(circuit, family, dt, offset);
+      } else {
+        // Strang: half-steps forward, then in reverse family order (the
+        // order inside a family is immaterial — the terms commute).
+        for (const auto& family : families)
+          append_family_exponential(circuit, family, dt / 2.0, offset);
+        for (std::size_t i = families.size(); i-- > 0;)
+          append_family_exponential(circuit, families[i], dt / 2.0, offset);
+      }
+    }
+    return circuit;
+  }
+
+  const auto& terms = hamiltonian.terms();
   for (std::size_t step = 0; step < options.steps; ++step) {
     if (options.order == 1) {
       for (const PauliTerm& t : terms)

@@ -1,0 +1,85 @@
+#include "serve/client.hpp"
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// Extracts the id token from a raw response line ("" when absent —
+/// protocol-level errors for unparseable requests carry no id).
+std::string id_of(const std::string& line) {
+  const auto pos = line.find(" id=");
+  if (pos == std::string::npos) return "";
+  const auto start = pos + 4;
+  const auto end = line.find(' ', start);
+  return line.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+}  // namespace
+
+ServeClient::ServeClient(std::shared_ptr<Connection> connection)
+    : connection_(std::move(connection)) {
+  QTDA_REQUIRE(connection_ != nullptr, "ServeClient needs a connection");
+}
+
+std::string ServeClient::send(EstimateRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (request.id.empty()) request.id = "r" + std::to_string(next_id_++);
+  }
+  QTDA_REQUIRE(connection_->write_line(format_request(request)),
+               "connection closed while sending request " << request.id);
+  return request.id;
+}
+
+std::string ServeClient::read_matching(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto parked = parked_.find(id);
+  if (parked != parked_.end()) {
+    std::string line = std::move(parked->second);
+    parked_.erase(parked);
+    return line;
+  }
+  for (;;) {
+    const std::optional<std::string> line = connection_->read_line();
+    QTDA_REQUIRE(line.has_value(),
+                 "connection closed while waiting for response " << id);
+    const std::string line_id = id_of(*line);
+    if (line_id == id || (id.empty() && line_id.empty())) return *line;
+    parked_[line_id] = *line;
+  }
+}
+
+EstimateResponse ServeClient::receive(const std::string& id) {
+  return parse_response(read_matching(id));
+}
+
+EstimateResponse ServeClient::estimate(EstimateRequest request) {
+  return receive(send(std::move(request)));
+}
+
+std::string ServeClient::stats() {
+  QTDA_REQUIRE(connection_->write_line("stats"), "connection closed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::optional<std::string> line = connection_->read_line();
+    QTDA_REQUIRE(line.has_value(), "connection closed awaiting stats");
+    if (line->rfind("stats", 0) == 0) return *line;
+    parked_[id_of(*line)] = *line;
+  }
+}
+
+void ServeClient::shutdown() {
+  QTDA_REQUIRE(connection_->write_line("shutdown"), "connection closed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::optional<std::string> line = connection_->read_line();
+    if (!line.has_value()) return;  // server closed first — fine
+    if (line->rfind("ok id=shutdown", 0) == 0) return;
+    parked_[id_of(*line)] = *line;
+  }
+}
+
+}  // namespace qtda

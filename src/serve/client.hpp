@@ -1,0 +1,56 @@
+/// \file client.hpp
+/// \brief Blocking client for the qtda_serve protocol.
+///
+/// ServeClient wraps a Connection (loopback or Unix socket) and matches
+/// responses to requests by id, so several threads can share one client —
+/// or one thread can pipeline many requests and collect the answers in any
+/// order.  This is the reference consumer of the protocol: the example
+/// binaries, the bench driver, and the tests all talk through it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace qtda {
+
+/// A synchronous protocol client over one connection.
+class ServeClient {
+ public:
+  explicit ServeClient(std::shared_ptr<Connection> connection);
+
+  /// Sends a request; returns the id actually used (auto-assigned when the
+  /// request carries none).
+  std::string send(EstimateRequest request);
+
+  /// Blocks until the response with \p id arrives (responses for other ids
+  /// received meanwhile are parked for their own receive calls).  Throws on
+  /// a closed connection.
+  EstimateResponse receive(const std::string& id);
+
+  /// send + receive in one call.
+  EstimateResponse estimate(EstimateRequest request);
+
+  /// Round-trips a `stats` command and returns the raw stats line.
+  std::string stats();
+
+  /// Sends `shutdown` and waits for the acknowledgement.
+  void shutdown();
+
+  Connection& connection() { return *connection_; }
+
+ private:
+  std::string read_matching(const std::string& id);
+
+  std::shared_ptr<Connection> connection_;
+  std::mutex mutex_;  ///< guards id counter, parked responses, reads
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, std::string> parked_;  ///< id → raw response line
+};
+
+}  // namespace qtda

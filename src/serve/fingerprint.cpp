@@ -1,0 +1,83 @@
+#include "serve/fingerprint.hpp"
+
+#include <cstring>
+
+namespace qtda {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t mix_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t mix_double(std::uint64_t hash, double value) {
+  // −0.0 → +0.0: the only coordinate rewrite that provably cannot change
+  // any downstream arithmetic (the two zeros are == and behave identically
+  // in every distance), so folding it widens cache sharing for free.
+  if (value == 0.0) value = 0.0;
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return mix_u64(hash, bits);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fingerprint_point_cloud(const PointCloud& cloud) {
+  std::uint64_t hash = fnv1a(nullptr, 0);
+  hash = mix_u64(hash, cloud.size());
+  hash = mix_u64(hash, cloud.dimension());
+  for (const auto& point : cloud.points())
+    for (double coordinate : point) hash = mix_double(hash, coordinate);
+  return hash;
+}
+
+std::uint64_t fingerprint_complex(const SimplicialComplex& complex) {
+  std::uint64_t hash = fnv1a(nullptr, 0);
+  const int max_dim = complex.max_dimension();
+  hash = mix_u64(hash, static_cast<std::uint64_t>(max_dim + 1));
+  for (int k = 0; k <= max_dim; ++k) {
+    hash = mix_u64(hash, complex.count(k));
+    for (const Simplex& s : complex.simplices(k))
+      for (VertexId v : s.vertices()) hash = mix_u64(hash, v);
+  }
+  return hash;
+}
+
+std::uint64_t fingerprint_sparse_matrix(const SparseMatrix& matrix) {
+  std::uint64_t hash = fnv1a(nullptr, 0);
+  hash = mix_u64(hash, matrix.rows());
+  hash = mix_u64(hash, matrix.cols());
+  for (std::size_t offset : matrix.row_offsets()) hash = mix_u64(hash, offset);
+  for (std::size_t index : matrix.col_indices()) hash = mix_u64(hash, index);
+  for (double value : matrix.values()) hash = mix_double(hash, value);
+  return hash;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fingerprint & 0xf];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+}  // namespace qtda

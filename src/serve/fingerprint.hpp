@@ -1,0 +1,56 @@
+/// \file fingerprint.hpp
+/// \brief Content fingerprints for the serving layer's artifact cache.
+///
+/// Cache keys must be a pure function of request *content*, not identity:
+/// two clients sending the same point cloud have to land on the same Rips
+/// complex, Laplacian, and compiled plan.  The fingerprints here are FNV-1a
+/// over canonical byte renderings —
+///
+///  * point clouds hash their IEEE-754 coordinate bytes after the one
+///    canonicalization that is arithmetically inert, −0.0 → +0.0 (the two
+///    zeros compare equal and behave identically in every distance
+///    computation, so collapsing them can never change a result);
+///  * simplicial complexes hash their combinatorial structure (per-dimension
+///    counts and sorted vertex ids).  Keying the Laplacian and plan caches
+///    on the *complex* fingerprint instead of the cloud's is what lets
+///    distinct clouds that induce the same ε-complex share everything
+///    downstream of the Rips expansion;
+///  * sparse matrices hash shape, structure, and value bytes (tests and
+///    diagnostics).
+///
+/// FNV-1a is not cryptographic; keys embed the fingerprint alongside the
+/// request parameters, so a collision needs two distinct artifacts with
+/// equal 64-bit hashes *and* equal parameter strings — acceptable for a
+/// cache whose worst case is a recomputation, and cheap enough to run on
+/// every request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/sparse_matrix.hpp"
+#include "topology/point_cloud.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace qtda {
+
+/// 64-bit FNV-1a over a byte range.
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Fingerprint of a point cloud's canonicalized coordinates (−0.0 folded
+/// into +0.0) plus its shape.
+std::uint64_t fingerprint_point_cloud(const PointCloud& cloud);
+
+/// Fingerprint of a complex's combinatorial structure.  Independent of the
+/// coordinates that produced it: clouds with identical ε-complexes collide
+/// here on purpose.
+std::uint64_t fingerprint_complex(const SimplicialComplex& complex);
+
+/// Fingerprint of a CSR matrix (shape, offsets, indices, value bytes).
+std::uint64_t fingerprint_sparse_matrix(const SparseMatrix& matrix);
+
+/// 16-hex-digit rendering for embedding fingerprints in cache keys.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+}  // namespace qtda

@@ -1,0 +1,396 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "quantum/precision.hpp"
+
+namespace qtda {
+
+BettiServer::BettiServer(const ServerOptions& options)
+    : options_(options), store_(options.cache) {
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+BettiServer::~BettiServer() { stop(); }
+
+void BettiServer::start(Transport& transport) {
+  QTDA_REQUIRE(transport_ == nullptr, "server already started");
+  transport_ = &transport;
+  completion_thread_ = std::thread([this] { completion_loop(); });
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  acceptor_thread_ = std::thread([this] { acceptor_loop(transport_); });
+}
+
+void BettiServer::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_.store(true);
+  }
+  stop_requested_.notify_all();
+  // Unblock the acceptor and every parked worker so the drain can begin.
+  if (transport_ != nullptr) transport_->shutdown();
+  queue_ready_.notify_all();
+}
+
+void BettiServer::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_requested_.wait(lock, [this] { return stopping_.load(); });
+}
+
+void BettiServer::stop() {
+  if (stopped_.exchange(true)) return;
+  request_stop();
+  // Close connections: readers blocked on idle streams wake with EOF.  The
+  // admission queue still holds whatever those readers admitted — workers
+  // drain it below before exiting (graceful: admitted work completes).
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& weak : connections_)
+      if (auto connection = weak.lock()) connection->close();
+  }
+  if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& reader : reader_threads_)
+      if (reader.joinable()) reader.join();
+  }
+  for (std::thread& worker : worker_threads_)
+    if (worker.joinable()) worker.join();
+  // Workers are gone: no further completions can be produced, so the
+  // writer may exit as soon as it drains what is queued.
+  workers_done_.store(true);
+  completion_ready_.notify_all();
+  if (completion_thread_.joinable()) completion_thread_.join();
+}
+
+void BettiServer::acceptor_loop(Transport* transport) {
+  while (!stopping_.load()) {
+    std::shared_ptr<Connection> connection = transport->accept();
+    if (connection == nullptr) break;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    reader_threads_.emplace_back(
+        [this, connection] { reader_loop(connection); });
+  }
+}
+
+void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
+  for (;;) {
+    const std::optional<std::string> line = connection->read_line();
+    if (!line.has_value()) return;  // peer gone or server closing
+    if (line->empty()) continue;
+    try {
+      switch (classify_request_line(*line)) {
+        case ServeCommand::kPing:
+          connection->write_line("pong");
+          break;
+        case ServeCommand::kStats:
+          connection->write_line(stats_line());
+          break;
+        case ServeCommand::kShutdown:
+          connection->write_line("ok id=shutdown");
+          request_stop();
+          return;
+        case ServeCommand::kEstimate: {
+          EstimateRequest request = parse_request(*line);
+          if (stopping_.load()) {
+            EstimateResponse refused;
+            refused.id = request.id;
+            refused.error = "server shutting down";
+            connection->write_line(format_response(refused));
+            break;
+          }
+          Pending pending;
+          pending.batch_key = batch_key_of(request);
+          pending.batchable =
+              options_.batching &&
+              (request.options.backend == EstimatorBackend::kCircuitSparse ||
+               request.options.backend == EstimatorBackend::kCircuitTrotter) &&
+              request.options.mixed_state == MixedStateMode::kPurification;
+          if (request.deadline_ms > 0) {
+            pending.has_deadline = true;
+            pending.deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(request.deadline_ms);
+          }
+          pending.request = std::move(request);
+          pending.connection = connection;
+          admit(std::move(pending));
+          break;
+        }
+      }
+    } catch (const std::exception& error) {
+      EstimateResponse malformed;
+      malformed.error = error.what();
+      connection->write_line(format_response(malformed));
+    }
+  }
+}
+
+void BettiServer::admit(Pending pending) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(pending));
+  }
+  admitted_.fetch_add(1);
+  queue_ready_.notify_one();
+}
+
+void BettiServer::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_ready_.wait(
+          lock, [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;  // drained: graceful exit
+        continue;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (batch.front().batchable) {
+        // Coalesce: sweep the queue for identical-plan requests.  FIFO
+        // order is preserved inside the batch; requests with other keys
+        // keep their queue positions.
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if (it->batchable && it->batch_key == batch.front().batch_key) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    active_executions_.fetch_add(1);
+    execute_batch(std::move(batch));
+    active_executions_.fetch_sub(1);
+  }
+}
+
+void BettiServer::completion_loop() {
+  for (;;) {
+    std::pair<std::shared_ptr<Connection>, std::string> item;
+    {
+      std::unique_lock<std::mutex> lock(completion_mutex_);
+      completion_ready_.wait(lock, [this] {
+        return !completions_.empty() || workers_done_.load();
+      });
+      if (completions_.empty()) return;  // workers joined and queue drained
+      item = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    if (item.first != nullptr) item.first->write_line(item.second);
+    completed_.fetch_add(1);
+  }
+}
+
+void BettiServer::complete(const std::shared_ptr<Connection>& connection,
+                           std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.emplace_back(connection, std::move(line));
+  }
+  completion_ready_.notify_one();
+}
+
+std::string BettiServer::batch_key_of(const EstimateRequest& request) {
+  // Cloud *content* (canonicalized fingerprint), the complex parameters,
+  // the full plan-key axes, and the engine: requests equal on all of these
+  // run the identical evolution and may share it.  Clouds that differ but
+  // induce the same complex still share the cached plan — they just do not
+  // coalesce into one execution (the batch key must be computable at
+  // admission, before the Rips expansion runs).
+  std::string key = "cloud=" +
+                    fingerprint_hex(fingerprint_point_cloud(
+                        PointCloud(request.points))) +
+                    "|eps=" + format_double(request.epsilon);
+  key += "|" + ArtifactStore::plan_key(0, request.k, request.options);
+  key += "|sim=" + simulator_kind_name(request.options.simulator);
+  key += "|shards=" + std::to_string(request.options.simulator_shards);
+  // shots and seed are intentionally NOT key axes: they vary per request
+  // inside one batched execution.
+  return key;
+}
+
+std::size_t BettiServer::clamped_shards(const EstimatorOptions& options) const {
+  if (options.simulator != SimulatorKind::kShardedStatevector)
+    return options.simulator_shards;
+  const std::size_t share =
+      fair_thread_share(std::max<std::size_t>(1, active_executions_.load()));
+  const std::size_t requested = options.simulator_shards == 0
+                                    ? ThreadPool::shared().size()
+                                    : options.simulator_shards;
+  return std::max<std::size_t>(1, std::min(requested, share));
+}
+
+EstimateResponse BettiServer::execute_single(const EstimateRequest& request) {
+  EstimateResponse response;
+  response.id = request.id;
+  try {
+    const PointCloud cloud(request.points);
+    EstimatorOptions options = request.options;
+    options.simulator_shards = clamped_shards(options);
+    const ResolvedArtifacts artifacts =
+        store_.resolve(cloud, request.epsilon, request.k, options);
+    response.complex_hit = artifacts.complex_hit;
+    response.laplacian_hit = artifacts.laplacian_hit;
+    response.plan_hit = artifacts.plan_hit;
+    if (artifacts.laplacian == nullptr) {
+      // No k-simplices: exact zero estimate, mirroring estimate_betti.
+      response.estimate.shots = options.shots;
+      response.estimate.precision_qubits = options.precision_qubits;
+      response.ok = true;
+      return response;
+    }
+    if (artifacts.plan != nullptr) {
+      std::lock_guard<std::mutex> lock(artifacts.plan->exec_mutex);
+      response.estimate =
+          estimate_betti_with_plan(artifacts.plan->compiled, options);
+    } else {
+      // Analytic / dense-oracle backends: cold functions over the cached
+      // Laplacian (they densify internally and carry no reusable plan).
+      response.estimate =
+          estimate_betti_from_sparse_laplacian(*artifacts.laplacian, options);
+    }
+    response.ok = true;
+  } catch (const std::exception& error) {
+    response.ok = false;
+    response.error = error.what();
+    errors_.fetch_add(1);
+  }
+  return response;
+}
+
+EstimateResponse BettiServer::handle(const EstimateRequest& request) {
+  return execute_single(request);
+}
+
+void BettiServer::execute_batch(std::vector<Pending> batch) {
+  // Expired-deadline requests answer immediately without occupying the
+  // execution below.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& pending : batch) {
+    if (pending.has_deadline && now > pending.deadline) {
+      EstimateResponse missed;
+      missed.id = pending.request.id;
+      missed.error = "deadline exceeded while queued";
+      deadline_misses_.fetch_add(1);
+      errors_.fetch_add(1);
+      complete(pending.connection, format_response(missed));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  if (live.size() == 1) {
+    EstimateResponse response = execute_single(live.front().request);
+    complete(live.front().connection, format_response(response));
+    return;
+  }
+
+  // Identical-plan batch: resolve once, evolve once, sample per request.
+  try {
+    const EstimateRequest& head = live.front().request;
+    const PointCloud cloud(head.points);
+    EstimatorOptions base = head.options;
+    base.simulator_shards = clamped_shards(base);
+    const ResolvedArtifacts artifacts =
+        store_.resolve(cloud, head.epsilon, head.k, base);
+    if (artifacts.laplacian == nullptr || artifacts.plan == nullptr) {
+      // Degenerate (empty complex) or non-plan fallback: serve serially.
+      for (const Pending& pending : live) {
+        EstimateResponse response = execute_single(pending.request);
+        response.batch_size = 1;
+        complete(pending.connection, format_response(response));
+      }
+      return;
+    }
+    std::vector<EstimatorOptions> request_options;
+    request_options.reserve(live.size());
+    for (const Pending& pending : live) {
+      EstimatorOptions options = pending.request.options;
+      options.simulator_shards = base.simulator_shards;
+      request_options.push_back(options);
+    }
+    std::vector<BettiEstimate> estimates;
+    {
+      std::lock_guard<std::mutex> lock(artifacts.plan->exec_mutex);
+      estimates = estimate_betti_batch(artifacts.plan->compiled,
+                                       request_options);
+    }
+    batches_.fetch_add(1);
+    batched_requests_.fetch_add(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EstimateResponse response;
+      response.id = live[i].request.id;
+      response.ok = true;
+      response.estimate = estimates[i];
+      response.complex_hit = artifacts.complex_hit;
+      response.laplacian_hit = artifacts.laplacian_hit;
+      response.plan_hit = artifacts.plan_hit;
+      response.batch_size = live.size();
+      complete(live[i].connection, format_response(response));
+    }
+  } catch (const std::exception& error) {
+    for (const Pending& pending : live) {
+      EstimateResponse failed;
+      failed.id = pending.request.id;
+      failed.error = error.what();
+      errors_.fetch_add(1);
+      complete(pending.connection, format_response(failed));
+    }
+  }
+}
+
+ServerStats BettiServer::stats() const {
+  ServerStats stats;
+  stats.complexes = store_.complex_stats();
+  stats.laplacians = store_.laplacian_stats();
+  stats.plans = store_.plan_stats();
+  stats.expm = expm_coefficient_cache_stats();
+  stats.admitted = admitted_.load();
+  stats.completed = completed_.load();
+  stats.errors = errors_.load();
+  stats.batches = batches_.load();
+  stats.batched_requests = batched_requests_.load();
+  stats.deadline_misses = deadline_misses_.load();
+  return stats;
+}
+
+std::string BettiServer::stats_line() const {
+  const ServerStats stats = this->stats();
+  std::ostringstream out;
+  const auto cache = [&out](const char* name, const CacheStats& level) {
+    out << ' ' << name << "_hits=" << level.hits << ' ' << name
+        << "_misses=" << level.misses << ' ' << name
+        << "_evictions=" << level.evictions << ' ' << name
+        << "_entries=" << level.entries << ' ' << name
+        << "_bytes=" << level.bytes;
+  };
+  out << "stats admitted=" << stats.admitted
+      << " completed=" << stats.completed << " errors=" << stats.errors
+      << " batches=" << stats.batches
+      << " batched_requests=" << stats.batched_requests
+      << " deadline_misses=" << stats.deadline_misses;
+  cache("complex", stats.complexes);
+  cache("laplacian", stats.laplacians);
+  cache("plan", stats.plans);
+  out << " expm_hits=" << stats.expm.hits
+      << " expm_misses=" << stats.expm.misses
+      << " expm_evictions=" << stats.expm.evictions
+      << " expm_entries=" << stats.expm.entries;
+  return out.str();
+}
+
+}  // namespace qtda

@@ -1,0 +1,159 @@
+/// \file server.hpp
+/// \brief BettiServer: the long-running Betti-estimation service.
+///
+/// Request lifecycle:
+///
+///   reader threads (one per connection) parse lines and *admit* requests
+///   into a FIFO admission queue → worker threads pop the head and, when the
+///   head is batchable (plan-backend, purification, no per-request noise),
+///   *coalesce* every queued request with the same batch key — identical
+///   cloud content, ε, k, estimator options, and engine — into one
+///   execution: the compiled plan evolves the register once and each
+///   request samples its own shots from its own seed, which is bit-identical
+///   to running the requests serially (see estimate_betti_batch) → finished
+///   responses go to the *completion queue*, a dedicated writer drains it
+///   back to the connections (responses carry request ids; ordering across
+///   requests is not guaranteed, by design).
+///
+/// Fairness and shutdown: per-request shard counts are clamped by
+/// fair_thread_share over the number of concurrently executing requests, so
+/// one huge register cannot monopolize the shared pool (shard count never
+/// changes results).  Deadlines bound *queue* time — a request that expires
+/// before execution starts is answered with an error instead of occupying a
+/// worker.  stop() is graceful: admission closes, everything already
+/// admitted executes, the completion queue drains, then threads join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/expm_multiply.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace qtda {
+
+/// BettiServer configuration.
+struct ServerOptions {
+  ArtifactStoreOptions cache;
+  std::size_t workers = 1;  ///< executor threads (estimates are internally
+                            ///< parallel; more workers mainly help batching
+                            ///< overlap compilation with execution)
+  bool batching = true;     ///< coalesce identical-plan requests
+};
+
+/// A stats snapshot (the `stats` protocol command renders this).
+struct ServerStats {
+  CacheStats complexes;
+  CacheStats laplacians;
+  CacheStats plans;
+  ExpmCoefficientCacheStats expm;
+  std::size_t admitted = 0;
+  std::size_t completed = 0;
+  std::size_t errors = 0;
+  std::size_t batches = 0;           ///< executions serving > 1 request
+  std::size_t batched_requests = 0;  ///< requests served by those executions
+  std::size_t deadline_misses = 0;
+};
+
+/// The service.  One instance owns the artifact store and all threads.
+class BettiServer {
+ public:
+  explicit BettiServer(const ServerOptions& options = {});
+  ~BettiServer();
+
+  BettiServer(const BettiServer&) = delete;
+  BettiServer& operator=(const BettiServer&) = delete;
+
+  /// Starts acceptor/worker/completion threads against \p transport, which
+  /// must outlive the server's stop().
+  void start(Transport& transport);
+
+  /// Signals shutdown without blocking (safe from reader threads — the
+  /// protocol `shutdown` command lands here).
+  void request_stop();
+
+  /// Blocks until request_stop() was called (daemon main-loop parking).
+  void wait();
+
+  /// Graceful shutdown: stop admission, drain admitted work and the
+  /// completion queue, join every thread.  Idempotent.  Must not be called
+  /// from one of the server's own threads.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// Synchronous single-request execution through the caches — the same
+  /// code path the workers run, minus queueing.  Exposed for tests and the
+  /// smoke driver.
+  EstimateResponse handle(const EstimateRequest& request);
+
+ private:
+  struct Pending {
+    EstimateRequest request;
+    std::shared_ptr<Connection> connection;  ///< null for internal calls
+    std::string batch_key;
+    bool batchable = false;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  void acceptor_loop(Transport* transport);
+  void reader_loop(std::shared_ptr<Connection> connection);
+  void worker_loop();
+  void completion_loop();
+
+  void admit(Pending pending);
+  void complete(const std::shared_ptr<Connection>& connection,
+                std::string line);
+  static std::string batch_key_of(const EstimateRequest& request);
+  EstimateResponse execute_single(const EstimateRequest& request);
+  void execute_batch(std::vector<Pending> batch);
+  std::size_t clamped_shards(const EstimatorOptions& options) const;
+  std::string stats_line() const;
+
+  ServerOptions options_;
+  ArtifactStore store_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_ready_;
+  std::deque<Pending> queue_;
+
+  std::mutex completion_mutex_;
+  std::condition_variable completion_ready_;
+  std::deque<std::pair<std::shared_ptr<Connection>, std::string>> completions_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> reader_threads_;
+  std::thread acceptor_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::thread completion_thread_;
+  Transport* transport_ = nullptr;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> workers_done_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_requested_;
+
+  std::atomic<std::size_t> active_executions_{0};
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> batched_requests_{0};
+  std::atomic<std::size_t> deadline_misses_{0};
+};
+
+}  // namespace qtda

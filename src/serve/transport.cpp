@@ -1,0 +1,250 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+namespace {
+
+/// One direction of a loopback pair: a line queue with blocking pop.
+struct LineQueue {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::string> lines;
+  bool closed = false;
+
+  void push(std::string line) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (closed) return;
+      lines.push_back(std::move(line));
+    }
+    ready.notify_one();
+  }
+
+  std::optional<std::string> pop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    ready.wait(lock, [this] { return closed || !lines.empty(); });
+    if (lines.empty()) return std::nullopt;  // closed and drained
+    std::string line = std::move(lines.front());
+    lines.pop_front();
+    return line;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    ready.notify_all();
+  }
+};
+
+/// Shared channel of one loopback connection (two directed queues).
+struct LoopbackChannel {
+  LineQueue to_server;
+  LineQueue to_client;
+
+  void close_both() {
+    to_server.close();
+    to_client.close();
+  }
+};
+
+/// One endpoint of a loopback channel.
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackChannel> channel, bool is_server)
+      : channel_(std::move(channel)), is_server_(is_server) {}
+  ~LoopbackConnection() override { close(); }
+
+  std::optional<std::string> read_line() override {
+    return (is_server_ ? channel_->to_server : channel_->to_client).pop();
+  }
+
+  bool write_line(const std::string& line) override {
+    LineQueue& queue = is_server_ ? channel_->to_client : channel_->to_server;
+    {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      if (queue.closed) return false;
+      queue.lines.push_back(line);
+    }
+    queue.ready.notify_one();
+    return true;
+  }
+
+  void close() override { channel_->close_both(); }
+
+ private:
+  std::shared_ptr<LoopbackChannel> channel_;
+  bool is_server_;
+};
+
+}  // namespace
+
+struct LoopbackTransport::State {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::shared_ptr<Connection>> pending;
+  bool stopping = false;
+};
+
+LoopbackTransport::LoopbackTransport() : state_(std::make_shared<State>()) {}
+
+LoopbackTransport::~LoopbackTransport() { shutdown(); }
+
+std::shared_ptr<Connection> LoopbackTransport::connect() {
+  auto channel = std::make_shared<LoopbackChannel>();
+  auto client = std::make_shared<LoopbackConnection>(channel, /*is_server=*/false);
+  auto server = std::make_shared<LoopbackConnection>(channel, /*is_server=*/true);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    QTDA_REQUIRE(!state_->stopping, "connect() on a shut-down transport");
+    state_->pending.push_back(std::move(server));
+  }
+  state_->ready.notify_one();
+  return client;
+}
+
+std::shared_ptr<Connection> LoopbackTransport::accept() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->ready.wait(lock, [this] {
+    return state_->stopping || !state_->pending.empty();
+  });
+  if (state_->pending.empty()) return nullptr;
+  auto connection = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return connection;
+}
+
+void LoopbackTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->ready.notify_all();
+}
+
+namespace {
+
+/// Connection over a stream-socket file descriptor.
+class FdConnection final : public Connection {
+ public:
+  explicit FdConnection(int fd) : fd_(fd) {}
+  ~FdConnection() override { close(); }
+
+  std::optional<std::string> read_line() override {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::nullopt;  // EOF, error, or shutdown
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool write_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close() override {
+    if (!closed_.exchange(true)) {
+      // shutdown() first: wakes a reader blocked in recv on another thread
+      // (plain close alone leaves it blocked until the peer acts).
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::mutex write_mutex_;
+  std::atomic<bool> closed_{false};
+};
+
+sockaddr_un make_unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  QTDA_REQUIRE(path.size() < sizeof(address.sun_path),
+               "socket path too long: " << path);
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+UnixSocketTransport::UnixSocketTransport(std::string path)
+    : path_(std::move(path)) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  QTDA_REQUIRE(listen_fd_ >= 0, "socket() failed for " << path_);
+  ::unlink(path_.c_str());  // replace a stale socket file
+  sockaddr_un address = make_unix_address(path_);
+  QTDA_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)) == 0,
+               "bind() failed for " << path_);
+  QTDA_REQUIRE(::listen(listen_fd_, 64) == 0, "listen() failed for " << path_);
+}
+
+UnixSocketTransport::~UnixSocketTransport() {
+  shutdown();
+  ::unlink(path_.c_str());
+}
+
+std::shared_ptr<Connection> UnixSocketTransport::accept() {
+  while (!stopping_.load()) {
+    pollfd poller{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    return std::make_shared<FdConnection>(fd);
+  }
+  return nullptr;
+}
+
+void UnixSocketTransport::shutdown() {
+  if (!stopping_.exchange(true)) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+}
+
+std::shared_ptr<Connection> connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  QTDA_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_un address = make_unix_address(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    QTDA_REQUIRE(false, "connect() failed for " << path);
+  }
+  return std::make_shared<FdConnection>(fd);
+}
+
+}  // namespace qtda
