@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/telemetry.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -106,6 +108,31 @@ int run_smoke() {
   const std::string stats = client.stats();
   std::printf("%s\n", stats.c_str());
 
+  // Metrics scrape: the burst above must have left non-zero request
+  // counters, cache traffic on every level, and populated latency
+  // histograms — this is the observability contract CI asserts.
+  const MetricsReport metrics = client.metrics();
+  if (metrics.counters.at("serve.admitted") < 34)
+    return fail("metrics verb lost admitted requests");
+  if (metrics.counters.at("cache.plan.hits") == 0 ||
+      metrics.counters.at("cache.plan.misses") == 0)
+    return fail("metrics verb shows no plan-cache traffic");
+  const auto request_latency = metrics.histograms.find("serve.request_ns");
+  if (request_latency == metrics.histograms.end() ||
+      request_latency->second.count < 34)
+    return fail("request latency histogram incomplete");
+  const auto queue_wait = metrics.histograms.find("serve.queue_wait_ns");
+  if (queue_wait == metrics.histograms.end() || queue_wait->second.count == 0)
+    return fail("queue wait histogram empty");
+  const auto evolve = metrics.histograms.find("span.evolve");
+  if (evolve == metrics.histograms.end() || evolve->second.count == 0)
+    return fail("evolve span histogram empty");
+  const std::string prometheus = client.metrics_prometheus();
+  if (prometheus.find("qtda_serve_admitted ") == std::string::npos ||
+      prometheus.find("qtda_serve_request_ns_bucket") == std::string::npos ||
+      prometheus.find("# EOF") == std::string::npos)
+    return fail("prometheus exposition incomplete");
+
   client.shutdown();
   server.stop();
   std::printf("serve smoke OK: cold=miss warm=hit burst=32 shutdown=clean\n");
@@ -116,6 +143,15 @@ int run_smoke() {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  try {
+    // Fail fast on a typo'd QTDA_LOG_LEVEL / QTDA_TELEMETRY before binding
+    // anything (QTDA_TRACE also arms the exit-time Chrome-trace writer).
+    apply_log_level_from_env();
+    telemetry::enabled();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
   if (args.get_bool("smoke")) return run_smoke();
 
   const std::string path = args.get_string("socket", "/tmp/qtda_serve.sock");
@@ -126,21 +162,29 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("cache-shards", 8));
   options.workers = static_cast<std::size_t>(args.get_int("workers", 1));
   options.batching = !args.get_bool("no-batching");
+  options.telemetry = !args.get_bool("no-telemetry");
 
-  BettiServer server(options);
-  UnixSocketTransport transport(path);
-  g_signal_server = &server;
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  try {
+    BettiServer server(options);
+    UnixSocketTransport transport(path);
+    g_signal_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
 
-  server.start(transport);
-  std::printf("qtda_serve listening on %s (cache %lld MiB, %s)\n",
-              path.c_str(), static_cast<long long>(args.get_int("cache-mb", 256)),
-              options.batching ? "batching on" : "batching off");
-  std::fflush(stdout);
-  server.wait();
-  server.stop();
-  g_signal_server = nullptr;
+    server.start(transport);
+    std::printf("qtda_serve listening on %s (cache %lld MiB, %s, %s)\n",
+                path.c_str(),
+                static_cast<long long>(args.get_int("cache-mb", 256)),
+                options.batching ? "batching on" : "batching off",
+                options.telemetry ? "telemetry on" : "telemetry off");
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+    g_signal_server = nullptr;
+  } catch (const std::exception& error) {
+    QTDA_ERROR << "qtda_serve failed: " << error.what();
+    return 1;
+  }
   std::printf("qtda_serve stopped\n");
   return 0;
 }

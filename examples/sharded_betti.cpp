@@ -20,19 +20,23 @@
 ///        --trajectories <n>  ensemble size for the density verify (200)
 ///        --seed <n>          RNG seed (default 29)
 ///        --stats             print the circuit compiler's report (gates
-///                            before/after fusion, fused-block histogram)
-///                            and the peephole optimizer's, for the very
-///                            circuit the estimate executed
+///                            before/after fusion, fused-block histogram),
+///                            the peephole optimizer's, and a telemetry
+///                            snapshot (spans, counters, per-op-kind time)
+///                            for the very circuit the estimate executed
 ///        --verify            statevector engines: run the dense engine and
 ///                            demand bit-identity; density-matrix: check a
 ///                            run_noisy_trajectory ensemble converges to the
 ///                            exact-channel marginal of the same circuit
 #include <cmath>
 #include <cstdio>
+#include <exception>
 
 #include "common/cli.hpp"
 #include "common/cpu_features.hpp"
+#include "common/logging.hpp"
 #include "common/random.hpp"
+#include "common/telemetry.hpp"
 #include "core/betti_estimator.hpp"
 #include "quantum/backend.hpp"
 #include "quantum/compiler.hpp"
@@ -96,6 +100,17 @@ bool verify_trajectory_convergence(const qtda::Circuit& circuit,
 int main(int argc, char** argv) {
   using namespace qtda;
   const CliArgs args(argc, argv);
+  try {
+    // Fail fast on a typo'd QTDA_LOG_LEVEL / QTDA_TELEMETRY before any work.
+    apply_log_level_from_env();
+    telemetry::enabled();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+  // --stats reports live telemetry (spans, per-op-kind execution time), so
+  // collection must be on before the estimate below runs.
+  if (args.get_bool("stats")) telemetry::set_enabled(true);
   const auto vertices = static_cast<std::size_t>(args.get_int("vertices", 8));
   const int k = static_cast<int>(args.get_int("dimension", 1));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 29));
@@ -164,6 +179,12 @@ int main(int argc, char** argv) {
         report.gates_before, report.gates_after, report.depth_before,
         report.depth_after, report.cancelled_pairs, report.merged_rotations,
         report.dropped_rotations);
+    // Telemetry collected by the run above: pipeline spans (rips is absent
+    // here — the complex is random, not a Rips build), estimator counters,
+    // and the executor's per-op-kind time split.
+    std::printf("%s",
+                telemetry::render_text(telemetry::registry().snapshot())
+                    .c_str());
   }
 
   if (args.get_bool("verify")) {

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "common/error.hpp"
 
 namespace qtda {
 
@@ -30,6 +33,23 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel log_level_from_name(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  QTDA_REQUIRE(false, "unknown log level \"" << name
+                                             << "\" (valid: debug, info, "
+                                                "warn, error)");
+  return LogLevel::kInfo;
+}
+
+void apply_log_level_from_env() {
+  const char* env = std::getenv("QTDA_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  set_log_level(log_level_from_name(env));
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;

@@ -18,6 +18,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses a level name ("debug", "info", "warn", "error").  Throws
+/// qtda::Error naming the valid spellings on anything else.
+LogLevel log_level_from_name(const std::string& name);
+
+/// Applies QTDA_LOG_LEVEL from the environment when set, failing fast on a
+/// bad value (same contract as the QTDA_SIMULATOR-style overrides: a typo'd
+/// deployment dies loudly instead of running at the wrong verbosity).
+void apply_log_level_from_env();
+
 /// Writes one formatted line to stderr (thread-safe).
 void log_message(LogLevel level, const std::string& message);
 
@@ -44,4 +53,5 @@ class LogLine {
 #define QTDA_LOG(level) ::qtda::detail::LogLine(level)
 #define QTDA_INFO QTDA_LOG(::qtda::LogLevel::kInfo)
 #define QTDA_WARN QTDA_LOG(::qtda::LogLevel::kWarn)
+#define QTDA_ERROR QTDA_LOG(::qtda::LogLevel::kError)
 #define QTDA_DEBUG QTDA_LOG(::qtda::LogLevel::kDebug)

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "linalg/expm_multiply.hpp"
 #include "linalg/matrix_exp.hpp"
 #include "quantum/compiler.hpp"
@@ -143,6 +144,12 @@ void execute_plan_estimate(BettiEstimate& estimate, const ExecutionPlan& plan,
                            const QpeLayout& layout,
                            const EstimatorOptions& options, bool purify,
                            Rng& rng) {
+  // The whole shot-execution stage: state preparation, plan evolution(s)
+  // and sampling.  Per-op-kind time inside the evolutions lands in the
+  // exec.ns.* counters (see for_each_plan_op_accounted).
+  QTDA_SPAN("evolve");
+  QTDA_COUNTER_ADD("estimator.estimates", 1);
+  QTDA_COUNTER_ADD("estimator.shots", options.shots);
   const std::vector<std::size_t> measured = layout.precision_wires();
   const std::unique_ptr<SimulatorBackend> backend =
       make_simulator(options.simulator, plan.num_qubits(),
@@ -155,10 +162,16 @@ void execute_plan_estimate(BettiEstimate& estimate, const ExecutionPlan& plan,
   // of paying one trajectory per shot.
   const bool exact_channels = backend->exact_channels();
 
+  // Trajectory execution pays one plan walk per shot; exact channels and
+  // noiseless runs evolve once regardless of the shot count.
+  if (!options.noise.is_noiseless() && !exact_channels)
+    QTDA_COUNTER_ADD("estimator.trajectories", options.shots);
+
   if (purify) {
     if (options.noise.is_noiseless()) {
       backend->prepare_basis_state(0);
       backend->apply_plan(plan);
+      QTDA_SPAN("sample");
       estimate.zero_counts = backend->sample(measured, options.shots, rng)[0];
     } else if (exact_channels) {
       backend->prepare_basis_state(0);
@@ -343,6 +356,9 @@ BettiEstimate estimate_betti_from_laplacian(const RealMatrix& laplacian,
 
 CompiledEstimate compile_betti_estimate(const SparseMatrix& laplacian,
                                         const EstimatorOptions& options) {
+  // Covers padding/rescaling, the diagnostic eigensolve, circuit synthesis
+  // and plan compilation (compile_circuit nests its own "compile" span).
+  QTDA_SPAN("compile_estimate");
   QTDA_REQUIRE(options.backend == EstimatorBackend::kCircuitSparse ||
                    options.backend == EstimatorBackend::kCircuitTrotter,
                "compile_betti_estimate serves the plan-based circuit "
@@ -452,16 +468,22 @@ std::vector<BettiEstimate> estimate_betti_batch(
   const std::unique_ptr<SimulatorBackend> backend =
       make_simulator(first.simulator, compiled.plan->num_qubits(),
                      first.simulator_shards, first.precision);
-  backend->prepare_basis_state(0);
-  backend->apply_plan(*compiled.plan);
+  {
+    QTDA_SPAN("evolve");
+    backend->prepare_basis_state(0);
+    backend->apply_plan(*compiled.plan);
+  }
+  QTDA_COUNTER_ADD("estimator.estimates", requests.size());
 
   // ...then per-request sampling, each from its own seed exactly as the
   // serial path would (sampling reads the final probabilities and never
   // perturbs the register, so request order cannot leak between requests).
   const std::vector<std::size_t> measured = compiled.layout.precision_wires();
+  QTDA_SPAN("sample");
   std::vector<BettiEstimate> estimates;
   estimates.reserve(requests.size());
   for (const EstimatorOptions& options : requests) {
+    QTDA_COUNTER_ADD("estimator.shots", options.shots);
     BettiEstimate estimate;
     estimate.shots = options.shots;
     estimate.system_qubits = compiled.system_qubits;

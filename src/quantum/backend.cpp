@@ -6,6 +6,7 @@
 #include "common/cpu_features.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/executor.hpp"
 #include "quantum/noise.hpp"
 
 namespace qtda {
@@ -103,7 +104,7 @@ void SimulatorBackend::apply_plan(const ExecutionPlan& plan) {
   // demand, wide ones through the controlled-sub-diagonal split (the three
   // in-tree engines all override with native diagonal execution; this
   // keeps unknown future engines correct for every compiled plan).
-  for (const CompiledOp& op : plan.ops()) {
+  for_each_plan_op_accounted(plan, [&](const CompiledOp& op) {
     if (op.kind != CompiledOp::Kind::kDiagonal) {
       apply_gate(op.gate);
     } else if (op.diagonal.size() <= 256) {
@@ -111,7 +112,7 @@ void SimulatorBackend::apply_plan(const ExecutionPlan& plan) {
     } else {
       apply_wide_diagonal(*this, op);
     }
-  }
+  });
   if (plan.global_phase() != 0.0) apply_global_phase(plan.global_phase());
 }
 
@@ -262,7 +263,7 @@ void BasicShardedStatevectorBackend<Real>::apply_plan(
                "plan width " << plan.num_qubits()
                              << " does not match backend width "
                              << num_qubits());
-  for (const CompiledOp& op : plan.ops()) {
+  for_each_plan_op_accounted(plan, [&](const CompiledOp& op) {
     if (op.kind == CompiledOp::Kind::kDiagonal) {
       // Native slab-local diagonal — bit-identical to the dense engine's
       // diagonal kernel, no dense 2^m×2^m fallback.  The table is the
@@ -271,7 +272,7 @@ void BasicShardedStatevectorBackend<Real>::apply_plan(
     } else {
       state_.apply_gate(op.gate);
     }
-  }
+  });
   if (plan.global_phase() != 0.0) state_.apply_global_phase(plan.global_phase());
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/cpu_features.hpp"
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "linalg/matrix_ops.hpp"
 #include "quantum/register_layout.hpp"
 
@@ -474,8 +475,37 @@ std::string CompilerStats::to_string() const {
   return os.str();
 }
 
+namespace {
+
+/// Per-compilation fusion-decision counters, flushed once per
+/// compile_circuit call.
+void record_compile_telemetry(const CompilerStats& stats) {
+  if (!telemetry::enabled()) return;
+  static telemetry::Counter& compilations =
+      telemetry::registry().counter("compiler.compilations");
+  static telemetry::Counter& gates_before =
+      telemetry::registry().counter("compiler.gates_before");
+  static telemetry::Counter& gates_after =
+      telemetry::registry().counter("compiler.gates_after");
+  static telemetry::Counter& fused_blocks =
+      telemetry::registry().counter("compiler.fused_blocks");
+  static telemetry::Counter& diagonal_blocks =
+      telemetry::registry().counter("compiler.diagonal_blocks");
+  static telemetry::Counter& operator_gates =
+      telemetry::registry().counter("compiler.operator_gates");
+  compilations.add(1);
+  gates_before.add(stats.gates_before);
+  gates_after.add(stats.gates_after);
+  fused_blocks.add(stats.fused_blocks);
+  diagonal_blocks.add(stats.diagonal_blocks);
+  operator_gates.add(stats.operator_gates);
+}
+
+}  // namespace
+
 ExecutionPlan compile_circuit(const Circuit& circuit,
                               const CompilerOptions& options) {
+  QTDA_SPAN("compile");
   ExecutionPlan plan;
   plan.num_qubits_ = circuit.num_qubits();
   plan.global_phase_ = circuit.global_phase();
@@ -505,6 +535,7 @@ ExecutionPlan compile_circuit(const Circuit& circuit,
       plan.ops_.push_back(std::move(op));
     }
     plan.stats_.gates_after = plan.ops_.size();
+    record_compile_telemetry(plan.stats_);
     return plan;
   }
 
@@ -593,6 +624,7 @@ ExecutionPlan compile_circuit(const Circuit& circuit,
     plan.ops_.push_back(std::move(op));
   }
   plan.stats_.gates_after = plan.ops_.size();
+  record_compile_telemetry(plan.stats_);
   return plan;
 }
 

@@ -4,6 +4,47 @@
 
 namespace qtda {
 
+namespace plan_accounting {
+
+namespace {
+
+/// Counter pairs in CompiledOp::Kind enum order; resolved once, cached for
+/// the process lifetime (registry entries are never destroyed).
+struct KindCounters {
+  telemetry::Counter* ns[kNumKinds];
+  telemetry::Counter* ops[kNumKinds];
+};
+
+const KindCounters& kind_counters() {
+  static const KindCounters counters = [] {
+    static const char* const kKindNames[kNumKinds] = {
+        "single_qubit", "block", "diagonal", "operator"};
+    KindCounters out;
+    for (std::size_t k = 0; k < kNumKinds; ++k) {
+      out.ns[k] = &telemetry::registry().counter(std::string("exec.ns.") +
+                                                 kKindNames[k]);
+      out.ops[k] = &telemetry::registry().counter(std::string("exec.ops.") +
+                                                  kKindNames[k]);
+    }
+    return out;
+  }();
+  return counters;
+}
+
+}  // namespace
+
+void record(const std::array<std::uint64_t, kNumKinds>& ns,
+            const std::array<std::uint64_t, kNumKinds>& ops) {
+  const KindCounters& counters = kind_counters();
+  for (std::size_t k = 0; k < kNumKinds; ++k) {
+    if (ops[k] == 0) continue;
+    counters.ns[k]->add(ns[k]);
+    counters.ops[k]->add(ops[k]);
+  }
+}
+
+}  // namespace plan_accounting
+
 Statevector run_circuit(const Circuit& circuit) {
   Statevector state(circuit.num_qubits());
   state.apply_circuit(circuit);

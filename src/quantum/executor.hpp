@@ -1,16 +1,61 @@
 /// \file executor.hpp
-/// \brief Circuit execution and shot sampling (ideal and noisy).
+/// \brief Circuit execution and shot sampling (ideal and noisy), plus the
+/// telemetry-aware plan-op walk shared by every engine's apply_plan.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "common/random.hpp"
+#include "common/telemetry.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/compiler.hpp"
 #include "quantum/noise.hpp"
 #include "quantum/statevector.hpp"
 
 namespace qtda {
+
+namespace plan_accounting {
+
+/// One slot per CompiledOp::Kind (kSingleQubit, kBlock, kDiagonal,
+/// kOperator), in enum order.
+constexpr std::size_t kNumKinds = 4;
+
+/// Flushes one plan execution's per-kind op counts and nanoseconds into the
+/// exec.ops.* / exec.ns.* telemetry counters.  Called once per apply_plan
+/// (not per op), so the registry is touched O(1) times per evolution.
+void record(const std::array<std::uint64_t, kNumKinds>& ns,
+            const std::array<std::uint64_t, kNumKinds>& ops);
+
+}  // namespace plan_accounting
+
+/// Walks a plan's ops through \p fn.  With telemetry disabled this is the
+/// plain range-for every engine ran before instrumentation existed; with it
+/// enabled, each op is timed and the totals are flushed per kind.  The
+/// callback's arithmetic is identical either way — timing wraps the call,
+/// so bit-identity fingerprints cannot move.
+template <typename Fn>
+void for_each_plan_op_accounted(const ExecutionPlan& plan, Fn&& fn) {
+  if (!telemetry::enabled()) {
+    for (const CompiledOp& op : plan.ops()) fn(op);
+    return;
+  }
+  std::array<std::uint64_t, plan_accounting::kNumKinds> ns{};
+  std::array<std::uint64_t, plan_accounting::kNumKinds> ops{};
+  for (const CompiledOp& op : plan.ops()) {
+    const auto start = std::chrono::steady_clock::now();
+    fn(op);
+    const auto stop = std::chrono::steady_clock::now();
+    const auto kind = static_cast<std::size_t>(op.kind);
+    ns[kind] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    ops[kind] += 1;
+  }
+  plan_accounting::record(ns, ops);
+}
 
 /// Runs a circuit from |0…0⟩ and returns the final state.
 Statevector run_circuit(const Circuit& circuit);

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "quantum/executor.hpp"
 #include "quantum/register_layout.hpp"
 #include "quantum/simd_kernels.hpp"
 
@@ -483,7 +484,8 @@ void BasicStatevector<Real>::apply_plan(const ExecutionPlan& plan) {
                "plan width " << plan.num_qubits()
                              << " does not match state width " << num_qubits_);
   ExecutionScratch& scratch = plan.scratch();
-  for (const CompiledOp& op : plan.ops()) apply_plan_op(op, scratch);
+  for_each_plan_op_accounted(
+      plan, [&](const CompiledOp& op) { apply_plan_op(op, scratch); });
   if (plan.global_phase() != 0.0) apply_global_phase(plan.global_phase());
 }
 

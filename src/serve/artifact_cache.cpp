@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/telemetry.hpp"
 #include "quantum/precision.hpp"
 #include "topology/laplacian.hpp"
 #include "topology/rips.hpp"
@@ -9,6 +10,13 @@
 namespace qtda {
 
 namespace {
+
+/// Live hit/miss counters per cache level (the scrape-time numbers come
+/// from CacheStats; these let telemetry-only consumers watch the rates).
+void count_cache_access(telemetry::Counter& hits, telemetry::Counter& misses,
+                        bool hit) {
+  (hit ? hits : misses).add(1);
+}
 
 /// %.17g rendering — round-trips every finite double exactly, so two
 /// requests with bit-equal parameters always form the same key and two with
@@ -77,6 +85,7 @@ std::string ArtifactStore::plan_key(std::uint64_t complex_fingerprint, int k,
 ResolvedArtifacts ArtifactStore::resolve(const PointCloud& cloud,
                                          double epsilon, int k,
                                          const EstimatorOptions& options) {
+  QTDA_SPAN("resolve");
   ResolvedArtifacts resolved;
 
   const std::uint64_t cloud_fp = fingerprint_point_cloud(cloud);
@@ -92,6 +101,13 @@ ResolvedArtifacts ArtifactStore::resolve(const PointCloud& cloud,
         return {std::move(complex), bytes};
       },
       &resolved.complex_hit);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& hits =
+        telemetry::registry().counter("cache.complex.hits");
+    static telemetry::Counter& misses =
+        telemetry::registry().counter("cache.complex.misses");
+    count_cache_access(hits, misses, resolved.complex_hit);
+  }
   resolved.complex_fingerprint = fingerprint_complex(*resolved.complex);
 
   if (resolved.complex->count(k) == 0) return resolved;  // empty estimate
@@ -109,6 +125,13 @@ ResolvedArtifacts ArtifactStore::resolve(const PointCloud& cloud,
         return {std::move(laplacian), bytes};
       },
       &resolved.laplacian_hit);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& hits =
+        telemetry::registry().counter("cache.laplacian.hits");
+    static telemetry::Counter& misses =
+        telemetry::registry().counter("cache.laplacian.misses");
+    count_cache_access(hits, misses, resolved.laplacian_hit);
+  }
 
   if (options.backend != EstimatorBackend::kCircuitSparse &&
       options.backend != EstimatorBackend::kCircuitTrotter) {
@@ -126,6 +149,13 @@ ResolvedArtifacts ArtifactStore::resolve(const PointCloud& cloud,
         return {std::move(artifact), bytes};
       },
       &resolved.plan_hit);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& hits =
+        telemetry::registry().counter("cache.plan.hits");
+    static telemetry::Counter& misses =
+        telemetry::registry().counter("cache.plan.misses");
+    count_cache_access(hits, misses, resolved.plan_hit);
+  }
   return resolved;
 }
 

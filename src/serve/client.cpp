@@ -71,6 +71,39 @@ std::string ServeClient::stats() {
   }
 }
 
+MetricsReport ServeClient::metrics() {
+  QTDA_REQUIRE(connection_->write_line("metrics"), "connection closed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::optional<std::string> line = connection_->read_line();
+    QTDA_REQUIRE(line.has_value(), "connection closed awaiting metrics");
+    if (line->rfind("metrics ", 0) == 0)
+      return parse_metrics_json(line->substr(8));
+    parked_[id_of(*line)] = *line;
+  }
+}
+
+std::string ServeClient::metrics_prometheus() {
+  QTDA_REQUIRE(connection_->write_line("metrics format=prometheus"),
+               "connection closed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  for (;;) {
+    const std::optional<std::string> line = connection_->read_line();
+    QTDA_REQUIRE(line.has_value(), "connection closed awaiting metrics");
+    // Response lines to in-flight estimates may interleave with the scrape;
+    // they are whole lines, so park them and keep collecting metric lines.
+    if (line->rfind("ok ", 0) == 0 || line->rfind("error ", 0) == 0 ||
+        line->rfind("pong", 0) == 0 || line->rfind("stats ", 0) == 0) {
+      parked_[id_of(*line)] = *line;
+      continue;
+    }
+    text += *line;
+    text += '\n';
+    if (*line == "# EOF") return text;
+  }
+}
+
 void ServeClient::shutdown() {
   QTDA_REQUIRE(connection_->write_line("shutdown"), "connection closed");
   std::lock_guard<std::mutex> lock(mutex_);

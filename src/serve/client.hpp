@@ -14,6 +14,7 @@
 #include <mutex>
 #include <string>
 
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 
@@ -38,6 +39,13 @@ class ServeClient {
 
   /// Round-trips a `stats` command and returns the raw stats line.
   std::string stats();
+
+  /// Round-trips a `metrics` command and parses the JSON payload.
+  MetricsReport metrics();
+
+  /// Round-trips `metrics format=prometheus` and returns the raw text
+  /// exposition (including the terminating "# EOF" line).
+  std::string metrics_prometheus();
 
   /// Sends `shutdown` and waits for the acknowledgement.
   void shutdown();

@@ -1,0 +1,51 @@
+/// \file metrics.hpp
+/// \brief Metrics exposition for the serving layer.
+///
+/// The `metrics` protocol verb renders the process-wide telemetry registry
+/// plus the server's own counters (admission, caches, expm memo) in two
+/// forms:
+///
+///  * **JSON** — one line, `metrics {...}`, integers only (histograms ship
+///    their raw bucket counts, quantiles are computed client-side from the
+///    fixed bucket layout).  ServeClient::metrics() parses this into a
+///    MetricsReport.
+///  * **Prometheus text** — `metrics format=prometheus` answers a
+///    multi-line exposition (`qtda_`-prefixed, `.` → `_`) terminated by a
+///    literal `# EOF` line so it can be scraped through the line protocol
+///    with plain `socat`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/telemetry.hpp"
+
+namespace qtda {
+
+struct ServerStats;  // serve/server.hpp
+
+/// A parsed/collected metrics payload.  Maps keep rendering and comparison
+/// deterministic.
+struct MetricsReport {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, telemetry::HistogramSnapshot> histograms;
+};
+
+/// Snapshot of the telemetry registry merged with the server's stats (cache
+/// hits/misses/evictions/entries/bytes per level, admission counters).
+/// \p server_stats may be null (library-only consumers).
+MetricsReport collect_metrics(const ServerStats* server_stats);
+
+/// One-line JSON object (no newlines), the payload of `metrics `.
+std::string render_metrics_json(const MetricsReport& report);
+
+/// Inverse of render_metrics_json.  Throws qtda::Error on malformed input.
+MetricsReport parse_metrics_json(const std::string& json);
+
+/// Prometheus text exposition: # TYPE comments, qtda_ prefix, cumulative
+/// histogram _bucket{le=...}/_sum/_count series, final "# EOF" line.
+std::string render_prometheus(const MetricsReport& report);
+
+}  // namespace qtda

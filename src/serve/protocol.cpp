@@ -104,6 +104,7 @@ ServeCommand classify_request_line(const std::string& line) {
   const std::string verb = line.substr(0, space);
   if (verb == "estimate") return ServeCommand::kEstimate;
   if (verb == "stats") return ServeCommand::kStats;
+  if (verb == "metrics") return ServeCommand::kMetrics;
   if (verb == "ping") return ServeCommand::kPing;
   if (verb == "shutdown") return ServeCommand::kShutdown;
   QTDA_REQUIRE(false, "unknown request verb \"" << verb << '"');

@@ -13,6 +13,8 @@
 ///            mixed=purify simulator=statevector precision=float64
 ///            deadline_ms=0 points=0,0;1,0;0.5,0.87
 ///   stats
+///   metrics            (JSON telemetry payload on one line)
+///   metrics format=prometheus   (multi-line text ending with "# EOF")
 ///   ping
 ///   shutdown
 ///
@@ -59,7 +61,7 @@ struct EstimateResponse {
 };
 
 /// Non-estimate commands a server line can carry.
-enum class ServeCommand { kEstimate, kStats, kPing, kShutdown };
+enum class ServeCommand { kEstimate, kStats, kMetrics, kPing, kShutdown };
 
 /// Classifies a request line; kEstimate lines still need parse_request.
 ServeCommand classify_request_line(const std::string& line);

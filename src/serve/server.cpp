@@ -4,10 +4,45 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "quantum/precision.hpp"
+#include "serve/metrics.hpp"
 
 namespace qtda {
+
+namespace {
+
+/// Serve-side histograms, resolved once (registry entries are immortal).
+struct ServeHistograms {
+  telemetry::Histogram& queue_wait =
+      telemetry::registry().histogram("serve.queue_wait_ns");
+  telemetry::Histogram& batch_size =
+      telemetry::registry().histogram("serve.batch_size");
+  telemetry::Histogram& request_latency =
+      telemetry::registry().histogram("serve.request_ns");
+};
+
+ServeHistograms& serve_histograms() {
+  static ServeHistograms histograms;
+  return histograms;
+}
+
+telemetry::Gauge& queue_depth_gauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::registry().gauge("serve.queue_depth");
+  return gauge;
+}
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 BettiServer::BettiServer(const ServerOptions& options)
     : options_(options), store_(options.cache) {
@@ -18,6 +53,7 @@ BettiServer::~BettiServer() { stop(); }
 
 void BettiServer::start(Transport& transport) {
   QTDA_REQUIRE(transport_ == nullptr, "server already started");
+  if (options_.telemetry) telemetry::set_enabled(true);
   transport_ = &transport;
   completion_thread_ = std::thread([this] { completion_loop(); });
   for (std::size_t i = 0; i < options_.workers; ++i)
@@ -94,6 +130,18 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
         case ServeCommand::kStats:
           connection->write_line(stats_line());
           break;
+        case ServeCommand::kMetrics:
+          if (line->find("format=prometheus") != std::string::npos) {
+            // Multi-line exposition: each line is one protocol frame; the
+            // "# EOF" terminator tells the scraper when to stop reading.
+            std::istringstream text(metrics_prometheus_text());
+            std::string metric_line;
+            while (std::getline(text, metric_line))
+              connection->write_line(metric_line);
+          } else {
+            connection->write_line("metrics " + metrics_json_line());
+          }
+          break;
         case ServeCommand::kShutdown:
           connection->write_line("ok id=shutdown");
           request_stop();
@@ -126,6 +174,7 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
         }
       }
     } catch (const std::exception& error) {
+      QTDA_ERROR << "protocol error: " << error.what();
       EstimateResponse malformed;
       malformed.error = error.what();
       connection->write_line(format_response(malformed));
@@ -134,6 +183,8 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
 }
 
 void BettiServer::admit(Pending pending) {
+  pending.admitted_at = std::chrono::steady_clock::now();
+  if (telemetry::enabled()) queue_depth_gauge().add(1);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push_back(std::move(pending));
@@ -168,6 +219,11 @@ void BettiServer::worker_loop() {
           }
         }
       }
+    }
+    if (telemetry::enabled()) {
+      queue_depth_gauge().add(-static_cast<std::int64_t>(batch.size()));
+      for (const Pending& pending : batch)
+        serve_histograms().queue_wait.record(ns_since(pending.admitted_at));
     }
     active_executions_.fetch_add(1);
     execute_batch(std::move(batch));
@@ -293,9 +349,21 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
   }
   if (live.empty()) return;
 
+  QTDA_SPAN("request");
+  // End-to-end latency is measured at response formatting (the completion
+  // writer only relays), so a scrape never sees a served request missing
+  // from the histogram that a client already heard back about.
+  const auto finish = [this](const Pending& pending, std::string line) {
+    if (telemetry::enabled())
+      serve_histograms().request_latency.record(ns_since(pending.admitted_at));
+    complete(pending.connection, std::move(line));
+  };
+  if (telemetry::enabled())
+    serve_histograms().batch_size.record(live.size());
+
   if (live.size() == 1) {
     EstimateResponse response = execute_single(live.front().request);
-    complete(live.front().connection, format_response(response));
+    finish(live.front(), format_response(response));
     return;
   }
 
@@ -312,7 +380,7 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
       for (const Pending& pending : live) {
         EstimateResponse response = execute_single(pending.request);
         response.batch_size = 1;
-        complete(pending.connection, format_response(response));
+        finish(pending, format_response(response));
       }
       return;
     }
@@ -340,7 +408,7 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
       response.laplacian_hit = artifacts.laplacian_hit;
       response.plan_hit = artifacts.plan_hit;
       response.batch_size = live.size();
-      complete(live[i].connection, format_response(response));
+      finish(live[i], format_response(response));
     }
   } catch (const std::exception& error) {
     for (const Pending& pending : live) {
@@ -348,7 +416,7 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
       failed.id = pending.request.id;
       failed.error = error.what();
       errors_.fetch_add(1);
-      complete(pending.connection, format_response(failed));
+      finish(pending, format_response(failed));
     }
   }
 }
@@ -391,6 +459,16 @@ std::string BettiServer::stats_line() const {
       << " expm_evictions=" << stats.expm.evictions
       << " expm_entries=" << stats.expm.entries;
   return out.str();
+}
+
+std::string BettiServer::metrics_json_line() const {
+  const ServerStats stats = this->stats();
+  return render_metrics_json(collect_metrics(&stats));
+}
+
+std::string BettiServer::metrics_prometheus_text() const {
+  const ServerStats stats = this->stats();
+  return render_prometheus(collect_metrics(&stats));
 }
 
 }  // namespace qtda

@@ -48,6 +48,10 @@ struct ServerOptions {
                             ///< parallel; more workers mainly help batching
                             ///< overlap compilation with execution)
   bool batching = true;     ///< coalesce identical-plan requests
+  bool telemetry = true;    ///< enable the process-wide telemetry registry
+                            ///< on start() (a served process wants its
+                            ///< metrics verb populated; the overhead is one
+                            ///< relaxed atomic per span plus clock reads)
 };
 
 /// A stats snapshot (the `stats` protocol command renders this).
@@ -104,6 +108,8 @@ class BettiServer {
     bool batchable = false;
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
+    std::chrono::steady_clock::time_point admitted_at{};  ///< queue-wait /
+                                                          ///< latency origin
   };
 
   void acceptor_loop(Transport* transport);
@@ -119,6 +125,8 @@ class BettiServer {
   void execute_batch(std::vector<Pending> batch);
   std::size_t clamped_shards(const EstimatorOptions& options) const;
   std::string stats_line() const;
+  std::string metrics_json_line() const;
+  std::string metrics_prometheus_text() const;
 
   ServerOptions options_;
   ArtifactStore store_;

@@ -5,12 +5,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace qtda {
 
@@ -222,7 +224,12 @@ std::shared_ptr<Connection> UnixSocketTransport::accept() {
     const int ready = ::poll(&poller, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (!stopping_.load())
+        QTDA_ERROR << "accept() failed on " << path_ << ": "
+                   << std::strerror(errno);
+      continue;
+    }
     return std::make_shared<FdConnection>(fd);
   }
   return nullptr;

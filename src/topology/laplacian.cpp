@@ -1,6 +1,7 @@
 #include "topology/laplacian.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "topology/boundary.hpp"
 
 namespace qtda {
@@ -23,6 +24,7 @@ SparseMatrix sparse_up_laplacian(const SimplicialComplex& complex, int k) {
 
 SparseMatrix sparse_combinatorial_laplacian(const SimplicialComplex& complex,
                                             int k) {
+  QTDA_SPAN("laplacian_assembly");
   return sparse_add(sparse_down_laplacian(complex, k),
                     sparse_up_laplacian(complex, k));
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace qtda {
 
@@ -108,12 +109,14 @@ SimplicialComplex flag_complex(const NeighborhoodGraph& graph,
 
 SimplicialComplex rips_complex(const PointCloud& cloud, double epsilon,
                                int max_dimension) {
+  QTDA_SPAN("rips_build");
   return flag_complex(NeighborhoodGraph::from_point_cloud(cloud, epsilon),
                       max_dimension);
 }
 
 SimplicialComplex rips_complex(const RealMatrix& distances, double epsilon,
                                int max_dimension) {
+  QTDA_SPAN("rips_build");
   return flag_complex(
       NeighborhoodGraph::from_distance_matrix(distances, epsilon),
       max_dimension);
