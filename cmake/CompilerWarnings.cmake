@@ -9,6 +9,13 @@ if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     -Wextra
     -Wpedantic
     -Wshadow)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # Static lock-discipline checking against the QTDA_GUARDED_BY /
+    # QTDA_REQUIRES annotations in common/thread_annotations.hpp.  Clang
+    # only — GCC accepts the attributes as no-ops — so the clang CI leg
+    # (QTDA_WERROR=ON) is the gate that fails the build on a violation.
+    target_compile_options(qtda_warnings INTERFACE -Wthread-safety)
+  endif()
   if(QTDA_WERROR)
     target_compile_options(qtda_warnings INTERFACE -Werror)
   endif()

@@ -1,0 +1,39 @@
+# Header self-containment sweep: compiles every src/**/*.hpp as its own
+# translation unit, so each header must include everything it uses.  PR 1
+# ran this check by hand once; QTDA_CHECK_HEADERS=ON turns it into a build
+# target that CI runs on every push, so new headers cannot regress.
+#
+# Each header gets a one-line generated TU (#include "<header>") compiled
+# into an object library that nothing links — the compile itself is the
+# check.  The generated TUs are written only when missing or stale, so
+# reconfiguring does not force a rebuild of the whole sweep.
+if(NOT QTDA_CHECK_HEADERS)
+  return()
+endif()
+
+file(GLOB_RECURSE _qtda_check_headers
+  RELATIVE ${PROJECT_SOURCE_DIR}/src
+  CONFIGURE_DEPENDS
+  ${PROJECT_SOURCE_DIR}/src/*.hpp)
+
+set(_qtda_header_tus "")
+foreach(_header IN LISTS _qtda_check_headers)
+  string(MAKE_C_IDENTIFIER "${_header}" _id)
+  set(_tu ${CMAKE_BINARY_DIR}/header_selfcheck/${_id}.cpp)
+  set(_content "#include \"${_header}\"\n")
+  if(EXISTS ${_tu})
+    file(READ ${_tu} _existing)
+  else()
+    set(_existing "")
+  endif()
+  if(NOT _existing STREQUAL _content)
+    file(WRITE ${_tu} "${_content}")
+  endif()
+  list(APPEND _qtda_header_tus ${_tu})
+endforeach()
+
+add_library(qtda_header_selfcheck OBJECT ${_qtda_header_tus})
+target_include_directories(qtda_header_selfcheck
+  PRIVATE ${PROJECT_SOURCE_DIR}/src)
+target_link_libraries(qtda_header_selfcheck
+  PRIVATE Threads::Threads qtda_warnings qtda_sanitizers)

@@ -1,19 +1,61 @@
-# Defines qtda_sanitizers, an interface target carrying ASan+UBSan
-# instrumentation when QTDA_SANITIZE=ON (empty otherwise).  Kept separate from
+# Defines qtda_sanitizers, an interface target carrying sanitizer
+# instrumentation selected by QTDA_SANITIZE.  Kept separate from
 # qtda_warnings so diagnostics and instrumentation stay independently
-# composable; intended for Debug builds, and the CI sanitizer job runs the
-# whole test suite under it.
+# composable; intended for Debug/RelWithDebInfo builds, and the CI sanitizer
+# jobs run the whole test suite under it.
+#
+# Accepted values (case-insensitive), validated fail-fast like the
+# make_simulator-style runtime overrides — a typo'd CI matrix entry dies at
+# configure time instead of silently building uninstrumented:
+#
+#   OFF (default)   no instrumentation
+#   ON | address    AddressSanitizer + UndefinedBehaviorSanitizer
+#                   ("ON" is the historical boolean spelling)
+#   thread | tsan   ThreadSanitizer
+#
+# ASan and TSan are mutually exclusive instrumentations (each claims its own
+# shadow-memory mapping of the address space); asking for both is a
+# configure-time error rather than a link-time surprise.
 add_library(qtda_sanitizers INTERFACE)
 
-if(QTDA_SANITIZE)
-  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
-    target_compile_options(qtda_sanitizers INTERFACE
-      -fsanitize=address,undefined
-      -fno-omit-frame-pointer
-      -fno-sanitize-recover=all)
-    target_link_options(qtda_sanitizers INTERFACE
-      -fsanitize=address,undefined)
-  else()
-    message(WARNING "QTDA_SANITIZE is only supported with GCC/Clang")
-  endif()
+if(NOT QTDA_SANITIZE)
+  return()  # OFF / 0 / empty: nothing to instrument
 endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(WARNING "QTDA_SANITIZE is only supported with GCC/Clang")
+  return()
+endif()
+
+string(TOLOWER "${QTDA_SANITIZE}" _qtda_sanitize)
+string(REPLACE "," ";" _qtda_sanitize "${_qtda_sanitize}")
+
+list(LENGTH _qtda_sanitize _qtda_sanitize_count)
+if(_qtda_sanitize_count GREATER 1)
+  if(("address" IN_LIST _qtda_sanitize OR "on" IN_LIST _qtda_sanitize)
+     AND ("thread" IN_LIST _qtda_sanitize OR "tsan" IN_LIST _qtda_sanitize))
+    message(FATAL_ERROR
+      "QTDA_SANITIZE=\"${QTDA_SANITIZE}\": AddressSanitizer and "
+      "ThreadSanitizer are mutually exclusive instrumentations — configure "
+      "two build trees (e.g. the 'asan' and 'tsan' presets) instead.")
+  endif()
+  message(FATAL_ERROR
+    "QTDA_SANITIZE=\"${QTDA_SANITIZE}\": expected a single value "
+    "(OFF, ON/address, thread).")
+endif()
+
+if(_qtda_sanitize MATCHES "^(on|true|yes|1|address|asan)$")
+  set(_qtda_sanitize_flags -fsanitize=address,undefined)
+elseif(_qtda_sanitize MATCHES "^(thread|tsan)$")
+  set(_qtda_sanitize_flags -fsanitize=thread)
+else()
+  message(FATAL_ERROR
+    "unknown QTDA_SANITIZE value \"${QTDA_SANITIZE}\" "
+    "(valid: OFF, ON/address, thread)")
+endif()
+
+target_compile_options(qtda_sanitizers INTERFACE
+  ${_qtda_sanitize_flags}
+  -fno-omit-frame-pointer
+  -fno-sanitize-recover=all)
+target_link_options(qtda_sanitizers INTERFACE ${_qtda_sanitize_flags})

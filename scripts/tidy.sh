@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources using the compile database the build exports.
+#
+# Usage: scripts/tidy.sh [build-dir] [file...]
+#   build-dir  defaults to build/ (must contain compile_commands.json;
+#              every preset configures with CMAKE_EXPORT_COMPILE_COMMANDS)
+#   file...    optional subset of sources; defaults to all src/**/*.cpp
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy.sh: '$TIDY' not found on PATH." >&2
+  echo "tidy.sh: install clang-tidy (apt: clang-tidy) or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+BUILD_DIR="build"
+if [ "$#" -gt 0 ] && [ -d "$1" ]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "tidy.sh: configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  FILES="$*"
+else
+  FILES=$(find src -name '*.cpp' | sort)
+fi
+
+# shellcheck disable=SC2086  # word-splitting FILES is intended
+"$TIDY" -p "$BUILD_DIR" --quiet $FILES
+echo "tidy.sh: clean"

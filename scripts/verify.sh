@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verify, exactly as ROADMAP.md specifies it, from a clean tree.
+# Tier-1 verify, exactly as ROADMAP.md specifies it, from a clean tree,
+# preceded by the project lint (fast, catches invariant drift before the
+# ~minutes-long build).
 # Usage: scripts/verify.sh
 set -eu
 
 cd "$(dirname "$0")/.."
+python3 scripts/lint.py --self-test
 rm -rf build
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -3,16 +3,18 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace qtda {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_write_mutex;
+/// Serializes the fprintf below so concurrent log lines never interleave
+/// mid-line; stderr itself is the only state it guards.
+Mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -53,7 +55,7 @@ void apply_log_level_from_env() {
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[qtda %-5s] %s\n", level_name(level), message.c_str());
 }
 

@@ -12,6 +12,17 @@ namespace {
 /// other (possibly all-blocked) workers can run — a deadlock.  Nested calls
 /// therefore degrade to serial execution.
 thread_local bool t_inside_pool_worker = false;
+
+/// Stack-allocated completion latch shared between a barrier caller and its
+/// submitted tasks.  One mutex guards both the counter and the first error:
+/// every task takes it exactly once on exit, and folding the error under the
+/// same lock removes a second mutex without adding contention.
+struct CompletionBarrier {
+  Mutex mutex;
+  CondVar done_cv;
+  std::size_t done QTDA_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error QTDA_GUARDED_BY(mutex);
+};
 }  // namespace
 
 std::size_t hardware_concurrency() {
@@ -29,7 +40,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -38,7 +49,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     QTDA_REQUIRE(!shutting_down_, "submit() on a shutting-down pool");
     tasks_.push(std::move(task));
     ++in_flight_;
@@ -47,8 +58,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
@@ -56,19 +67,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.wait(mutex_);
+      if (tasks_.empty()) return;  // shutting down and fully drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -82,29 +89,31 @@ void ThreadPool::run_batch(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  // The completion counter must be incremented under done_mutex: the caller
-  // may only observe done == count via the same lock the last worker holds
-  // while notifying, otherwise it could return and destroy these stack
-  // locals while that worker still touches them.
-  std::size_t done = 0;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // The completion counter must be incremented under barrier.mutex: the
+  // caller may only observe done == count via the same lock the last worker
+  // holds while notifying, otherwise it could return and destroy the
+  // barrier stack local while that worker still touches it.
+  CompletionBarrier barrier;
   for (std::size_t i = 0; i < count; ++i) {
     submit([&, i] {
+      std::exception_ptr error;
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (++done == count) done_cv.notify_all();
+      MutexLock lock(barrier.mutex);
+      if (error != nullptr && barrier.first_error == nullptr)
+        barrier.first_error = error;
+      if (++barrier.done == count) barrier.done_cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == count; });
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(barrier.mutex);
+    while (barrier.done != count) barrier.done_cv.wait(barrier.mutex);
+    first_error = barrier.first_error;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -128,30 +137,32 @@ void parallel_for_chunked(
   const std::size_t chunks = std::min(workers, n);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   const std::size_t launched = (n + chunk - 1) / chunk;
-  // Counter under done_mutex, as in ThreadPool::run_batch: the caller must
-  // not be able to observe completion and destroy these stack locals while
-  // the last worker is still between its increment and its notify.
-  std::size_t done = 0;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Counter under barrier.mutex, as in ThreadPool::run_batch: the caller
+  // must not be able to observe completion and destroy the barrier stack
+  // local while the last worker is still between its increment and notify.
+  CompletionBarrier barrier;
   for (std::size_t c = 0; c < launched; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     pool.submit([&, lo, hi] {
+      std::exception_ptr error;
       try {
         body(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (++done == launched) done_cv.notify_all();
+      MutexLock lock(barrier.mutex);
+      if (error != nullptr && barrier.first_error == nullptr)
+        barrier.first_error = error;
+      if (++barrier.done == launched) barrier.done_cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == launched; });
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(barrier.mutex);
+    while (barrier.done != launched) barrier.done_cv.wait(barrier.mutex);
+    first_error = barrier.first_error;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -176,14 +187,14 @@ double parallel_reduce_sum(std::size_t begin, std::size_t end,
                            const std::function<double(std::size_t)>& body,
                            std::size_t min_parallel_size) {
   if (begin >= end) return 0.0;
-  std::mutex sum_mutex;
+  Mutex sum_mutex;
   double total = 0.0;
   parallel_for_chunked(
       begin, end,
       [&](std::size_t lo, std::size_t hi) {
         double local = 0.0;
         for (std::size_t i = lo; i < hi; ++i) local += body(i);
-        std::lock_guard<std::mutex> lock(sum_mutex);
+        MutexLock lock(sum_mutex);
         total += local;
       },
       min_parallel_size);

@@ -10,13 +10,13 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace qtda {
 
@@ -58,12 +58,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ QTDA_GUARDED_BY(mutex_);
+  std::size_t in_flight_ QTDA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ QTDA_GUARDED_BY(mutex_) = false;
 };
 
 /// Fair-share split of the shared pool among \p active_requests concurrent

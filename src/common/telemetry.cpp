@@ -5,10 +5,10 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace qtda {
 namespace telemetry {
@@ -19,16 +19,23 @@ std::atomic<int> g_enabled_state{-1};
 
 namespace {
 
-std::mutex g_init_mutex;
-std::string g_trace_path;  // set once by env init, read by the atexit hook
+Mutex g_init_mutex;
+/// Set once by env init, read by the atexit hook.
+std::string g_trace_path QTDA_GUARDED_BY(g_init_mutex);
 
-std::mutex g_trace_registry_mutex;
-std::vector<std::shared_ptr<ThreadTrace>> g_thread_traces;
+Mutex g_trace_registry_mutex;
+std::vector<std::shared_ptr<ThreadTrace>> g_thread_traces
+    QTDA_GUARDED_BY(g_trace_registry_mutex);
 std::atomic<std::uint32_t> g_next_thread_id{0};
 std::atomic<bool> g_trace_active{false};
 
 void write_trace_at_exit() {
-  if (!g_trace_path.empty()) write_chrome_trace(g_trace_path);
+  std::string path;
+  {
+    MutexLock lock(g_init_mutex);
+    path = g_trace_path;
+  }
+  if (!path.empty()) write_chrome_trace(path);
 }
 
 }  // namespace
@@ -43,7 +50,7 @@ std::uint64_t now_ns() {
 }
 
 bool enabled_slow() {
-  std::lock_guard<std::mutex> lock(g_init_mutex);
+  MutexLock lock(g_init_mutex);
   const int state = g_enabled_state.load(std::memory_order_relaxed);
   if (state >= 0) return state > 0;  // raced with another initializer
   int value = 0;
@@ -68,7 +75,7 @@ bool enabled_slow() {
 ThreadTrace& thread_trace() {
   thread_local std::shared_ptr<ThreadTrace> trace = [] {
     auto owned = std::make_shared<ThreadTrace>();
-    std::lock_guard<std::mutex> lock(g_trace_registry_mutex);
+    MutexLock lock(g_trace_registry_mutex);
     owned->id = g_next_thread_id.fetch_add(1);
     g_thread_traces.push_back(owned);
     return owned;
@@ -182,13 +189,14 @@ double HistogramSnapshot::quantile(double q) const {
 }
 
 struct Registry::Impl {
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   // Entries are heap-allocated and never freed: the macros cache references
   // for the process lifetime, and metrics must survive static destruction
-  // order (the atexit trace writer may still run spans).
-  std::map<std::string, Counter*> counters;
-  std::map<std::string, Gauge*> gauges;
-  std::map<std::string, Histogram*> histograms;
+  // order (the atexit trace writer may still run spans).  The mutex guards
+  // the maps; the pointed-to metrics are internally synchronized atomics.
+  std::map<std::string, Counter*> counters QTDA_GUARDED_BY(mutex);
+  std::map<std::string, Gauge*> gauges QTDA_GUARDED_BY(mutex);
+  std::map<std::string, Histogram*> histograms QTDA_GUARDED_BY(mutex);
 };
 
 Registry::Impl& Registry::impl() const {
@@ -198,7 +206,7 @@ Registry::Impl& Registry::impl() const {
 
 Counter& Registry::counter(const std::string& name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   Counter*& entry = state.counters[name];
   if (entry == nullptr) entry = new Counter();
   return *entry;
@@ -206,7 +214,7 @@ Counter& Registry::counter(const std::string& name) {
 
 Gauge& Registry::gauge(const std::string& name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   Gauge*& entry = state.gauges[name];
   if (entry == nullptr) entry = new Gauge();
   return *entry;
@@ -214,7 +222,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   Histogram*& entry = state.histograms[name];
   if (entry == nullptr) entry = new Histogram();
   return *entry;
@@ -222,7 +230,7 @@ Histogram& Registry::histogram(const std::string& name) {
 
 MetricsSnapshot Registry::snapshot() const {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   MetricsSnapshot out;
   for (const auto& [name, counter] : state.counters)
     out.counters.emplace_back(name, counter->value());
@@ -235,7 +243,7 @@ MetricsSnapshot Registry::snapshot() const {
 
 void Registry::reset_values() {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   for (const auto& [name, counter] : state.counters) counter->reset();
   for (const auto& [name, gauge] : state.gauges) gauge->reset();
   for (const auto& [name, histogram] : state.histograms) histogram->reset();
@@ -256,7 +264,7 @@ std::vector<TraceEvent> stop_trace() {
   detail::g_trace_active.store(false);
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(detail::g_trace_registry_mutex);
+    MutexLock lock(detail::g_trace_registry_mutex);
     for (const auto& trace : detail::g_thread_traces) {
       events.insert(events.end(), trace->events.begin(), trace->events.end());
       trace->events.clear();

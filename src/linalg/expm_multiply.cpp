@@ -3,11 +3,11 @@
 #include <cmath>
 #include <list>
 #include <map>
-#include <mutex>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 #include "quantum/simd_kernels.hpp"
 
 namespace qtda {
@@ -72,7 +72,7 @@ class ExpmCoefficientCache {
   Value get(double z, double phi, double tolerance) {
     const Key key{z, phi, tolerance};
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = index_.find(key);
       if (it != index_.end()) {
         ++stats_.hits;
@@ -86,7 +86,7 @@ class ExpmCoefficientCache {
     // wins and both callers get a valid vector.
     auto computed = std::make_shared<const std::vector<std::complex<double>>>(
         exp_coefficients(z, phi, tolerance));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -103,14 +103,14 @@ class ExpmCoefficientCache {
   }
 
   ExpmCoefficientCacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ExpmCoefficientCacheStats out = stats_;
     out.entries = lru_.size();
     return out;
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     lru_.clear();
     index_.clear();
     stats_ = ExpmCoefficientCacheStats{};
@@ -119,10 +119,12 @@ class ExpmCoefficientCache {
  private:
   static constexpr std::size_t kMaxEntries = 512;
 
-  mutable std::mutex mutex_;
-  std::list<std::pair<Key, Value>> lru_;  ///< front = most recently used
-  std::map<Key, std::list<std::pair<Key, Value>>::iterator> index_;
-  ExpmCoefficientCacheStats stats_;
+  mutable Mutex mutex_;
+  /// front = most recently used
+  std::list<std::pair<Key, Value>> lru_ QTDA_GUARDED_BY(mutex_);
+  std::map<Key, std::list<std::pair<Key, Value>>::iterator> index_
+      QTDA_GUARDED_BY(mutex_);
+  ExpmCoefficientCacheStats stats_ QTDA_GUARDED_BY(mutex_);
 };
 
 std::shared_ptr<const std::vector<std::complex<double>>>

@@ -41,6 +41,7 @@ inline constexpr std::uint64_t kStatevectorParallelThreshold = 1ULL << 17;
 /// Widens an amplitude to the double boundary type (identity for double —
 /// the double engine's reductions are source-identical to the historical
 /// ones; the float engine widens per element and accumulates in double).
+/// These overloads ARE the precision boundary.  qtda-lint: allow(complex-scalar)
 inline Amplitude widen(const std::complex<double>& a) { return a; }
 inline Amplitude widen(const std::complex<float>& a) {
   return Amplitude{static_cast<double>(a.real()),
@@ -50,6 +51,7 @@ inline Amplitude widen(const std::complex<float>& a) {
 /// |a|² accumulated at the double boundary: std::norm for double (the
 /// historical expression), widen-then-square for float so probabilities
 /// lose no precision beyond what the float amplitudes already lost.
+/// Boundary overload, not a pinned scalar.  qtda-lint: allow(complex-scalar)
 inline double norm_sq_as_double(const std::complex<double>& a) {
   return std::norm(a);
 }

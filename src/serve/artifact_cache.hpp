@@ -25,11 +25,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/betti_estimator.hpp"
 #include "serve/fingerprint.hpp"
 #include "topology/point_cloud.hpp"
@@ -73,7 +73,7 @@ class ShardedLruCache {
       const std::string& key, const std::function<Sized()>& factory,
       bool* hit = nullptr) {
     Shard& shard = shards_[shard_of(key)];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       ++shard.stats.hits;
@@ -101,7 +101,7 @@ class ShardedLruCache {
   CacheStats stats() const {
     CacheStats total;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       total.hits += shard.stats.hits;
       total.misses += shard.stats.misses;
       total.evictions += shard.stats.evictions;
@@ -113,7 +113,7 @@ class ShardedLruCache {
 
   void clear() {
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       shard.lru.clear();
       shard.index.clear();
       shard.stats = CacheStats{};
@@ -122,12 +122,13 @@ class ShardedLruCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<std::pair<std::string, Sized>> lru;  ///< front = hottest
+    mutable Mutex mutex;
+    /// front = hottest
+    std::list<std::pair<std::string, Sized>> lru QTDA_GUARDED_BY(mutex);
     std::map<std::string, typename std::list<std::pair<std::string, Sized>>::
                               iterator>
-        index;
-    CacheStats stats;
+        index QTDA_GUARDED_BY(mutex);
+    CacheStats stats QTDA_GUARDED_BY(mutex);
   };
 
   std::size_t shard_of(const std::string& key) const {
@@ -142,7 +143,7 @@ class ShardedLruCache {
 /// its plan (the plan's scratch arena is shared mutable state).
 struct PlanArtifact {
   CompiledEstimate compiled;
-  mutable std::mutex exec_mutex;
+  mutable Mutex exec_mutex;
 
   std::size_t memory_bytes() const { return compiled.memory_bytes(); }
 };

@@ -26,7 +26,7 @@ ServeClient::ServeClient(std::shared_ptr<Connection> connection)
 
 std::string ServeClient::send(EstimateRequest request) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (request.id.empty()) request.id = "r" + std::to_string(next_id_++);
   }
   QTDA_REQUIRE(connection_->write_line(format_request(request)),
@@ -35,7 +35,7 @@ std::string ServeClient::send(EstimateRequest request) {
 }
 
 std::string ServeClient::read_matching(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto parked = parked_.find(id);
   if (parked != parked_.end()) {
     std::string line = std::move(parked->second);
@@ -62,7 +62,7 @@ EstimateResponse ServeClient::estimate(EstimateRequest request) {
 
 std::string ServeClient::stats() {
   QTDA_REQUIRE(connection_->write_line("stats"), "connection closed");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     const std::optional<std::string> line = connection_->read_line();
     QTDA_REQUIRE(line.has_value(), "connection closed awaiting stats");
@@ -73,7 +73,7 @@ std::string ServeClient::stats() {
 
 MetricsReport ServeClient::metrics() {
   QTDA_REQUIRE(connection_->write_line("metrics"), "connection closed");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     const std::optional<std::string> line = connection_->read_line();
     QTDA_REQUIRE(line.has_value(), "connection closed awaiting metrics");
@@ -86,7 +86,7 @@ MetricsReport ServeClient::metrics() {
 std::string ServeClient::metrics_prometheus() {
   QTDA_REQUIRE(connection_->write_line("metrics format=prometheus"),
                "connection closed");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string text;
   for (;;) {
     const std::optional<std::string> line = connection_->read_line();
@@ -106,7 +106,7 @@ std::string ServeClient::metrics_prometheus() {
 
 void ServeClient::shutdown() {
   QTDA_REQUIRE(connection_->write_line("shutdown"), "connection closed");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     const std::optional<std::string> line = connection_->read_line();
     if (!line.has_value()) return;  // server closed first — fine

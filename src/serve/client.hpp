@@ -11,9 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
@@ -56,9 +56,10 @@ class ServeClient {
   std::string read_matching(const std::string& id);
 
   std::shared_ptr<Connection> connection_;
-  std::mutex mutex_;  ///< guards id counter, parked responses, reads
-  std::uint64_t next_id_ = 1;
-  std::map<std::string, std::string> parked_;  ///< id → raw response line
+  Mutex mutex_;  ///< guards id counter, parked responses, reads
+  std::uint64_t next_id_ QTDA_GUARDED_BY(mutex_) = 1;
+  /// id → raw response line
+  std::map<std::string, std::string> parked_ QTDA_GUARDED_BY(mutex_);
 };
 
 }  // namespace qtda

@@ -63,7 +63,7 @@ void BettiServer::start(Transport& transport) {
 
 void BettiServer::request_stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     stopping_.store(true);
   }
   stop_requested_.notify_all();
@@ -73,8 +73,8 @@ void BettiServer::request_stop() {
 }
 
 void BettiServer::wait() {
-  std::unique_lock<std::mutex> lock(stop_mutex_);
-  stop_requested_.wait(lock, [this] { return stopping_.load(); });
+  MutexLock lock(stop_mutex_);
+  while (!stopping_.load()) stop_requested_.wait(stop_mutex_);
 }
 
 void BettiServer::stop() {
@@ -84,13 +84,13 @@ void BettiServer::stop() {
   // admission queue still holds whatever those readers admitted — workers
   // drain it below before exiting (graceful: admitted work completes).
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     for (const auto& weak : connections_)
       if (auto connection = weak.lock()) connection->close();
   }
   if (acceptor_thread_.joinable()) acceptor_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     for (std::thread& reader : reader_threads_)
       if (reader.joinable()) reader.join();
   }
@@ -108,10 +108,10 @@ void BettiServer::acceptor_loop(Transport* transport) {
     std::shared_ptr<Connection> connection = transport->accept();
     if (connection == nullptr) break;
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       connections_.push_back(connection);
     }
-    std::lock_guard<std::mutex> lock(threads_mutex_);
+    MutexLock lock(threads_mutex_);
     reader_threads_.emplace_back(
         [this, connection] { reader_loop(connection); });
   }
@@ -186,7 +186,7 @@ void BettiServer::admit(Pending pending) {
   pending.admitted_at = std::chrono::steady_clock::now();
   if (telemetry::enabled()) queue_depth_gauge().add(1);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     queue_.push_back(std::move(pending));
   }
   admitted_.fetch_add(1);
@@ -197,13 +197,9 @@ void BettiServer::worker_loop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_ready_.wait(
-          lock, [this] { return stopping_.load() || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_.load()) return;  // drained: graceful exit
-        continue;
-      }
+      MutexLock lock(queue_mutex_);
+      while (!stopping_.load() && queue_.empty()) queue_ready_.wait(queue_mutex_);
+      if (queue_.empty()) return;  // stopping and drained: graceful exit
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
       if (batch.front().batchable) {
@@ -235,10 +231,9 @@ void BettiServer::completion_loop() {
   for (;;) {
     std::pair<std::shared_ptr<Connection>, std::string> item;
     {
-      std::unique_lock<std::mutex> lock(completion_mutex_);
-      completion_ready_.wait(lock, [this] {
-        return !completions_.empty() || workers_done_.load();
-      });
+      MutexLock lock(completion_mutex_);
+      while (completions_.empty() && !workers_done_.load())
+        completion_ready_.wait(completion_mutex_);
       if (completions_.empty()) return;  // workers joined and queue drained
       item = std::move(completions_.front());
       completions_.pop_front();
@@ -251,7 +246,7 @@ void BettiServer::completion_loop() {
 void BettiServer::complete(const std::shared_ptr<Connection>& connection,
                            std::string line) {
   {
-    std::lock_guard<std::mutex> lock(completion_mutex_);
+    MutexLock lock(completion_mutex_);
     completions_.emplace_back(connection, std::move(line));
   }
   completion_ready_.notify_one();
@@ -307,7 +302,7 @@ EstimateResponse BettiServer::execute_single(const EstimateRequest& request) {
       return response;
     }
     if (artifacts.plan != nullptr) {
-      std::lock_guard<std::mutex> lock(artifacts.plan->exec_mutex);
+      MutexLock lock(artifacts.plan->exec_mutex);
       response.estimate =
           estimate_betti_with_plan(artifacts.plan->compiled, options);
     } else {
@@ -393,7 +388,7 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
     }
     std::vector<BettiEstimate> estimates;
     {
-      std::lock_guard<std::mutex> lock(artifacts.plan->exec_mutex);
+      MutexLock lock(artifacts.plan->exec_mutex);
       estimates = estimate_betti_batch(artifacts.plan->compiled,
                                        request_options);
     }

@@ -25,15 +25,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "linalg/expm_multiply.hpp"
 #include "serve/artifact_cache.hpp"
 #include "serve/protocol.hpp"
@@ -131,19 +130,21 @@ class BettiServer {
   ServerOptions options_;
   ArtifactStore store_;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_ready_;
-  std::deque<Pending> queue_;
+  mutable Mutex queue_mutex_;
+  CondVar queue_ready_;
+  std::deque<Pending> queue_ QTDA_GUARDED_BY(queue_mutex_);
 
-  std::mutex completion_mutex_;
-  std::condition_variable completion_ready_;
-  std::deque<std::pair<std::shared_ptr<Connection>, std::string>> completions_;
+  Mutex completion_mutex_;
+  CondVar completion_ready_;
+  std::deque<std::pair<std::shared_ptr<Connection>, std::string>> completions_
+      QTDA_GUARDED_BY(completion_mutex_);
 
-  std::mutex connections_mutex_;
-  std::vector<std::weak_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::weak_ptr<Connection>> connections_
+      QTDA_GUARDED_BY(connections_mutex_);
 
-  std::mutex threads_mutex_;
-  std::vector<std::thread> reader_threads_;
+  Mutex threads_mutex_;
+  std::vector<std::thread> reader_threads_ QTDA_GUARDED_BY(threads_mutex_);
   std::thread acceptor_thread_;
   std::vector<std::thread> worker_threads_;
   std::thread completion_thread_;
@@ -152,8 +153,8 @@ class BettiServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
   std::atomic<bool> workers_done_{false};
-  std::mutex stop_mutex_;
-  std::condition_variable stop_requested_;
+  Mutex stop_mutex_;
+  CondVar stop_requested_;
 
   std::atomic<std::size_t> active_executions_{0};
   std::atomic<std::size_t> admitted_{0};

@@ -6,13 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace qtda {
 
@@ -20,14 +19,14 @@ namespace {
 
 /// One direction of a loopback pair: a line queue with blocking pop.
 struct LineQueue {
-  std::mutex mutex;
-  std::condition_variable ready;
-  std::deque<std::string> lines;
-  bool closed = false;
+  Mutex mutex;
+  CondVar ready;
+  std::deque<std::string> lines QTDA_GUARDED_BY(mutex);
+  bool closed QTDA_GUARDED_BY(mutex) = false;
 
   void push(std::string line) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (closed) return;
       lines.push_back(std::move(line));
     }
@@ -35,8 +34,8 @@ struct LineQueue {
   }
 
   std::optional<std::string> pop() {
-    std::unique_lock<std::mutex> lock(mutex);
-    ready.wait(lock, [this] { return closed || !lines.empty(); });
+    MutexLock lock(mutex);
+    while (!closed && lines.empty()) ready.wait(mutex);
     if (lines.empty()) return std::nullopt;  // closed and drained
     std::string line = std::move(lines.front());
     lines.pop_front();
@@ -45,7 +44,7 @@ struct LineQueue {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       closed = true;
     }
     ready.notify_all();
@@ -77,7 +76,7 @@ class LoopbackConnection final : public Connection {
   bool write_line(const std::string& line) override {
     LineQueue& queue = is_server_ ? channel_->to_client : channel_->to_server;
     {
-      std::lock_guard<std::mutex> lock(queue.mutex);
+      MutexLock lock(queue.mutex);
       if (queue.closed) return false;
       queue.lines.push_back(line);
     }
@@ -95,10 +94,10 @@ class LoopbackConnection final : public Connection {
 }  // namespace
 
 struct LoopbackTransport::State {
-  std::mutex mutex;
-  std::condition_variable ready;
-  std::deque<std::shared_ptr<Connection>> pending;
-  bool stopping = false;
+  Mutex mutex;
+  CondVar ready;
+  std::deque<std::shared_ptr<Connection>> pending QTDA_GUARDED_BY(mutex);
+  bool stopping QTDA_GUARDED_BY(mutex) = false;
 };
 
 LoopbackTransport::LoopbackTransport() : state_(std::make_shared<State>()) {}
@@ -110,7 +109,7 @@ std::shared_ptr<Connection> LoopbackTransport::connect() {
   auto client = std::make_shared<LoopbackConnection>(channel, /*is_server=*/false);
   auto server = std::make_shared<LoopbackConnection>(channel, /*is_server=*/true);
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     QTDA_REQUIRE(!state_->stopping, "connect() on a shut-down transport");
     state_->pending.push_back(std::move(server));
   }
@@ -119,10 +118,9 @@ std::shared_ptr<Connection> LoopbackTransport::connect() {
 }
 
 std::shared_ptr<Connection> LoopbackTransport::accept() {
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->ready.wait(lock, [this] {
-    return state_->stopping || !state_->pending.empty();
-  });
+  MutexLock lock(state_->mutex);
+  while (!state_->stopping && state_->pending.empty())
+    state_->ready.wait(state_->mutex);
   if (state_->pending.empty()) return nullptr;
   auto connection = std::move(state_->pending.front());
   state_->pending.pop_front();
@@ -131,7 +129,7 @@ std::shared_ptr<Connection> LoopbackTransport::accept() {
 
 void LoopbackTransport::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->stopping = true;
   }
   state_->ready.notify_all();
@@ -161,7 +159,7 @@ class FdConnection final : public Connection {
   }
 
   bool write_line(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     std::string framed = line;
     framed.push_back('\n');
     std::size_t sent = 0;
@@ -185,8 +183,8 @@ class FdConnection final : public Connection {
 
  private:
   int fd_;
-  std::string buffer_;
-  std::mutex write_mutex_;
+  std::string buffer_;  ///< only the (single) reader thread touches this
+  Mutex write_mutex_;   ///< guards the fd's write side (whole-line framing)
   std::atomic<bool> closed_{false};
 };
 

@@ -1,0 +1,18 @@
+// Lint fixture: must trip [complex-scalar].  Not compiled; consumed by
+// scripts/lint.py --self-test only.  Emulates a hard-coded complex128
+// inside the scalar-templated simulation spine.
+#include <complex>
+#include <vector>
+
+#include "quantum/types.hpp"
+
+namespace qtda_fixture {
+
+template <typename Real>
+double pinned_norm(const std::vector<std::complex<Real>>& amplitudes) {
+  std::complex<double> accumulator{0.0, 0.0};  // pins one precision
+  for (const auto& amplitude : amplitudes) accumulator += amplitude;
+  return accumulator.real();
+}
+
+}  // namespace qtda_fixture

@@ -1,0 +1,14 @@
+// Lint fixture: must trip [determinism].  Not compiled; consumed by
+// scripts/lint.py --self-test only.
+#include <random>
+
+#include "common/random.hpp"
+
+namespace qtda_fixture {
+
+unsigned rogue_seed() {
+  std::random_device entropy;  // non-reproducible seeding
+  return entropy();
+}
+
+}  // namespace qtda_fixture

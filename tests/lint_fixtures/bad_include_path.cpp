@@ -1,0 +1,6 @@
+// Lint fixture: must trip [include-path].  Not compiled; consumed by
+// scripts/lint.py --self-test only.
+#include "../common/error.hpp"
+#include "types.hpp"
+
+namespace qtda_fixture {}

@@ -1,0 +1,9 @@
+// Lint fixture: must trip [pragma-once].  Not compiled; consumed by
+// scripts/lint.py --self-test only.  An include-guarded header without
+// #pragma once as its first directive.
+#ifndef QTDA_FIXTURE_BAD_PRAGMA_ONCE_HPP
+#define QTDA_FIXTURE_BAD_PRAGMA_ONCE_HPP
+
+#include "quantum/types.hpp"
+
+#endif  // QTDA_FIXTURE_BAD_PRAGMA_ONCE_HPP

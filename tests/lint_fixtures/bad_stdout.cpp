@@ -1,0 +1,13 @@
+// Lint fixture: must trip [stdout].  Not compiled; consumed by
+// scripts/lint.py --self-test only.
+#include <iostream>
+
+#include "common/logging.hpp"
+
+namespace qtda_fixture {
+
+void chatty_library_code(int value) {
+  std::cout << "value = " << value << '\n';  // library code owning stdout
+}
+
+}  // namespace qtda_fixture

@@ -1,0 +1,33 @@
+// Lint fixture: must produce NO findings.  Not compiled; consumed by
+// scripts/lint.py --self-test only.  Exercises both waiver forms (inline
+// and standalone-comment block) plus patterns that look close to the
+// rules but are legal.
+#include <complex>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace qtda_fixture {
+
+// This block widens into the double accumulator on purpose — it emulates
+// a precision-boundary helper.  qtda-lint: allow(complex-scalar)
+inline double boundary_norm(const std::complex<double>& amplitude) {
+  return amplitude.real() * amplitude.real() +
+         amplitude.imag() * amplitude.imag();
+}
+
+inline double inline_waiver(const std::complex<double>& a) {  // qtda-lint: allow(complex-scalar)
+  return a.real();
+}
+
+// Near-misses that must NOT trip:
+//   std::cout << "commented-out code is ignored";
+inline const char* mentions_in_string() {
+  return "std::random_device and printf( are fine inside string literals";
+}
+
+inline int snprintf_is_fine(char* buffer, int size) {
+  return size > 0 ? static_cast<int>(buffer[0]) : 0;  // std::snprintf users
+}
+
+}  // namespace qtda_fixture
