@@ -266,6 +266,10 @@ std::vector<TraceEvent> stop_trace() {
   {
     MutexLock lock(detail::g_trace_registry_mutex);
     for (const auto& trace : detail::g_thread_traces) {
+      // Spans on live threads may still be appending (they loaded
+      // g_trace_active before the store above); the per-trace lock makes
+      // the drain atomic against each push.
+      MutexLock trace_lock(trace->mutex);
       events.insert(events.end(), trace->events.begin(), trace->events.end());
       trace->events.clear();
     }

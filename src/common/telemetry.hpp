@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace qtda {
 namespace telemetry {
 
@@ -225,9 +227,14 @@ bool write_chrome_trace(const std::string& path);
 
 namespace detail {
 struct ThreadTrace {
-  std::vector<TraceEvent> events;
-  std::uint32_t depth = 0;
-  std::uint32_t id = 0;
+  /// Guards events only: the owning thread appends (span end) while
+  /// stop_trace() drains every registered trace from whichever thread asks.
+  /// Uncontended in steady state — stop_trace is a once-per-trace-session
+  /// operation — so span end pays one uncontended lock while tracing.
+  Mutex mutex;
+  std::vector<TraceEvent> events QTDA_GUARDED_BY(mutex);
+  std::uint32_t depth = 0;  ///< owning thread only; never read across threads
+  std::uint32_t id = 0;     ///< written once at registration by the owner
 };
 ThreadTrace& thread_trace();
 }  // namespace detail
@@ -255,6 +262,7 @@ class Span {
     if (tracing_) {
       detail::ThreadTrace& trace = detail::thread_trace();
       --trace.depth;
+      MutexLock lock(trace.mutex);
       trace.events.push_back({name_, start_, duration, trace.id, depth_});
     }
   }

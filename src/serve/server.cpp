@@ -238,8 +238,12 @@ void BettiServer::completion_loop() {
       item = std::move(completions_.front());
       completions_.pop_front();
     }
-    if (item.first != nullptr) item.first->write_line(item.second);
+    // Count before relaying: a client that has received its response (and
+    // immediately scrapes `metrics` or `stats`) must observe the completion
+    // — the write below happens-after this increment on this thread, and
+    // the client's scrape happens-after the write.
     completed_.fetch_add(1);
+    if (item.first != nullptr) item.first->write_line(item.second);
   }
 }
 

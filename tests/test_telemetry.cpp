@@ -5,9 +5,11 @@
 /// does not perturb the bit-identity fingerprints.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bit_identity_scenarios.hpp"
@@ -156,6 +158,57 @@ TEST(TelemetrySpan, TraceCapturesNesting) {
   EXPECT_NE(json.find("\"outer\""), std::string::npos);
   EXPECT_NE(json.find("\"inner\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// Regression test for a data race: Span destructors append to their
+// thread-local ThreadTrace::events while a concurrent stop_trace() on
+// another thread drains those same vectors.  Before the per-trace lock the
+// push and the drain touched one std::vector unsynchronized (TSan reported
+// the pair; a realloc mid-drain could tear the collected events).  The
+// assertions are deliberately weak — spans racing a stop may be dropped —
+// the test's job is giving TSan the interleaving.
+TEST(TelemetrySpan, ConcurrentStopTraceIsRaceFree) {
+  TelemetryGuard guard;
+  telemetry::set_enabled(true);
+  telemetry::start_trace();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+  std::vector<std::thread> spanners;
+  for (int t = 0; t < 4; ++t) {
+    spanners.emplace_back([&stop, &started] {
+      bool first = true;
+      while (!stop.load(std::memory_order_relaxed)) {
+        {
+          QTDA_SPAN("race.outer");
+          QTDA_SPAN("race.inner");
+        }
+        if (first) {
+          first = false;
+          started.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Every spanner has recorded at least one span before the stop/start
+  // rounds begin — without this the main loop can finish before the
+  // threads are even scheduled and collect nothing.
+  while (started.load() < 4) std::this_thread::yield();
+
+  std::size_t collected = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (const telemetry::TraceEvent& event : telemetry::stop_trace()) {
+      EXPECT_TRUE(std::string(event.name).rfind("race.", 0) == 0);
+      ++collected;
+    }
+    telemetry::start_trace();
+  }
+
+  stop.store(true);
+  for (std::thread& spanner : spanners) spanner.join();
+  const std::vector<telemetry::TraceEvent> rest = telemetry::stop_trace();
+  collected += rest.size();
+  EXPECT_GT(collected, 0u);
 }
 
 TEST(TelemetryMetrics, JsonRoundTrips) {
