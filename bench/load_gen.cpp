@@ -16,15 +16,25 @@
 ///                     telemetry::Histogram.
 ///
 /// Counters: p50/p95/p99_ms from the histogram's deterministic buckets,
-/// est_per_sec (completed estimates over the experiment wall time), and
-/// offered_rps for reference.  scripts/bench.sh records this binary into
-/// BENCH_micro.json like every other bench_micro_* target.
+/// est_per_sec (completed estimates over the experiment wall time),
+/// offered_rps for reference, and err_<code> per-taxonomy-code error
+/// counts.  scripts/bench.sh records this binary into BENCH_micro.json
+/// like every other bench_micro_* target.
+///
+/// BM_OverloadShedding floods a deliberately tiny server (one worker,
+/// batching off, admission queue bounded at a handful of entries) with
+/// closed-loop retrying clients: the server must shed the excess with
+/// retryable `overloaded` errors instead of growing without bound, and
+/// every request must eventually succeed with the correct (bit-identical)
+/// result once the clients back off.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,6 +44,7 @@
 #include "common/random.hpp"
 #include "common/telemetry.hpp"
 #include "serve/client.hpp"
+#include "serve/errors.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -91,6 +102,8 @@ struct ExperimentResult {
   double wall_seconds = 0.0;
   std::size_t completed = 0;
   std::size_t errors = 0;
+  /// Error-taxonomy code name → occurrences (empty on a clean run).
+  std::map<std::string, std::size_t> errors_by_code;
 };
 
 /// One open-loop experiment: \p total arrivals at \p lambda_rps offered.
@@ -128,12 +141,16 @@ ExperimentResult run_experiment(double lambda_rps, std::size_t total) {
   });
 
   std::size_t errors = 0;
+  std::map<std::string, std::size_t> errors_by_code;
   for (std::size_t received = 0; received < total; ++received) {
     const std::optional<std::string> line = connection->read_line();
     if (!line.has_value()) break;  // connection died: count the shortfall
     const Clock::time_point completed_at = Clock::now();
     const EstimateResponse response = parse_response(*line);
-    if (!response.ok) ++errors;
+    if (!response.ok) {
+      ++errors;
+      ++errors_by_code[serve_error_name(response.code)];
+    }
     const std::size_t index =
         static_cast<std::size_t>(std::stoul(response.id.substr(1)));
     latency.record(static_cast<std::uint64_t>(
@@ -151,6 +168,7 @@ ExperimentResult run_experiment(double lambda_rps, std::size_t total) {
           .count();
   result.completed = result.latency.count;
   result.errors = errors;
+  result.errors_by_code = std::move(errors_by_code);
 
   server.stop();
   return result;
@@ -165,12 +183,15 @@ void BM_OpenLoopPoisson(benchmark::State& state) {
   telemetry::HistogramSnapshot merged;
   double wall_seconds = 0.0;
   std::size_t completed = 0, errors = 0;
+  std::map<std::string, std::size_t> errors_by_code;
   for (auto _ : state) {
     const ExperimentResult result = run_experiment(lambda_rps, total);
     merged.merge(result.latency);
     wall_seconds += result.wall_seconds;
     completed += result.completed;
     errors += result.errors;
+    for (const auto& [code, count] : result.errors_by_code)
+      errors_by_code[code] += count;
   }
   state.counters["offered_rps"] = lambda_rps;
   state.counters["est_per_sec"] =
@@ -179,10 +200,87 @@ void BM_OpenLoopPoisson(benchmark::State& state) {
   state.counters["p95_ms"] = merged.quantile(0.95) / 1e6;
   state.counters["p99_ms"] = merged.quantile(0.99) / 1e6;
   state.counters["errors"] = static_cast<double>(errors);
+  for (const auto& [code, count] : errors_by_code)
+    state.counters["err_" + code] = static_cast<double>(count);
 }
 BENCHMARK(BM_OpenLoopPoisson)
     ->Arg(100)
     ->Arg(300)
     ->Unit(benchmark::kMillisecond);
+
+/// Flood a one-worker, bounded-queue, batching-off server from several
+/// closed-loop retrying clients.  Shed requests come back as retryable
+/// `overloaded` errors with a retry-after hint; clients back off and
+/// resubmit until everything lands.  Counters prove the shedding actually
+/// happened (shed > 0 on any meaningful run), that retries drove the
+/// recovery, and that no accepted result deviated from the expected bits.
+void BM_OverloadShedding(benchmark::State& state) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 16;
+  std::size_t shed = 0;
+  std::uint64_t retries = 0;
+  std::size_t failures = 0;
+  std::size_t mismatches = 0;
+  for (auto _ : state) {
+    ServerOptions options;
+    options.cache.budget_bytes = std::size_t{64} << 20;
+    options.workers = 1;
+    options.batching = false;  // no coalescing: every request occupies the
+                               // single worker, keeping the queue saturated
+    options.max_queue = 2;
+    options.shed_retry_after_ms = 1;
+    BettiServer server(options);
+    LoopbackTransport transport;
+    server.start(transport);
+
+    // Reference bits (also warms the caches so the flood measures
+    // admission, not compilation).
+    std::uint64_t expected_zero_counts = 0;
+    {
+      ServeClient warm(transport.connect());
+      expected_zero_counts = warm.estimate(load_request()).estimate.zero_counts;
+    }
+
+    std::atomic<std::size_t> thread_failures{0};
+    std::atomic<std::size_t> thread_mismatches{0};
+    std::atomic<std::uint64_t> thread_retries{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        RetryPolicy policy;
+        policy.max_attempts = 64;
+        policy.initial_backoff_ms = 1;
+        policy.max_backoff_ms = 16;
+        policy.jitter_seed = static_cast<std::uint64_t>(40 + c);
+        ServeClient client([&transport] { return transport.connect(); },
+                           policy);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          try {
+            const EstimateResponse response = client.estimate(load_request());
+            if (!response.ok) {
+              thread_failures.fetch_add(1);
+            } else if (response.estimate.zero_counts != expected_zero_counts) {
+              thread_mismatches.fetch_add(1);
+            }
+          } catch (const std::exception&) {
+            thread_failures.fetch_add(1);
+          }
+        }
+        thread_retries.fetch_add(client.retries());
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    shed += server.stats().shed;
+    retries += thread_retries.load();
+    failures += thread_failures.load();
+    mismatches += thread_mismatches.load();
+    server.stop();
+  }
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["failures"] = static_cast<double>(failures);
+  state.counters["mismatches"] = static_cast<double>(mismatches);
+}
+BENCHMARK(BM_OverloadShedding)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -17,7 +17,6 @@
 
 #include <cmath>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "core/betti_estimator.hpp"
@@ -87,7 +86,7 @@ void BM_ServeWarm(benchmark::State& state) {
   std::size_t system_qubits = 0;
   for (auto _ : state) {
     const ResolvedArtifacts resolved = store.resolve(cloud, 3.0, 1, options);
-    std::lock_guard<std::mutex> lock(resolved.plan->exec_mutex);
+    MutexLock lock(resolved.plan->exec_mutex);
     const BettiEstimate estimate =
         estimate_betti_with_plan(resolved.plan->compiled, options);
     system_qubits = estimate.system_qubits;

@@ -26,6 +26,14 @@ complex-scalar
     breaks the float32 engines.  Genuine double-boundary sites (widening
     accumulators, the ComplexMatrix casting rails) carry waivers.
 
+bare-mutex
+    No bare std::mutex / std::condition_variable (or their recursive/
+    shared/timed cousins) in library code outside
+    common/thread_annotations.hpp.  Locking goes through the
+    capability-annotated qtda::Mutex / MutexLock / CondVar wrappers so the
+    clang -Wthread-safety CI leg can prove the lock discipline; a bare
+    std::mutex is invisible to that analysis.
+
 pragma-once
     Every header under src/ opens with #pragma once as its first directive.
 
@@ -73,6 +81,19 @@ STDOUT_PATTERNS = [
     ("stdout", re.compile(r"\bfprintf\s*\(\s*stderr"),
      "fprintf(stderr, ...) belongs to common/logging's sink only"),
 ]
+
+BARE_MUTEX_PATTERNS = [
+    ("bare-mutex", re.compile(
+        r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"),
+     "bare std::mutex is invisible to -Wthread-safety; use qtda::Mutex "
+     "from common/thread_annotations.hpp"),
+    ("bare-mutex", re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "bare std::condition_variable bypasses the annotated wrappers; use "
+     "qtda::CondVar from common/thread_annotations.hpp"),
+]
+
+# The one file allowed to name the raw primitives (it wraps them).
+BARE_MUTEX_EXEMPT = {"src/common/thread_annotations.hpp"}
 
 COMPLEX_SCALAR_PATTERN = (
     "complex-scalar", re.compile(r"std::complex<double>"),
@@ -175,6 +196,8 @@ def lint_file(rel_path, text):
         patterns += DETERMINISM_PATTERNS
     if rel_path not in STDOUT_EXEMPT:
         patterns += STDOUT_PATTERNS
+    if rel_path.replace(os.sep, "/") not in BARE_MUTEX_EXEMPT:
+        patterns += BARE_MUTEX_PATTERNS
     if rel_path.replace(os.sep, "/") in COMPLEX_SCALAR_FILES:
         patterns.append(COMPLEX_SCALAR_PATTERN)
 

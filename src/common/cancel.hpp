@@ -1,0 +1,85 @@
+/// \file cancel.hpp
+/// \brief Cooperative per-thread deadlines for long-running executions.
+///
+/// The serving layer's deadlines originally bounded only *queue* time — a
+/// request already executing ran to completion no matter how late it was.
+/// This header closes that gap without preemption: a worker thread arms a
+/// ScopedDeadline before executing, and the execution spine calls
+/// checkpoint() at natural chunk boundaries (between plan ops, between
+/// noise trajectories, between sampled-basis evolutions).  A checkpoint
+/// past the deadline throws CancelledError, which the server maps to the
+/// `deadline` error code.
+///
+/// Design constraints:
+///  - **Zero-cost when unarmed.**  checkpoint() with no active deadline is
+///    one thread-local load and a compare — safe to sprinkle through hot
+///    loops whose bodies are O(2^n) passes.
+///  - **Never changes arithmetic.**  A checkpoint either returns or throws;
+///    it reads the clock only while a deadline is armed, so bit-identity
+///    fingerprints cannot move.
+///  - **Thread-local by construction.**  The deadline binds to the thread
+///    that armed it; internally parallel backends keep their pool threads
+///    unarmed (the plan walk runs on the arming thread).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace qtda {
+
+/// Thrown by cancel::checkpoint() once the armed deadline has passed.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+namespace cancel {
+
+namespace detail {
+/// Armed deadline as steady_clock nanoseconds-since-epoch; 0 = unarmed.
+inline thread_local std::int64_t g_deadline_ns = 0;
+
+inline std::int64_t to_ns(std::chrono::steady_clock::time_point when) {
+  const std::int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              when.time_since_epoch())
+                              .count();
+  return ns == 0 ? 1 : ns;  // keep 0 reserved for "unarmed"
+}
+}  // namespace detail
+
+/// True while the calling thread has a deadline armed.
+inline bool deadline_armed() { return detail::g_deadline_ns != 0; }
+
+/// Arms a deadline for the calling thread's lifetime of this scope; nests
+/// (an inner scope restores the outer deadline on destruction).
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(std::chrono::steady_clock::time_point deadline)
+      : previous_(detail::g_deadline_ns) {
+    detail::g_deadline_ns = detail::to_ns(deadline);
+  }
+  ~ScopedDeadline() { detail::g_deadline_ns = previous_; }
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+/// Throws CancelledError when the armed deadline has passed; no-op (one
+/// thread-local load) when unarmed.
+inline void checkpoint() {
+  if (detail::g_deadline_ns == 0) return;
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  if (now >= detail::g_deadline_ns)
+    throw CancelledError("deadline exceeded during execution");
+}
+
+}  // namespace cancel
+}  // namespace qtda

@@ -20,6 +20,7 @@
 /// exactly.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -100,6 +101,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// wait() with a timeout.  Returns false on timeout, true when notified
+  /// (spurious wakeups report true — re-check the condition AND the
+  /// caller's own deadline in the wait loop).
+  bool wait_for(Mutex& mutex, std::chrono::nanoseconds timeout)
+      QTDA_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
 #include "linalg/expm_multiply.hpp"
@@ -180,6 +181,7 @@ void execute_plan_estimate(BettiEstimate& estimate, const ExecutionPlan& plan,
     } else {
       std::uint64_t zeros = 0;
       for (std::size_t shot = 0; shot < options.shots; ++shot) {
+        cancel::checkpoint();  // between trajectories: one shot = one plan walk
         backend->prepare_basis_state(0);
         backend->apply_plan_with_noise(plan, options.noise, rng);
         zeros += backend->sample(measured, 1, rng)[0];
@@ -200,6 +202,7 @@ void execute_plan_estimate(BettiEstimate& estimate, const ExecutionPlan& plan,
   for (std::uint64_t basis = 0; basis < dim; ++basis) {
     const std::uint64_t s = shots_per_state[basis];
     if (s == 0) continue;
+    cancel::checkpoint();  // between per-basis evolutions
     // System register holds |basis⟩: it occupies wires [t, t+q) which are
     // the top bits below the precision block.
     const std::uint64_t initial = basis << shift;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/random.hpp"
 #include "common/telemetry.hpp"
 #include "quantum/circuit.hpp"
@@ -35,16 +36,23 @@ void record(const std::array<std::uint64_t, kNumKinds>& ns,
 /// plain range-for every engine ran before instrumentation existed; with it
 /// enabled, each op is timed and the totals are flushed per kind.  The
 /// callback's arithmetic is identical either way — timing wraps the call,
-/// so bit-identity fingerprints cannot move.
+/// so bit-identity fingerprints cannot move.  Each op boundary is also a
+/// cooperative-cancellation checkpoint: a served request whose deadline
+/// passes mid-evolution aborts between ops (each op is a full register
+/// pass, so this bounds overrun without per-amplitude checks).
 template <typename Fn>
 void for_each_plan_op_accounted(const ExecutionPlan& plan, Fn&& fn) {
   if (!telemetry::enabled()) {
-    for (const CompiledOp& op : plan.ops()) fn(op);
+    for (const CompiledOp& op : plan.ops()) {
+      cancel::checkpoint();
+      fn(op);
+    }
     return;
   }
   std::array<std::uint64_t, plan_accounting::kNumKinds> ns{};
   std::array<std::uint64_t, plan_accounting::kNumKinds> ops{};
   for (const CompiledOp& op : plan.ops()) {
+    cancel::checkpoint();
     const auto start = std::chrono::steady_clock::now();
     fn(op);
     const auto stop = std::chrono::steady_clock::now();

@@ -1,5 +1,9 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace qtda {
@@ -17,24 +21,91 @@ std::string id_of(const std::string& line) {
                                                      : end - start);
 }
 
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, int attempt,
+                               double jitter01) {
+  double base = static_cast<double>(policy.initial_backoff_ms);
+  const double cap = static_cast<double>(policy.max_backoff_ms);
+  for (int i = 0; i < attempt && base < cap; ++i) base *= policy.multiplier;
+  base = std::min(base, cap);
+  // Equal jitter: keep at least half the nominal backoff so retry storms
+  // still decorrelate without collapsing the schedule to zero.
+  return static_cast<std::uint64_t>(base * (0.5 + 0.5 * jitter01));
+}
 
 ServeClient::ServeClient(std::shared_ptr<Connection> connection)
     : connection_(std::move(connection)) {
+  MutexLock lock(mutex_);
   QTDA_REQUIRE(connection_ != nullptr, "ServeClient needs a connection");
 }
 
+ServeClient::ServeClient(Dialer dialer, RetryPolicy policy)
+    : dialer_(std::move(dialer)), policy_(policy) {
+  QTDA_REQUIRE(dialer_ != nullptr, "ServeClient needs a dialer");
+  MutexLock lock(mutex_);
+  jitter_rng_ = Rng(policy_.jitter_seed);
+  connection_ = dialer_();
+  QTDA_REQUIRE(connection_ != nullptr, "dialer produced no connection");
+}
+
+Connection& ServeClient::connection() {
+  MutexLock lock(mutex_);
+  QTDA_REQUIRE(connection_ != nullptr, "client is disconnected");
+  return *connection_;
+}
+
+std::shared_ptr<Connection> ServeClient::ensure_connected() {
+  MutexLock lock(mutex_);
+  if (connection_ == nullptr) {
+    QTDA_REQUIRE(dialer_ != nullptr,
+                 "connection lost and the client has no dialer to reconnect");
+    connection_ = dialer_();
+    QTDA_REQUIRE(connection_ != nullptr, "dialer produced no connection");
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return connection_;
+}
+
+void ServeClient::drop_connection() {
+  MutexLock lock(mutex_);
+  if (connection_ != nullptr) {
+    connection_->close();
+    connection_ = nullptr;
+  }
+}
+
+double ServeClient::next_jitter() {
+  MutexLock lock(mutex_);
+  return jitter_rng_.uniform();
+}
+
 std::string ServeClient::send(EstimateRequest request) {
+  std::shared_ptr<Connection> conn;
   {
     MutexLock lock(mutex_);
     if (request.id.empty()) request.id = "r" + std::to_string(next_id_++);
+    conn = connection_;
   }
-  QTDA_REQUIRE(connection_->write_line(format_request(request)),
+  QTDA_REQUIRE(conn != nullptr, "client is disconnected");
+  QTDA_REQUIRE(conn->write_line(format_request(request)),
                "connection closed while sending request " << request.id);
   return request.id;
 }
 
-std::string ServeClient::read_matching(const std::string& id) {
+std::optional<std::string> ServeClient::read_matching_for(
+    const std::string& id, std::uint64_t timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  const std::int64_t deadline_ns =
+      timeout_ms == 0 ? 0
+                      : now_ns() + static_cast<std::int64_t>(timeout_ms) *
+                                       1'000'000;
   MutexLock lock(mutex_);
   const auto parked = parked_.find(id);
   if (parked != parked_.end()) {
@@ -42,14 +113,35 @@ std::string ServeClient::read_matching(const std::string& id) {
     parked_.erase(parked);
     return line;
   }
+  QTDA_REQUIRE(connection_ != nullptr, "client is disconnected");
   for (;;) {
-    const std::optional<std::string> line = connection_->read_line();
-    QTDA_REQUIRE(line.has_value(),
-                 "connection closed while waiting for response " << id);
+    std::optional<std::string> line;
+    if (deadline_ns == 0) {
+      line = connection_->read_line();
+    } else {
+      const std::int64_t remaining_ms = (deadline_ns - now_ns()) / 1'000'000;
+      if (remaining_ms <= 0) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+      bool this_read_timed_out = false;
+      line = connection_->read_line_for(
+          static_cast<std::uint64_t>(remaining_ms), &this_read_timed_out);
+      if (this_read_timed_out) continue;  // loop re-checks the deadline
+    }
+    if (!line.has_value()) return std::nullopt;  // end of stream
     const std::string line_id = id_of(*line);
     if (line_id == id || (id.empty() && line_id.empty())) return *line;
     parked_[line_id] = *line;
   }
+}
+
+std::string ServeClient::read_matching(const std::string& id) {
+  const std::optional<std::string> line =
+      read_matching_for(id, /*timeout_ms=*/0, nullptr);
+  QTDA_REQUIRE(line.has_value(),
+               "connection closed while waiting for response " << id);
+  return *line;
 }
 
 EstimateResponse ServeClient::receive(const std::string& id) {
@@ -57,14 +149,88 @@ EstimateResponse ServeClient::receive(const std::string& id) {
 }
 
 EstimateResponse ServeClient::estimate(EstimateRequest request) {
-  return receive(send(std::move(request)));
+  const int attempts = std::max(1, policy_.max_attempts);
+  const std::string requested_id = request.id;
+  std::string last_message = "no attempts made";
+  ServeErrorCode last_code = ServeErrorCode::kUnavailable;
+  std::uint64_t server_hint_ms = 0;
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      // Honor the server's retry-after hint when it exceeds our own
+      // schedule (load shedding tells us how long the queue needs).
+      const std::uint64_t backoff = std::max(
+          retry_backoff_ms(policy_, attempt - 1, next_jitter()),
+          server_hint_ms);
+      if (backoff > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      server_hint_ms = 0;
+    }
+
+    bool transport_failure = false;
+    bool timed_out = false;
+    EstimateResponse response;
+    try {
+      ensure_connected();
+      // Fresh correlation id per retry: a late response to an earlier
+      // attempt then parks harmlessly instead of being mistaken for this
+      // attempt's answer.  The request *parameters* are identical, which
+      // is what makes the retried result bit-identical.
+      request.id = attempt == 0 ? requested_id : "";
+      const std::string id = send(request);
+      const std::optional<std::string> raw =
+          read_matching_for(id, policy_.request_timeout_ms, &timed_out);
+      if (!raw.has_value()) {
+        transport_failure = true;
+        last_code = timed_out ? ServeErrorCode::kTimeout
+                              : ServeErrorCode::kUnavailable;
+        last_message = timed_out
+                           ? "timed out waiting for response " + id
+                           : "connection closed while waiting for " + id;
+      } else {
+        response = parse_response(*raw);  // throws on a corrupted frame
+      }
+    } catch (const std::exception& e) {
+      transport_failure = true;
+      last_code = ServeErrorCode::kUnavailable;
+      last_message = e.what();
+    }
+
+    if (!transport_failure) {
+      if (response.ok) {
+        if (!requested_id.empty()) response.id = requested_id;
+        return response;
+      }
+      // A typed server error: the retryable flag decides, not us.
+      const ServeErrorCode code = response.code == ServeErrorCode::kNone
+                                      ? ServeErrorCode::kInternal
+                                      : response.code;
+      if (!response.retryable) {
+        throw ServeError(code, response.error, response.retry_after_ms);
+      }
+      last_code = code;
+      last_message = response.error;
+      server_hint_ms = response.retry_after_ms;
+      continue;  // connection is fine — retry without re-dialing
+    }
+
+    // Transport failure: the stream is suspect, drop it so the next
+    // attempt re-dials.  Without a dialer there is nothing left to try.
+    drop_connection();
+    if (dialer_ == nullptr) break;
+  }
+  throw ServeError(last_code,
+                   "retries exhausted after " + std::to_string(attempts) +
+                       " attempt(s); last: " + last_message);
 }
 
 std::string ServeClient::stats() {
-  QTDA_REQUIRE(connection_->write_line("stats"), "connection closed");
+  std::shared_ptr<Connection> conn = ensure_connected();
+  QTDA_REQUIRE(conn->write_line("stats"), "connection closed");
   MutexLock lock(mutex_);
   for (;;) {
-    const std::optional<std::string> line = connection_->read_line();
+    const std::optional<std::string> line = conn->read_line();
     QTDA_REQUIRE(line.has_value(), "connection closed awaiting stats");
     if (line->rfind("stats", 0) == 0) return *line;
     parked_[id_of(*line)] = *line;
@@ -72,10 +238,11 @@ std::string ServeClient::stats() {
 }
 
 MetricsReport ServeClient::metrics() {
-  QTDA_REQUIRE(connection_->write_line("metrics"), "connection closed");
+  std::shared_ptr<Connection> conn = ensure_connected();
+  QTDA_REQUIRE(conn->write_line("metrics"), "connection closed");
   MutexLock lock(mutex_);
   for (;;) {
-    const std::optional<std::string> line = connection_->read_line();
+    const std::optional<std::string> line = conn->read_line();
     QTDA_REQUIRE(line.has_value(), "connection closed awaiting metrics");
     if (line->rfind("metrics ", 0) == 0)
       return parse_metrics_json(line->substr(8));
@@ -84,12 +251,13 @@ MetricsReport ServeClient::metrics() {
 }
 
 std::string ServeClient::metrics_prometheus() {
-  QTDA_REQUIRE(connection_->write_line("metrics format=prometheus"),
+  std::shared_ptr<Connection> conn = ensure_connected();
+  QTDA_REQUIRE(conn->write_line("metrics format=prometheus"),
                "connection closed");
   MutexLock lock(mutex_);
   std::string text;
   for (;;) {
-    const std::optional<std::string> line = connection_->read_line();
+    const std::optional<std::string> line = conn->read_line();
     QTDA_REQUIRE(line.has_value(), "connection closed awaiting metrics");
     // Response lines to in-flight estimates may interleave with the scrape;
     // they are whole lines, so park them and keep collecting metric lines.
@@ -105,10 +273,11 @@ std::string ServeClient::metrics_prometheus() {
 }
 
 void ServeClient::shutdown() {
-  QTDA_REQUIRE(connection_->write_line("shutdown"), "connection closed");
+  std::shared_ptr<Connection> conn = ensure_connected();
+  QTDA_REQUIRE(conn->write_line("shutdown"), "connection closed");
   MutexLock lock(mutex_);
   for (;;) {
-    const std::optional<std::string> line = connection_->read_line();
+    const std::optional<std::string> line = conn->read_line();
     if (!line.has_value()) return;  // server closed first — fine
     if (line->rfind("ok id=shutdown", 0) == 0) return;
     parked_[id_of(*line)] = *line;

@@ -1,29 +1,75 @@
 /// \file client.hpp
-/// \brief Blocking client for the qtda_serve protocol.
+/// \brief Blocking client for the qtda_serve protocol, with retries.
 ///
-/// ServeClient wraps a Connection (loopback or Unix socket) and matches
-/// responses to requests by id, so several threads can share one client —
-/// or one thread can pipeline many requests and collect the answers in any
-/// order.  This is the reference consumer of the protocol: the example
-/// binaries, the bench driver, and the tests all talk through it.
+/// ServeClient wraps a Connection (loopback, Unix socket, or TCP) and
+/// matches responses to requests by id, so several threads can share one
+/// client — or one thread can pipeline many requests and collect the
+/// answers in any order.  This is the reference consumer of the protocol:
+/// the example binaries, the bench driver, and the tests all talk through
+/// it.
+///
+/// Constructed with a Dialer and a RetryPolicy, estimate() becomes
+/// fault-tolerant: transport failures (connection drop, torn frame,
+/// per-attempt timeout) and retryable server errors (overloaded, shutdown)
+/// are retried with capped exponential backoff and deterministic jitter,
+/// reconnecting through the dialer as needed.  Every retry re-sends the
+/// identical parameters under a fresh correlation id, so a retried result
+/// is bit-identical to a single-shot one — the serving layer's determinism
+/// guarantee survives faults.  Non-retryable errors (protocol, limit,
+/// deadline, internal) surface immediately as typed ServeError exceptions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/random.hpp"
 #include "common/thread_annotations.hpp"
+#include "serve/errors.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 
 namespace qtda {
 
-/// A synchronous protocol client over one connection.
+/// Retry behavior for ServeClient::estimate.  The defaults describe a
+/// single-shot client (max_attempts = 1: no retries, matching the old
+/// behavior); chaos tests and resilient callers raise max_attempts and set
+/// a per-attempt timeout.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts (first try included)
+  std::uint64_t initial_backoff_ms = 2;   ///< backoff before the 1st retry
+  std::uint64_t max_backoff_ms = 128;     ///< exponential growth cap
+  double multiplier = 2.0;                ///< backoff growth factor
+  /// Budget for each attempt (send + wait for the response).  A timed-out
+  /// attempt is treated as a retryable transport failure — this is what
+  /// recovers from black-holed requests (e.g. a corrupted frame the server
+  /// could not attribute to an id).  0 = block indefinitely.
+  std::uint64_t request_timeout_ms = 0;
+  std::uint64_t jitter_seed = 1;  ///< deterministic backoff jitter stream
+};
+
+/// Backoff before retry number \p attempt (0-based), in milliseconds:
+/// capped exponential scaled into [50%, 100%] by \p jitter01 ∈ [0,1).
+/// Pure — exposed for direct testing of the schedule.
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, int attempt,
+                               double jitter01);
+
+/// A synchronous protocol client over one (re-dialable) connection.
 class ServeClient {
  public:
+  /// Creates a new connection, e.g. to reconnect after a drop.
+  using Dialer = std::function<std::shared_ptr<Connection>()>;
+
+  /// Single-connection client (no reconnects, no retries).
   explicit ServeClient(std::shared_ptr<Connection> connection);
+
+  /// Resilient client: dials immediately, re-dials after transport
+  /// failures, retries per \p policy.
+  ServeClient(Dialer dialer, RetryPolicy policy);
 
   /// Sends a request; returns the id actually used (auto-assigned when the
   /// request carries none).
@@ -34,7 +80,9 @@ class ServeClient {
   /// a closed connection.
   EstimateResponse receive(const std::string& id);
 
-  /// send + receive in one call.
+  /// send + receive (+ retries when the policy allows them) in one call.
+  /// Throws ServeError carrying the taxonomy code on a non-retryable
+  /// server error or once retries are exhausted.
   EstimateResponse estimate(EstimateRequest request);
 
   /// Round-trips a `stats` command and returns the raw stats line.
@@ -50,13 +98,34 @@ class ServeClient {
   /// Sends `shutdown` and waits for the acknowledgement.
   void shutdown();
 
-  Connection& connection() { return *connection_; }
+  /// Retries performed by estimate() over this client's lifetime.
+  std::uint64_t retries() const { return retries_.load(); }
+  /// Re-dials after the initial connection (transport-failure recoveries).
+  std::uint64_t reconnects() const { return reconnects_.load(); }
+
+  Connection& connection();
 
  private:
   std::string read_matching(const std::string& id);
+  /// read_matching with a per-call timeout (0 = block).  nullopt with
+  /// *timed_out set means the budget elapsed; nullopt without it means the
+  /// stream ended.
+  std::optional<std::string> read_matching_for(const std::string& id,
+                                               std::uint64_t timeout_ms,
+                                               bool* timed_out);
+  /// Current connection, dialing if needed; throws when disconnected and
+  /// no dialer is available.
+  std::shared_ptr<Connection> ensure_connected();
+  void drop_connection();
+  double next_jitter();
 
-  std::shared_ptr<Connection> connection_;
-  Mutex mutex_;  ///< guards id counter, parked responses, reads
+  Dialer dialer_;
+  RetryPolicy policy_;
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  Mutex mutex_;  ///< guards connection swap, id counter, parked, reads
+  std::shared_ptr<Connection> connection_ QTDA_GUARDED_BY(mutex_);
+  Rng jitter_rng_ QTDA_GUARDED_BY(mutex_){1};
   std::uint64_t next_id_ QTDA_GUARDED_BY(mutex_) = 1;
   /// id → raw response line
   std::map<std::string, std::string> parked_ QTDA_GUARDED_BY(mutex_);

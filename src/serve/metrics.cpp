@@ -124,6 +124,7 @@ MetricsReport collect_metrics(const ServerStats* server_stats) {
     report.counters["serve.batches"] = stats.batches;
     report.counters["serve.batched_requests"] = stats.batched_requests;
     report.counters["serve.deadline_misses"] = stats.deadline_misses;
+    report.counters["serve.shed"] = stats.shed;
     add_cache_level(report, "complex", stats.complexes);
     add_cache_level(report, "laplacian", stats.laplacians);
     add_cache_level(report, "plan", stats.plans);

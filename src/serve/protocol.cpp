@@ -195,9 +195,16 @@ std::string format_request(const EstimateRequest& request) {
 std::string format_response(const EstimateResponse& response) {
   std::ostringstream out;
   if (!response.ok) {
+    out << "error id=" << response.id;
+    if (response.code != ServeErrorCode::kNone) {
+      out << " code=" << serve_error_name(response.code)
+          << " retryable=" << (response.retryable ? 1 : 0);
+      if (response.retry_after_ms != 0)
+        out << " retry_after_ms=" << response.retry_after_ms;
+    }
     // The message rides as the rest of the line: spaces allowed, newlines
     // are the only forbidden byte in the protocol.
-    out << "error id=" << response.id << " msg=" << response.error;
+    out << " msg=" << response.error;
     return out.str();
   }
   const BettiEstimate& e = response.estimate;
@@ -224,10 +231,20 @@ EstimateResponse parse_response(const std::string& line) {
   const std::string verb = line.substr(0, space);
   if (verb == "error") {
     response.ok = false;
+    // Old-style lines carry no code: default to the conservative
+    // internal / not-retryable classification.
+    response.code = ServeErrorCode::kInternal;
+    response.retryable = false;
     const std::string rest = space == std::string::npos ? "" : line.substr(space + 1);
     for (const std::string& token : split(rest, ' ')) {
       if (token.rfind("id=", 0) == 0) {
         response.id = token.substr(3);
+      } else if (token.rfind("code=", 0) == 0) {
+        response.code = serve_error_from_name(token.substr(5));
+      } else if (token.rfind("retryable=", 0) == 0) {
+        response.retryable = token.substr(10) == "1";
+      } else if (token.rfind("retry_after_ms=", 0) == 0) {
+        response.retry_after_ms = parse_u64(token.substr(15), "retry_after_ms");
       } else if (token.rfind("msg=", 0) == 0) {
         // msg= starts the free-text remainder of the line.
         response.error = rest.substr(rest.find("msg=") + 4);

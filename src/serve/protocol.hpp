@@ -21,7 +21,13 @@
 /// Responses (matched to requests by id, possibly out of order):
 ///   ok id=7 betti=1 rounded=1 p0=0.25 exact_p0=0.25 q=2 t=4 shots=1000
 ///      gates=123 depth=40 complex=hit laplacian=hit plan=miss batch=3
-///   error id=7 msg=...
+///   error id=7 code=overloaded retryable=1 retry_after_ms=5 msg=...
+///
+/// Error responses carry a stable code from the serve error taxonomy (see
+/// errors.hpp) plus its retryable flag, so clients decide retry-vs-fail
+/// without string matching; retry_after_ms appears only when the server
+/// suggests a backoff (load shedding).  Parsers tolerate old-style
+/// `error id=.. msg=..` lines (code defaults to internal, not retryable).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +36,7 @@
 #include <vector>
 
 #include "core/betti_estimator.hpp"
+#include "serve/errors.hpp"
 #include "topology/point_cloud.hpp"
 
 namespace qtda {
@@ -52,7 +59,10 @@ struct EstimateRequest {
 struct EstimateResponse {
   std::string id;
   bool ok = false;
-  std::string error;          ///< set when !ok
+  std::string error;          ///< set when !ok (free-text message)
+  ServeErrorCode code = ServeErrorCode::kNone;  ///< taxonomy code when !ok
+  bool retryable = false;     ///< whether the client may retry (when !ok)
+  std::uint64_t retry_after_ms = 0;  ///< backoff hint; 0 = none
   BettiEstimate estimate;     ///< valid when ok
   bool complex_hit = false;
   bool laplacian_hit = false;

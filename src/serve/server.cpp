@@ -1,18 +1,66 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <optional>
 #include <sstream>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/telemetry.hpp"
 #include "quantum/precision.hpp"
+#include "serve/errors.hpp"
 #include "serve/metrics.hpp"
 
 namespace qtda {
 
 namespace {
+
+/// Builds a typed error response (taxonomy code, retryable flag, optional
+/// backoff hint) and records the per-code telemetry counter.
+EstimateResponse make_error(std::string id, ServeErrorCode code,
+                            std::string message,
+                            std::uint64_t retry_after_ms = 0) {
+  EstimateResponse response;
+  response.id = std::move(id);
+  response.ok = false;
+  response.code = code;
+  response.retryable = serve_error_retryable(code);
+  response.retry_after_ms = retry_after_ms;
+  response.error = std::move(message);
+  count_serve_error(code);
+  return response;
+}
+
+/// Best-effort id extraction from a raw request line (for errors on lines
+/// that never reach parse_request, like oversized frames).
+std::string request_id_of(const std::string& line) {
+  const auto pos = line.find(" id=");
+  if (pos == std::string::npos) return "";
+  const auto start = pos + 4;
+  const auto end = line.find(' ', start);
+  return line.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+/// First limit the request violates, or "" when it fits them all.
+std::string check_limits(const EstimateRequest& request,
+                         const RequestLimits& limits) {
+  std::ostringstream out;
+  if (request.points.size() > limits.max_points) {
+    out << "points=" << request.points.size() << " exceeds max_points="
+        << limits.max_points;
+  } else if (request.options.precision_qubits > limits.max_precision_qubits) {
+    out << "t=" << request.options.precision_qubits
+        << " exceeds max_precision_qubits=" << limits.max_precision_qubits;
+  } else if (request.options.shots > limits.max_shots) {
+    out << "shots=" << request.options.shots << " exceeds max_shots="
+        << limits.max_shots;
+  }
+  return out.str();
+}
 
 /// Serve-side histograms, resolved once (registry entries are immortal).
 struct ServeHistograms {
@@ -122,6 +170,17 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
     const std::optional<std::string> line = connection->read_line();
     if (!line.has_value()) return;  // peer gone or server closing
     if (line->empty()) continue;
+    if (line->size() > options_.limits.max_line_bytes) {
+      // Refuse before parsing: the size check is the only work an
+      // arbitrarily large frame gets to cause.
+      connection->write_line(format_response(make_error(
+          request_id_of(*line), ServeErrorCode::kLimit,
+          "request line of " + std::to_string(line->size()) +
+              " bytes exceeds max_line_bytes=" +
+              std::to_string(options_.limits.max_line_bytes))));
+      errors_.fetch_add(1);
+      continue;
+    }
     try {
       switch (classify_request_line(*line)) {
         case ServeCommand::kPing:
@@ -149,10 +208,17 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
         case ServeCommand::kEstimate: {
           EstimateRequest request = parse_request(*line);
           if (stopping_.load()) {
-            EstimateResponse refused;
-            refused.id = request.id;
-            refused.error = "server shutting down";
-            connection->write_line(format_response(refused));
+            connection->write_line(format_response(
+                make_error(request.id, ServeErrorCode::kShutdown,
+                           "server shutting down")));
+            break;
+          }
+          const std::string violation =
+              check_limits(request, options_.limits);
+          if (!violation.empty()) {
+            connection->write_line(format_response(make_error(
+                request.id, ServeErrorCode::kLimit, violation)));
+            errors_.fetch_add(1);
             break;
           }
           Pending pending;
@@ -169,28 +235,45 @@ void BettiServer::reader_loop(std::shared_ptr<Connection> connection) {
           }
           pending.request = std::move(request);
           pending.connection = connection;
-          admit(std::move(pending));
+          const std::string id = pending.request.id;
+          if (!admit(std::move(pending))) {
+            connection->write_line(format_response(make_error(
+                id, ServeErrorCode::kOverloaded,
+                "admission queue full — retry after backoff",
+                options_.shed_retry_after_ms)));
+          }
           break;
         }
       }
     } catch (const std::exception& error) {
       QTDA_ERROR << "protocol error: " << error.what();
-      EstimateResponse malformed;
-      malformed.error = error.what();
-      connection->write_line(format_response(malformed));
+      // Deliberately id-less even when the line carried an id= token: a
+      // line that failed to classify or parse may be a corrupted frame, and
+      // attributing a non-retryable error to an id extracted from corrupt
+      // bytes would mis-answer some other request.  Clients recover via
+      // their per-attempt timeout.
+      connection->write_line(format_response(
+          make_error("", ServeErrorCode::kProtocol, error.what())));
     }
   }
 }
 
-void BettiServer::admit(Pending pending) {
+bool BettiServer::admit(Pending pending) {
   pending.admitted_at = std::chrono::steady_clock::now();
-  if (telemetry::enabled()) queue_depth_gauge().add(1);
   {
     MutexLock lock(queue_mutex_);
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      shed_.fetch_add(1);
+      return false;
+    }
+    // Increment before the push (still under the lock) so the worker's
+    // decrement after popping can never observe the gauge below zero.
+    if (telemetry::enabled()) queue_depth_gauge().add(1);
     queue_.push_back(std::move(pending));
   }
   admitted_.fetch_add(1);
   queue_ready_.notify_one();
+  return true;
 }
 
 void BettiServer::worker_loop() {
@@ -222,7 +305,15 @@ void BettiServer::worker_loop() {
         serve_histograms().queue_wait.record(ns_since(pending.admitted_at));
     }
     active_executions_.fetch_add(1);
-    execute_batch(std::move(batch));
+    try {
+      execute_batch(std::move(batch));
+    } catch (...) {
+      // Poison-request isolation: execute_batch answers its members from
+      // its own handlers, so anything landing here is unexpected — log and
+      // keep the worker alive rather than losing an executor thread.
+      QTDA_ERROR << "worker: unexpected exception escaped execution";
+      errors_.fetch_add(1);
+    }
     active_executions_.fetch_sub(1);
   }
 }
@@ -316,9 +407,20 @@ EstimateResponse BettiServer::execute_single(const EstimateRequest& request) {
           estimate_betti_from_sparse_laplacian(*artifacts.laplacian, options);
     }
     response.ok = true;
+  } catch (const CancelledError&) {
+    response = make_error(request.id, ServeErrorCode::kDeadline,
+                          "deadline exceeded during execution");
+    deadline_misses_.fetch_add(1);
+    errors_.fetch_add(1);
   } catch (const std::exception& error) {
-    response.ok = false;
-    response.error = error.what();
+    response = make_error(request.id, ServeErrorCode::kInternal,
+                          error.what());
+    errors_.fetch_add(1);
+  } catch (...) {
+    // Poison request: even a non-standard exception must not take the
+    // worker down — answer and move on.
+    response = make_error(request.id, ServeErrorCode::kInternal,
+                          "unexpected non-standard exception");
     errors_.fetch_add(1);
   }
   return response;
@@ -336,17 +438,35 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
   live.reserve(batch.size());
   for (Pending& pending : batch) {
     if (pending.has_deadline && now > pending.deadline) {
-      EstimateResponse missed;
-      missed.id = pending.request.id;
-      missed.error = "deadline exceeded while queued";
       deadline_misses_.fetch_add(1);
       errors_.fetch_add(1);
-      complete(pending.connection, format_response(missed));
+      complete(pending.connection,
+               format_response(make_error(pending.request.id,
+                                          ServeErrorCode::kDeadline,
+                                          "deadline exceeded while queued")));
     } else {
       live.push_back(std::move(pending));
     }
   }
   if (live.empty()) return;
+
+  // Execution deadline: armed only when *every* live member carries one —
+  // a deadline-free request must not be cancelled by a neighbor's budget —
+  // and set to the latest member deadline (checkpoints fire inside the
+  // shared evolution, which serves the whole batch).
+  std::optional<cancel::ScopedDeadline> execution_deadline;
+  {
+    bool all_have_deadlines = true;
+    std::chrono::steady_clock::time_point latest{};
+    for (const Pending& pending : live) {
+      if (!pending.has_deadline) {
+        all_have_deadlines = false;
+        break;
+      }
+      latest = std::max(latest, pending.deadline);
+    }
+    if (all_have_deadlines) execution_deadline.emplace(latest);
+  }
 
   QTDA_SPAN("request");
   // End-to-end latency is measured at response formatting (the completion
@@ -409,13 +529,25 @@ void BettiServer::execute_batch(std::vector<Pending> batch) {
       response.batch_size = live.size();
       finish(live[i], format_response(response));
     }
+  } catch (const CancelledError&) {
+    // The shared evolution ran out of deadline: every member of the batch
+    // shares the outcome (re-running survivors would duplicate work the
+    // clients will retry anyway — and with per-member deadlines all in the
+    // past, they would cancel again immediately).
+    for (const Pending& pending : live) {
+      deadline_misses_.fetch_add(1);
+      errors_.fetch_add(1);
+      finish(pending,
+             format_response(make_error(pending.request.id,
+                                        ServeErrorCode::kDeadline,
+                                        "deadline exceeded during execution")));
+    }
   } catch (const std::exception& error) {
     for (const Pending& pending : live) {
-      EstimateResponse failed;
-      failed.id = pending.request.id;
-      failed.error = error.what();
       errors_.fetch_add(1);
-      finish(pending, format_response(failed));
+      finish(pending, format_response(make_error(pending.request.id,
+                                                 ServeErrorCode::kInternal,
+                                                 error.what())));
     }
   }
 }
@@ -432,6 +564,7 @@ ServerStats BettiServer::stats() const {
   stats.batches = batches_.load();
   stats.batched_requests = batched_requests_.load();
   stats.deadline_misses = deadline_misses_.load();
+  stats.shed = shed_.load();
   return stats;
 }
 
@@ -449,7 +582,8 @@ std::string BettiServer::stats_line() const {
       << " completed=" << stats.completed << " errors=" << stats.errors
       << " batches=" << stats.batches
       << " batched_requests=" << stats.batched_requests
-      << " deadline_misses=" << stats.deadline_misses;
+      << " deadline_misses=" << stats.deadline_misses
+      << " shed=" << stats.shed;
   cache("complex", stats.complexes);
   cache("laplacian", stats.laplacians);
   cache("plan", stats.plans);

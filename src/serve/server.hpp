@@ -18,10 +18,22 @@
 /// Fairness and shutdown: per-request shard counts are clamped by
 /// fair_thread_share over the number of concurrently executing requests, so
 /// one huge register cannot monopolize the shared pool (shard count never
-/// changes results).  Deadlines bound *queue* time — a request that expires
-/// before execution starts is answered with an error instead of occupying a
-/// worker.  stop() is graceful: admission closes, everything already
-/// admitted executes, the completion queue drains, then threads join.
+/// changes results).  Deadlines bound queue time *and* execution: a request
+/// that expires before execution starts is answered with a `deadline` error
+/// instead of occupying a worker, and an executing request whose deadline
+/// passes is cancelled at the next cooperative checkpoint (see
+/// common/cancel.hpp).  stop() is graceful: admission closes, everything
+/// already admitted executes, the completion queue drains, then threads
+/// join.
+///
+/// Self-protection: the admission queue is bounded (max_queue) — requests
+/// past the bound are *shed* with a retryable `overloaded` error carrying a
+/// retry-after hint, so load spikes degrade into client backoff instead of
+/// unbounded memory growth.  RequestLimits caps the resources any single
+/// request may claim (line bytes, cloud points, precision qubits, shots);
+/// violations draw a non-retryable `limit` error.  A request that throws
+/// anything unexpected is answered with `internal` and the worker survives
+/// (poison-request isolation).
 #pragma once
 
 #include <atomic>
@@ -40,6 +52,15 @@
 
 namespace qtda {
 
+/// Per-request resource caps; violations draw a non-retryable `limit`
+/// error at admission, before any expensive work happens.
+struct RequestLimits {
+  std::size_t max_line_bytes = 1 << 20;   ///< protocol frame size
+  std::size_t max_points = 4096;          ///< cloud size
+  std::size_t max_precision_qubits = 16;  ///< t (register width is 2^t)
+  std::uint64_t max_shots = 100'000'000;  ///< per-request sampling budget
+};
+
 /// BettiServer configuration.
 struct ServerOptions {
   ArtifactStoreOptions cache;
@@ -51,6 +72,11 @@ struct ServerOptions {
                             ///< on start() (a served process wants its
                             ///< metrics verb populated; the overhead is one
                             ///< relaxed atomic per span plus clock reads)
+  std::size_t max_queue = 0;  ///< admission-queue bound; 0 = unbounded.
+                              ///< Requests past the bound are shed with a
+                              ///< retryable `overloaded` error.
+  std::uint64_t shed_retry_after_ms = 5;  ///< backoff hint on shed responses
+  RequestLimits limits;     ///< per-request resource caps
 };
 
 /// A stats snapshot (the `stats` protocol command renders this).
@@ -65,6 +91,7 @@ struct ServerStats {
   std::size_t batches = 0;           ///< executions serving > 1 request
   std::size_t batched_requests = 0;  ///< requests served by those executions
   std::size_t deadline_misses = 0;
+  std::size_t shed = 0;              ///< requests refused by the queue bound
 };
 
 /// The service.  One instance owns the artifact store and all threads.
@@ -116,7 +143,9 @@ class BettiServer {
   void worker_loop();
   void completion_loop();
 
-  void admit(Pending pending);
+  /// Queues \p pending unless the admission bound is hit; false = shed
+  /// (the caller answers with `overloaded`).
+  bool admit(Pending pending);
   void complete(const std::shared_ptr<Connection>& connection,
                 std::string line);
   static std::string batch_key_of(const EstimateRequest& request);
@@ -163,6 +192,7 @@ class BettiServer {
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> batched_requests_{0};
   std::atomic<std::size_t> deadline_misses_{0};
+  std::atomic<std::size_t> shed_{0};
 };
 
 }  // namespace qtda

@@ -1,11 +1,16 @@
 #include "serve/transport.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 
@@ -42,6 +47,26 @@ struct LineQueue {
     return line;
   }
 
+  std::optional<std::string> pop_for(std::uint64_t timeout_ms,
+                                     bool* timed_out) {
+    if (timed_out != nullptr) *timed_out = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    MutexLock lock(mutex);
+    while (!closed && lines.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+      ready.wait_for(mutex, deadline - now);
+    }
+    if (lines.empty()) return std::nullopt;  // closed and drained
+    std::string line = std::move(lines.front());
+    lines.pop_front();
+    return line;
+  }
+
   void close() {
     {
       MutexLock lock(mutex);
@@ -71,6 +96,12 @@ class LoopbackConnection final : public Connection {
 
   std::optional<std::string> read_line() override {
     return (is_server_ ? channel_->to_server : channel_->to_client).pop();
+  }
+
+  std::optional<std::string> read_line_for(std::uint64_t timeout_ms,
+                                           bool* timed_out) override {
+    return (is_server_ ? channel_->to_server : channel_->to_client)
+        .pop_for(timeout_ms, timed_out);
   }
 
   bool write_line(const std::string& line) override {
@@ -141,7 +172,13 @@ namespace {
 class FdConnection final : public Connection {
  public:
   explicit FdConnection(int fd) : fd_(fd) {}
-  ~FdConnection() override { close(); }
+  ~FdConnection() override {
+    close();
+    // The fd is released only here, once no thread can still hold this
+    // connection — closing it inside close() would race with a reader
+    // blocked in recv and risk the kernel reusing the fd number under it.
+    ::close(fd_);
+  }
 
   std::optional<std::string> read_line() override {
     for (;;) {
@@ -153,6 +190,40 @@ class FdConnection final : public Connection {
       }
       char chunk[4096];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;  // signal: retry the read
+      if (n <= 0) return std::nullopt;        // EOF, error, or shutdown
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::optional<std::string> read_line_for(std::uint64_t timeout_ms,
+                                           bool* timed_out) override {
+    if (timed_out != nullptr) *timed_out = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count();
+      pollfd poller{fd_, POLLIN, 0};
+      const int ready = ::poll(
+          &poller, 1, static_cast<int>(std::max<long long>(1, remaining_ms)));
+      if (ready < 0 && errno != EINTR) return std::nullopt;
+      if (ready <= 0) continue;  // timeout slice or EINTR: re-check deadline
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return std::nullopt;  // EOF, error, or shutdown
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
@@ -164,8 +235,12 @@ class FdConnection final : public Connection {
     framed.push_back('\n');
     std::size_t sent = 0;
     while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a vanished peer yields EPIPE instead of killing the
+      // process with SIGPIPE; EINTR restarts the send so a signal cannot
+      // tear a frame mid-line.
       const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
                                MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return false;
       sent += static_cast<std::size_t>(n);
     }
@@ -174,10 +249,10 @@ class FdConnection final : public Connection {
 
   void close() override {
     if (!closed_.exchange(true)) {
-      // shutdown() first: wakes a reader blocked in recv on another thread
-      // (plain close alone leaves it blocked until the peer acts).
+      // shutdown() wakes a reader blocked in recv on another thread and
+      // fails every later send/recv, while keeping the fd number reserved
+      // until the destructor's ::close.
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
     }
   }
 
@@ -213,6 +288,9 @@ UnixSocketTransport::UnixSocketTransport(std::string path)
 
 UnixSocketTransport::~UnixSocketTransport() {
   shutdown();
+  // Deferred from shutdown(): the acceptor thread may still be inside
+  // poll/accept on this fd there; by destruction time it has joined.
+  ::close(listen_fd_);
   ::unlink(path_.c_str());
 }
 
@@ -234,10 +312,10 @@ std::shared_ptr<Connection> UnixSocketTransport::accept() {
 }
 
 void UnixSocketTransport::shutdown() {
-  if (!stopping_.exchange(true)) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-  }
+  // shutdown() alone: it wakes the acceptor's poll and fails its accept,
+  // while the fd number stays reserved until ~UnixSocketTransport closes
+  // it (closing here would race with the still-polling acceptor thread).
+  if (!stopping_.exchange(true)) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
 std::shared_ptr<Connection> connect_unix(const std::string& path) {
@@ -249,6 +327,88 @@ std::shared_ptr<Connection> connect_unix(const std::string& path) {
     ::close(fd);
     QTDA_REQUIRE(false, "connect() failed for " << path);
   }
+  return std::make_shared<FdConnection>(fd);
+}
+
+namespace {
+
+sockaddr_in make_tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  QTDA_REQUIRE(::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
+               "invalid IPv4 address \"" << host << '"');
+  return address;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint16_t port, std::string host)
+    : host_(std::move(host)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  QTDA_REQUIRE(listen_fd_ >= 0, "socket() failed for " << host_);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address = make_tcp_address(host_, port);
+  QTDA_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)) == 0,
+               "bind() failed for " << host_ << ':' << port);
+  QTDA_REQUIRE(::listen(listen_fd_, 64) == 0,
+               "listen() failed for " << host_ << ':' << port);
+  // Port 0 asks the kernel for an ephemeral port; read back the real one.
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  QTDA_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                             &bound_size) == 0,
+               "getsockname() failed for " << host_);
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpTransport::~TcpTransport() {
+  shutdown();
+  // Deferred from shutdown(), same reasoning as ~UnixSocketTransport.
+  ::close(listen_fd_);
+}
+
+std::shared_ptr<Connection> TcpTransport::accept() {
+  while (!stopping_.load()) {
+    pollfd poller{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!stopping_.load())
+        QTDA_ERROR << "accept() failed on " << host_ << ':' << port_ << ": "
+                   << std::strerror(errno);
+      continue;
+    }
+    set_nodelay(fd);
+    return std::make_shared<FdConnection>(fd);
+  }
+  return nullptr;
+}
+
+void TcpTransport::shutdown() {
+  // See UnixSocketTransport::shutdown for why the fd closes in the dtor.
+  if (!stopping_.exchange(true)) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+std::shared_ptr<Connection> connect_tcp(const std::string& host,
+                                        std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  QTDA_REQUIRE(fd >= 0, "socket() failed");
+  sockaddr_in address = make_tcp_address(host, port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    QTDA_REQUIRE(false, "connect() failed for " << host << ':' << port);
+  }
+  set_nodelay(fd);
   return std::make_shared<FdConnection>(fd);
 }
 

@@ -1,11 +1,13 @@
 /// \file transport.hpp
-/// \brief Byte transports for qtda_serve: Unix socket and in-process loopback.
+/// \brief Byte transports for qtda_serve: Unix socket, TCP, and in-process
+/// loopback.
 ///
 /// The server speaks to clients through two tiny interfaces — Connection
 /// (blocking line read/write) and Transport (blocking accept) — so the same
-/// BettiServer runs unchanged over a real AF_UNIX stream socket (the daemon)
-/// or an in-process loopback pair (tests and the --smoke mode, where
-/// multithreaded stress must not depend on filesystem socket paths).
+/// BettiServer runs unchanged over a real AF_UNIX stream socket (the
+/// daemon), a TCP listener (remote reachability), or an in-process loopback
+/// pair (tests and the --smoke mode, where multithreaded stress must not
+/// depend on filesystem socket paths).
 ///
 /// Lifetime rules: close() on either endpoint wakes blocked readers on both
 /// sides with end-of-stream; shutdown() on a Transport unblocks accept().
@@ -14,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +31,18 @@ class Connection {
   /// Blocks for the next newline-terminated line (returned without the
   /// newline).  nullopt = end of stream (peer closed or close() called).
   virtual std::optional<std::string> read_line() = 0;
+
+  /// read_line() with a timeout.  On timeout returns nullopt and sets
+  /// *timed_out (end-of-stream leaves it false, disambiguating the two
+  /// nullopt cases).  The base implementation ignores the timeout and
+  /// blocks — every transport in this file overrides it; a decorator that
+  /// cannot honor timeouts still degrades to plain blocking reads.
+  virtual std::optional<std::string> read_line_for(std::uint64_t timeout_ms,
+                                                   bool* timed_out) {
+    (void)timeout_ms;
+    if (timed_out != nullptr) *timed_out = false;
+    return read_line();
+  }
 
   /// Writes one line (the newline is appended).  Returns false once the
   /// stream is closed.  Thread-safe against concurrent write_line calls.
@@ -88,5 +103,33 @@ class UnixSocketTransport final : public Transport {
 
 /// Client-side connect to a Unix-socket server.
 std::shared_ptr<Connection> connect_unix(const std::string& path);
+
+/// TCP stream-socket transport bound to \p host:\p port (port 0 binds an
+/// ephemeral port — read the actual one back with port()).  Same polling
+/// accept loop as the Unix transport; accepted connections get TCP_NODELAY
+/// so one-line responses are not Nagle-delayed.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(std::uint16_t port = 0,
+                        std::string host = "127.0.0.1");
+  ~TcpTransport() override;
+
+  std::shared_ptr<Connection> accept() override;
+  void shutdown() override;
+
+  const std::string& host() const { return host_; }
+  /// The bound port (resolves port 0 to the kernel-assigned ephemeral one).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Client-side connect to a TCP server.
+std::shared_ptr<Connection> connect_tcp(const std::string& host,
+                                        std::uint16_t port);
 
 }  // namespace qtda

@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: bare std::mutex / std::condition_variable must trip the
+// bare-mutex rule — library code locks through the capability-annotated
+// qtda::Mutex / qtda::CondVar wrappers so -Wthread-safety can check it.
+#include <condition_variable>
+#include <mutex>
+
+namespace qtda {
+
+struct BadQueue {
+  std::mutex mutex;
+  std::condition_variable ready;
+  int depth = 0;
+};
+
+}  // namespace qtda
